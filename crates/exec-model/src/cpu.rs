@@ -1,0 +1,173 @@
+//! Multicore (OpenMP-analog) execution-time model.
+//!
+//! Models the Ghalami–Grosu OpenMP implementation (Algorithm 2) on a
+//! `cores`-way shared-memory machine:
+//!
+//! * levels are processed in sequence with an implicit barrier each —
+//!   `barrier_ns` per level;
+//! * within a level, cells are spread over the cores; by Brent's theorem
+//!   the level time is `max(total_work / cores, max_cell_work)`;
+//! * a cell's work is `candidates · candidate_ns` (screening) plus
+//!   `valid · search_scope · search_cell_ns` (the paper's implementation
+//!   locates each dependency by scanning the whole `σ`-cell table —
+//!   Alg. 2 line 18 — which is what makes the OpenMP runtime explode on
+//!   large tables, cf. Table VII's 9 654 s at σ = 403 200).
+//!
+//! The per-op constants are calibrated so a 2.6 GHz Xeon core screens a
+//! configuration in a few cycles and touches roughly one cache line per
+//! scanned cell; see `EXPERIMENTS.md` for the calibration note.
+
+use crate::report::ModelTime;
+use crate::work::DpWorkload;
+use serde::{Deserialize, Serialize};
+
+/// A multicore CPU cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Worker threads (the paper evaluates 16 and 28).
+    pub cores: usize,
+    /// Cost of screening one candidate configuration, ns.
+    pub candidate_ns: f64,
+    /// Cost per table cell scanned while locating one dependency, ns.
+    pub search_cell_ns: f64,
+    /// Per-level barrier cost, ns.
+    pub barrier_ns: f64,
+    /// Fraction of the table scanned per dependency search (1.0 = the
+    /// paper's full-table scan; an average successful linear scan visits
+    /// about half).
+    pub search_fraction: f64,
+}
+
+impl CpuModel {
+    /// The paper's OpenMP testbed: dual Xeon E5-2697v3, 2.6 GHz.
+    /// `cores` ∈ {16, 28} reproduces the OMP16 / OMP28 series.
+    pub fn xeon_e5_2697v3(cores: usize) -> Self {
+        assert!(cores > 0);
+        Self {
+            cores,
+            // ~8 cycles at 2.6 GHz to screen a candidate (bounds check +
+            // capacity accumulate).
+            candidate_ns: 3.0,
+            // Scanning the table while matching a k²-component vector per
+            // cell costs a few cycles per visited cell.
+            search_cell_ns: 1.5,
+            // omp-barrier across a socket pair.
+            barrier_ns: 8_000.0,
+            search_fraction: 1.0,
+        }
+    }
+
+    /// Modeled time to fill one DP table.
+    pub fn estimate_dp(&self, w: &DpWorkload) -> ModelTime {
+        let sigma = w.table_size as f64;
+        let mut compute_ns = 0.0;
+        let mut search_ns = 0.0;
+        let mut overhead_ns = 0.0;
+        for level in &w.levels {
+            let mut level_compute = 0.0;
+            let mut level_search = 0.0;
+            let mut max_cell = 0.0f64;
+            for cell in level {
+                let c = cell.candidates as f64 * self.candidate_ns;
+                let s = cell.valid as f64 * sigma * self.search_fraction * self.search_cell_ns;
+                level_compute += c;
+                level_search += s;
+                max_cell = max_cell.max(c + s);
+            }
+            let total = level_compute + level_search;
+            let parallel = (total / self.cores as f64).max(max_cell);
+            // Attribute the parallelised time proportionally.
+            let scale = if total > 0.0 { parallel / total } else { 0.0 };
+            compute_ns += level_compute * scale;
+            search_ns += level_search * scale;
+            overhead_ns += self.barrier_ns;
+        }
+        ModelTime {
+            compute_ns,
+            search_ns,
+            overhead_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::CellWork;
+
+    fn uniform_workload(cells_per_level: usize, levels: usize, cand: u64, valid: u64) -> DpWorkload {
+        let mut flat = 0;
+        let lvls = (0..levels)
+            .map(|_| {
+                (0..cells_per_level)
+                    .map(|_| {
+                        let c = CellWork {
+                            flat,
+                            candidates: cand,
+                            valid,
+                        };
+                        flat += 1;
+                        c
+                    })
+                    .collect()
+            })
+            .collect();
+        DpWorkload::new(cells_per_level * levels, lvls)
+    }
+
+    #[test]
+    fn more_cores_is_never_slower() {
+        let w = uniform_workload(64, 10, 50, 10);
+        let t16 = CpuModel::xeon_e5_2697v3(16).estimate_dp(&w).total_ns();
+        let t28 = CpuModel::xeon_e5_2697v3(28).estimate_dp(&w).total_ns();
+        assert!(t28 <= t16);
+    }
+
+    #[test]
+    fn critical_path_bounds_speedup() {
+        // One giant cell per level: extra cores cannot help.
+        let w = uniform_workload(1, 5, 1_000, 100);
+        let t1 = CpuModel {
+            cores: 1,
+            ..CpuModel::xeon_e5_2697v3(1)
+        }
+        .estimate_dp(&w);
+        let t28 = CpuModel::xeon_e5_2697v3(28).estimate_dp(&w);
+        assert!((t1.compute_ns + t1.search_ns) - (t28.compute_ns + t28.search_ns) < 1e-6);
+    }
+
+    #[test]
+    fn search_dominates_on_large_tables() {
+        // The whole-table scan makes search quadratic-ish in σ: for a big
+        // table the search component must dwarf screening.
+        let w = uniform_workload(1_000, 20, 30, 10);
+        let t = CpuModel::xeon_e5_2697v3(28).estimate_dp(&w);
+        assert!(t.search_ns > 10.0 * t.compute_ns);
+    }
+
+    #[test]
+    fn barrier_cost_scales_with_levels() {
+        let w5 = uniform_workload(4, 5, 1, 0);
+        let w50 = uniform_workload(4, 50, 1, 0);
+        let m = CpuModel::xeon_e5_2697v3(16);
+        let o5 = m.estimate_dp(&w5).overhead_ns;
+        let o50 = m.estimate_dp(&w50).overhead_ns;
+        assert!((o50 / o5 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_vii_scale_sanity() {
+        // σ = 403 200 with paper-like per-cell work lands within an order
+        // of magnitude of Table VII's 9 654 220 ms OpenMP runtime.
+        // (~150 valid configs/cell average, ~35 levels.)
+        let cells = 403_200usize;
+        let levels = 35;
+        let per_level = cells / levels;
+        let w = uniform_workload(per_level, levels, 400, 150);
+        let ms = CpuModel::xeon_e5_2697v3(28).estimate_dp(&w).millis();
+        assert!(
+            (1.0e6..1.0e8).contains(&ms),
+            "modeled {ms} ms should be within 10× of the paper's 9.65e6 ms"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Execution-cost models shared by the CPU (OpenMP-analog) and GPU
+//! evaluation paths.
+//!
+//! The paper's evaluation compares wall-clock times on hardware we do not
+//! have (a 28-core Xeon E5-2697v3 pair and a Kepler K40). What *is*
+//! portable is the counted work each implementation performs — candidate
+//! configurations screened, dependency lookups, table cells scanned while
+//! locating a sub-configuration, synchronisation points — because those
+//! counts follow from the algorithms, not the silicon. This crate defines:
+//!
+//! * [`work`] — the [`work::DpWorkload`] descriptor: per-cell candidate /
+//!   valid-configuration counts grouped by anti-diagonal level, extracted
+//!   once per DP table by the caller;
+//! * [`cpu`] — [`cpu::CpuModel`]: a Brent's-theorem multicore model that
+//!   converts a workload into modeled OpenMP time, charging the paper's
+//!   whole-table sub-configuration search (Alg. 2 lines 18–19);
+//! * [`report`] — [`report::ModelTime`], a time-with-breakdown carrier.
+//!
+//! The GPU counterpart lives in the `gpu-sim` crate (it needs a real
+//! discrete-event engine); both consume the same `DpWorkload`.
+
+pub mod cpu;
+pub mod report;
+pub mod work;
+
+pub use cpu::CpuModel;
+pub use report::ModelTime;
+pub use work::{CellWork, DpWorkload};

@@ -1,0 +1,83 @@
+//! Modeled-time carriers.
+
+use serde::{Deserialize, Serialize};
+
+/// A modeled execution time with an additive breakdown, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModelTime {
+    /// Time spent screening candidate configurations.
+    pub compute_ns: f64,
+    /// Time spent locating dependency cells (the "search" cost).
+    pub search_ns: f64,
+    /// Synchronisation / launch overheads (barriers, kernel launches).
+    pub overhead_ns: f64,
+}
+
+impl ModelTime {
+    /// The zero time.
+    pub const ZERO: Self = Self {
+        compute_ns: 0.0,
+        search_ns: 0.0,
+        overhead_ns: 0.0,
+    };
+
+    /// Total modeled nanoseconds.
+    #[inline]
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.search_ns + self.overhead_ns
+    }
+
+    /// Total modeled milliseconds (the unit of the paper's figures).
+    #[inline]
+    pub fn millis(&self) -> f64 {
+        self.total_ns() / 1e6
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        Self {
+            compute_ns: self.compute_ns + other.compute_ns,
+            search_ns: self.search_ns + other.search_ns,
+            overhead_ns: self.overhead_ns + other.overhead_ns,
+        }
+    }
+}
+
+impl std::ops::Add for ModelTime {
+    type Output = ModelTime;
+    fn add(self, rhs: Self) -> Self {
+        ModelTime::add(&self, &rhs)
+    }
+}
+
+impl std::iter::Sum for ModelTime {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_units() {
+        let t = ModelTime {
+            compute_ns: 1_000_000.0,
+            search_ns: 2_000_000.0,
+            overhead_ns: 500_000.0,
+        };
+        assert!((t.total_ns() - 3_500_000.0).abs() < 1e-9);
+        assert!((t.millis() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_parts() {
+        let parts = vec![
+            ModelTime { compute_ns: 1.0, search_ns: 0.0, overhead_ns: 0.0 },
+            ModelTime { compute_ns: 0.0, search_ns: 2.0, overhead_ns: 3.0 },
+        ];
+        let s: ModelTime = parts.into_iter().sum();
+        assert_eq!(s.total_ns(), 6.0);
+    }
+}

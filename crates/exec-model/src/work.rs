@@ -1,0 +1,95 @@
+//! Workload descriptors: the counted operations of one DP table fill.
+
+use serde::{Deserialize, Serialize};
+
+/// Work of a single DP cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellWork {
+    /// Row-major flat index of the cell.
+    pub flat: usize,
+    /// Candidate sub-configurations screened: the dominated-box size
+    /// `Π (vᵢ + 1)` — what the paper's `FindValidSub` launches one thread
+    /// per entry for.
+    pub candidates: u64,
+    /// Capacity-feasible configurations (`s ≤ v`, `Σ sᵢ·sizeᵢ ≤ T`) —
+    /// each one triggers a dependency lookup (a *search* in the paper's
+    /// implementations).
+    pub valid: u64,
+}
+
+/// The complete counted workload of one DP table, grouped by
+/// anti-diagonal level (the unit of synchronisation in every parallel
+/// variant).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpWorkload {
+    /// Total number of cells, `σ`.
+    pub table_size: usize,
+    /// Per-level cell work; `levels[l]` are the cells with `Σ vᵢ = l`.
+    pub levels: Vec<Vec<CellWork>>,
+}
+
+impl DpWorkload {
+    /// Builds a workload; `levels` must partition the table's cells.
+    pub fn new(table_size: usize, levels: Vec<Vec<CellWork>>) -> Self {
+        debug_assert_eq!(
+            levels.iter().map(Vec::len).sum::<usize>(),
+            table_size,
+            "levels must partition the table"
+        );
+        Self { table_size, levels }
+    }
+
+    /// Number of anti-diagonal levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total candidate configurations screened.
+    pub fn total_candidates(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|c| c.candidates)
+            .sum()
+    }
+
+    /// Total feasible configurations (dependency lookups).
+    pub fn total_valid(&self) -> u64 {
+        self.levels.iter().flatten().map(|c| c.valid).sum()
+    }
+
+    /// The widest level (peak cell-level parallelism).
+    pub fn max_level_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DpWorkload {
+        DpWorkload::new(
+            4,
+            vec![
+                vec![CellWork { flat: 0, candidates: 1, valid: 0 }],
+                vec![
+                    CellWork { flat: 1, candidates: 2, valid: 1 },
+                    CellWork { flat: 2, candidates: 2, valid: 1 },
+                ],
+                vec![CellWork { flat: 3, candidates: 4, valid: 3 }],
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let w = sample();
+        assert_eq!(w.table_size, 4);
+        assert_eq!(w.num_levels(), 3);
+        assert_eq!(w.total_candidates(), 9);
+        assert_eq!(w.total_valid(), 5);
+        assert_eq!(w.max_level_width(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the multicore cost model.
+
+use exec_model::{CellWork, CpuModel, DpWorkload};
+use proptest::prelude::*;
+
+/// Random workloads: up to 12 levels of up to 40 cells.
+fn arb_workload() -> impl Strategy<Value = DpWorkload> {
+    prop::collection::vec(
+        prop::collection::vec((1u64..=500, 0u64..=60), 1..40),
+        1..12,
+    )
+    .prop_map(|levels| {
+        let mut flat = 0usize;
+        let levels: Vec<Vec<CellWork>> = levels
+            .into_iter()
+            .map(|cells| {
+                cells
+                    .into_iter()
+                    .map(|(candidates, valid)| {
+                        let c = CellWork {
+                            flat,
+                            candidates,
+                            valid,
+                        };
+                        flat += 1;
+                        c
+                    })
+                    .collect()
+            })
+            .collect();
+        let size = levels.iter().map(Vec::len).sum();
+        DpWorkload::new(size, levels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn more_cores_never_slower(w in arb_workload()) {
+        let t8 = CpuModel::xeon_e5_2697v3(8).estimate_dp(&w).total_ns();
+        let t16 = CpuModel::xeon_e5_2697v3(16).estimate_dp(&w).total_ns();
+        let t28 = CpuModel::xeon_e5_2697v3(28).estimate_dp(&w).total_ns();
+        prop_assert!(t16 <= t8 + 1e-6);
+        prop_assert!(t28 <= t16 + 1e-6);
+    }
+
+    #[test]
+    fn speedup_bounded_by_core_count(w in arb_workload()) {
+        let m1 = CpuModel { cores: 1, ..CpuModel::xeon_e5_2697v3(1) };
+        let m28 = CpuModel::xeon_e5_2697v3(28);
+        let work = |t: exec_model::ModelTime| t.compute_ns + t.search_ns;
+        let w1 = work(m1.estimate_dp(&w));
+        let w28 = work(m28.estimate_dp(&w));
+        prop_assert!(w1 / w28 <= 28.0 + 1e-6, "superlinear speedup {}", w1 / w28);
+        prop_assert!(w28 <= w1 + 1e-6);
+    }
+
+    #[test]
+    fn time_is_monotone_in_work(w in arb_workload()) {
+        // Doubling every cell's work cannot make the model faster.
+        let heavier = DpWorkload::new(
+            w.table_size,
+            w.levels
+                .iter()
+                .map(|lvl| {
+                    lvl.iter()
+                        .map(|c| CellWork {
+                            flat: c.flat,
+                            candidates: c.candidates * 2,
+                            valid: c.valid * 2,
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let m = CpuModel::xeon_e5_2697v3(16);
+        prop_assert!(m.estimate_dp(&heavier).total_ns() >= m.estimate_dp(&w).total_ns());
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative_and_sum(w in arb_workload()) {
+        let t = CpuModel::xeon_e5_2697v3(16).estimate_dp(&w);
+        prop_assert!(t.compute_ns >= 0.0);
+        prop_assert!(t.search_ns >= 0.0);
+        prop_assert!(t.overhead_ns >= 0.0);
+        prop_assert!((t.total_ns() - (t.compute_ns + t.search_ns + t.overhead_ns)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_floor_holds(w in arb_workload()) {
+        // No level can beat its own heaviest cell, regardless of cores.
+        let m = CpuModel::xeon_e5_2697v3(1_000_000);
+        let t = m.estimate_dp(&w);
+        let sigma = w.table_size as f64;
+        let max_cell: f64 = w
+            .levels
+            .iter()
+            .flatten()
+            .map(|c| {
+                c.candidates as f64 * m.candidate_ns
+                    + c.valid as f64 * sigma * m.search_fraction * m.search_cell_ns
+            })
+            .fold(0.0, f64::max);
+        prop_assert!(t.compute_ns + t.search_ns + 1e-6 >= max_cell);
+    }
+}

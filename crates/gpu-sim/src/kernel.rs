@@ -1,0 +1,197 @@
+//! Kernel descriptions — the unit of work submitted to the engine.
+
+use crate::spec::DeviceSpec;
+use crate::warp::WarpDesc;
+use serde::{Deserialize, Serialize};
+
+/// A run of identical warps, stored aggregated.
+///
+/// The paper's `FindValidSub` launches one thread per *candidate*
+/// sub-configuration — for corner cells of a large table that is hundreds
+/// of thousands of uniform screening threads. Materialising a [`WarpDesc`]
+/// per warp would dominate simulator memory, so kernels carry uniform
+/// runs in compressed form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarpGroup {
+    /// How many identical warps this group stands for.
+    pub count: u64,
+    /// The repeated warp.
+    pub warp: WarpDesc,
+}
+
+/// A kernel launch: explicit warps + aggregated uniform warp groups,
+/// plus fixed overheads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Display name (e.g. `FindOPT[blk 12, lvl 3]`).
+    pub name: String,
+    /// Individually analysed warps (exact coalescing).
+    pub warps: Vec<WarpDesc>,
+    /// Aggregated uniform warps (bulk screening work).
+    pub groups: Vec<WarpGroup>,
+    /// Device-side child launches performed by this kernel's threads
+    /// (dynamic parallelism). Charged on the critical path with partial
+    /// overlap — the hardware pipelines pending child grids.
+    pub child_launches: u64,
+    /// Device-wide synchronisations issued after this kernel
+    /// (`cudaDeviceSynchronize`, Alg. 5 line 9).
+    pub sync_points: u64,
+}
+
+impl KernelDesc {
+    /// Creates a kernel from explicitly analysed warps.
+    pub fn new(name: impl Into<String>, warps: Vec<WarpDesc>) -> Self {
+        Self {
+            name: name.into(),
+            warps,
+            groups: Vec::new(),
+            child_launches: 0,
+            sync_points: 0,
+        }
+    }
+
+    /// Sets the dynamic-parallelism child-launch count.
+    pub fn with_child_launches(mut self, n: u64) -> Self {
+        self.child_launches = n;
+        self
+    }
+
+    /// Sets the trailing device-synchronisation count.
+    pub fn with_sync_points(mut self, n: u64) -> Self {
+        self.sync_points = n;
+        self
+    }
+
+    /// Adds `count` copies of a uniform warp.
+    pub fn add_group(&mut self, count: u64, warp: WarpDesc) {
+        if count > 0 {
+            self.groups.push(WarpGroup { count, warp });
+        }
+    }
+
+    /// Total warps in the launch (the kernel's parallel width).
+    pub fn warp_count(&self) -> u64 {
+        self.warps.len() as u64 + self.groups.iter().map(|g| g.count).sum::<u64>()
+    }
+
+    /// Total warp-cycles of work (throughput demand).
+    pub fn total_cycles(&self, spec: &DeviceSpec) -> f64 {
+        let explicit: f64 = self.warps.iter().map(|w| w.cycles(spec)).sum();
+        let grouped: f64 = self
+            .groups
+            .iter()
+            .map(|g| g.count as f64 * g.warp.cycles(spec))
+            .sum();
+        explicit + grouped
+    }
+
+    /// Longest single warp (critical path floor).
+    pub fn critical_cycles(&self, spec: &DeviceSpec) -> f64 {
+        let explicit = self
+            .warps
+            .iter()
+            .map(|w| w.cycles(spec))
+            .fold(0.0, f64::max);
+        let grouped = self
+            .groups
+            .iter()
+            .map(|g| g.warp.cycles(spec))
+            .fold(0.0, f64::max);
+        explicit.max(grouped)
+    }
+
+    /// How many device-side child launches overlap in the pending-launch
+    /// queue. Kepler pipelines a couple of outstanding child grids per
+    /// parent; beyond that, launches serialise.
+    pub const CHILD_PIPELINE: f64 = 2.0;
+
+    /// Fixed serial overhead of this launch, ns: child launches pipeline
+    /// in the hardware's pending-launch queue ([`Self::CHILD_PIPELINE`]),
+    /// syncs pay full cost.
+    pub fn overhead_ns(&self, spec: &DeviceSpec) -> f64 {
+        self.child_launches as f64 * spec.dynpar_launch_ns / Self::CHILD_PIPELINE
+            + self.sync_points as f64 * spec.sync_ns
+    }
+
+    /// Total global-memory transactions (for bus-utilisation metrics).
+    pub fn transactions(&self) -> u64 {
+        let explicit: u64 = self.warps.iter().map(|w| w.transactions).sum();
+        let grouped: u64 = self
+            .groups
+            .iter()
+            .map(|g| g.count * g.warp.transactions)
+            .sum();
+        explicit + grouped
+    }
+
+    /// Total raw accesses.
+    pub fn accesses(&self) -> u64 {
+        let explicit: u64 = self.warps.iter().map(|w| w.accesses).sum();
+        let grouped: u64 = self.groups.iter().map(|g| g.count * g.warp.accesses).sum();
+        explicit + grouped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(compute: u64, tx: u64) -> WarpDesc {
+        WarpDesc {
+            active_threads: 32,
+            compute_cycles: compute,
+            transactions: tx,
+            accesses: tx,
+        }
+    }
+
+    #[test]
+    fn totals_and_critical_path() {
+        let spec = DeviceSpec::k40();
+        let k = KernelDesc::new("k", vec![w(100, 0), w(300, 0), w(50, 0)]);
+        assert!((k.total_cycles(&spec) - 450.0).abs() < 1e-9);
+        assert!((k.critical_cycles(&spec) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_scale_with_children_and_syncs() {
+        let spec = DeviceSpec::k40();
+        let k = KernelDesc::new("k", vec![])
+            .with_child_launches(16)
+            .with_sync_points(2);
+        let expect = 16.0 * spec.dynpar_launch_ns / KernelDesc::CHILD_PIPELINE + 2.0 * spec.sync_ns;
+        assert!((k.overhead_ns(&spec) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_kernel_costs_nothing_but_overhead() {
+        let spec = DeviceSpec::k40();
+        let k = KernelDesc::new("noop", vec![]);
+        assert_eq!(k.total_cycles(&spec), 0.0);
+        assert_eq!(k.critical_cycles(&spec), 0.0);
+        assert_eq!(k.overhead_ns(&spec), 0.0);
+        assert_eq!(k.warp_count(), 0);
+    }
+
+    #[test]
+    fn groups_aggregate_like_explicit_warps() {
+        let spec = DeviceSpec::k40();
+        let mut grouped = KernelDesc::new("g", vec![]);
+        grouped.add_group(1000, w(40, 2));
+        let explicit = KernelDesc::new("e", vec![w(40, 2); 1000]);
+        assert_eq!(grouped.warp_count(), explicit.warp_count());
+        assert!((grouped.total_cycles(&spec) - explicit.total_cycles(&spec)).abs() < 1e-6);
+        assert_eq!(grouped.transactions(), explicit.transactions());
+        assert_eq!(
+            grouped.critical_cycles(&spec),
+            explicit.critical_cycles(&spec)
+        );
+    }
+
+    #[test]
+    fn zero_count_group_is_ignored() {
+        let mut k = KernelDesc::new("k", vec![]);
+        k.add_group(0, w(40, 2));
+        assert!(k.groups.is_empty());
+    }
+}

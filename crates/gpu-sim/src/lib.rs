@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! A deterministic discrete-event GPU simulator.
+//!
+//! This crate stands in for the paper's Nvidia K40: it executes *kernel
+//! descriptions* — warps with counted compute cycles and analysed memory
+//! transactions — on a device model with streaming multiprocessors,
+//! Hyper-Q multi-stream concurrency, kernel-launch and dynamic-parallelism
+//! overheads. The output is a modeled timeline, not wall-clock time, so
+//! results are exactly reproducible on any host.
+//!
+//! What is modeled, and why it is enough for the paper's claims:
+//!
+//! * **Warps** ([`warp`]): 32-thread SIMT groups. A warp's duration is the
+//!   *maximum* over its threads (lockstep execution), which is precisely
+//!   the thread-level workload-imbalance effect §III.B discusses.
+//! * **Memory coalescing** ([`mem`]): per lockstep access slot, the warp
+//!   pays one transaction per distinct cache line touched. Strided access
+//!   across a row-major table → up to 32 transactions; block-local access
+//!   after the data-partitioning reorganisation → few. This is the bus-
+//!   utilisation effect §III.C targets.
+//! * **SM occupancy** ([`engine`]): the device offers
+//!   `num_sms · cores_per_sm / warp_size` concurrent warp slots;
+//!   kernels progress by processor sharing over those slots with a
+//!   critical-path floor (Brent-style), so under-filled launches waste
+//!   throughput exactly as on real silicon.
+//! * **Streams / Hyper-Q** ([`engine`]): kernels in one stream serialise;
+//!   kernels in different streams share the device, up to
+//!   `max_concurrent_kernels`.
+//! * **Dynamic parallelism** ([`kernel`]): device-side child launches are
+//!   charged a per-launch overhead on the parent's critical path, the
+//!   dominant real-world cost of the nested `FindValidSub`/`SetOPT`
+//!   pattern of Algorithm 5.
+//!
+//! Not modeled: caches beyond the coalescing granularity, shared memory,
+//! register pressure, ECC. Those affect absolute times (out of scope) but
+//! not the orderings the paper reports.
+
+pub mod engine;
+pub mod kernel;
+pub mod mem;
+pub mod metrics;
+pub mod spec;
+pub mod timeline;
+pub mod trace;
+pub mod warp;
+
+pub use engine::{GpuSim, SharePolicy};
+pub use kernel::KernelDesc;
+pub use metrics::{KernelRecord, SimReport};
+pub use spec::DeviceSpec;
+pub use warp::{WarpBuilder, WarpDesc};

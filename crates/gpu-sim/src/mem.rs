@@ -1,0 +1,83 @@
+//! Global-memory transaction analysis (coalescing).
+//!
+//! A warp executes memory instructions in lockstep: at access slot `j`,
+//! every thread that still has a `j`-th access issues it, and the hardware
+//! serves the set with one transaction per distinct cache line. Perfectly
+//! coalesced access (32 consecutive words) costs 1 transaction; a strided
+//! walk across a huge row-major table costs up to 32 — the paper's §III.B
+//! "the warp reads data from the memory in a sequential manner".
+
+/// Number of transactions to serve one lockstep access slot: distinct
+/// cache lines among the participating addresses (byte addresses).
+pub fn slot_transactions(addresses: &[u64], cacheline_bytes: usize) -> u64 {
+    debug_assert!(cacheline_bytes.is_power_of_two());
+    let shift = cacheline_bytes.trailing_zeros();
+    let mut lines: Vec<u64> = addresses.iter().map(|&a| a >> shift).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len() as u64
+}
+
+/// Transactions for a whole warp given each thread's address list.
+/// Threads advance in lockstep; slot `j` gathers the `j`-th address of
+/// every thread that has one.
+pub fn warp_transactions(per_thread: &[Vec<u64>], cacheline_bytes: usize) -> u64 {
+    let max_len = per_thread.iter().map(Vec::len).max().unwrap_or(0);
+    let mut total = 0u64;
+    let mut slot = Vec::with_capacity(per_thread.len());
+    for j in 0..max_len {
+        slot.clear();
+        for t in per_thread {
+            if let Some(&a) = t.get(j) {
+                slot.push(a);
+            }
+        }
+        total += slot_transactions(&slot, cacheline_bytes);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_words_cost_one_transaction() {
+        // 32 consecutive 4-byte words inside one 128 B line.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(slot_transactions(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn strided_access_costs_one_per_thread() {
+        // Stride of 1 KiB: every address on its own line.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 1024).collect();
+        assert_eq!(slot_transactions(&addrs, 128), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let addrs = vec![0u64, 0, 4, 8, 127, 128];
+        assert_eq!(slot_transactions(&addrs, 128), 2);
+    }
+
+    #[test]
+    fn empty_slot_is_free() {
+        assert_eq!(slot_transactions(&[], 128), 0);
+    }
+
+    #[test]
+    fn lockstep_slots_are_independent() {
+        // Two threads, two accesses each: slot 0 coalesces, slot 1 splits.
+        let per_thread = vec![vec![0u64, 0], vec![4u64, 4096]];
+        assert_eq!(warp_transactions(&per_thread, 128), 1 + 2);
+    }
+
+    #[test]
+    fn ragged_threads_lockstep() {
+        // Thread 0 has 3 accesses, thread 1 has 1: slots 1 and 2 are
+        // thread-0-only.
+        let per_thread = vec![vec![0u64, 1024, 2048], vec![64u64]];
+        assert_eq!(warp_transactions(&per_thread, 128), 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulation output: per-kernel records and device-level aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Timeline entry for one executed kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel display name.
+    pub name: String,
+    /// Stream the kernel ran on.
+    pub stream: usize,
+    /// When the launch was admitted (start of its overhead phase), ns.
+    pub start_ns: f64,
+    /// Completion time, ns.
+    pub end_ns: f64,
+    /// Warps in the launch.
+    pub warps: usize,
+    /// Global-memory transactions after coalescing.
+    pub transactions: u64,
+    /// Raw global-memory accesses.
+    pub accesses: u64,
+    /// Warp-cycles of execution work.
+    pub work_cycles: f64,
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Completion time of the last kernel, ns.
+    pub total_ns: f64,
+    /// Per-kernel timeline (launch order preserved per stream).
+    pub kernels: Vec<KernelRecord>,
+    /// Fraction of warp-slot·time actually used while the device was busy.
+    pub occupancy: f64,
+    /// Device-wide transactions across all kernels.
+    pub total_transactions: u64,
+    /// Device-wide raw accesses across all kernels.
+    pub total_accesses: u64,
+}
+
+impl SimReport {
+    /// Total modeled milliseconds (the unit of the paper's figures).
+    pub fn millis(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Effective-bus utilisation proxy: useful accesses per transaction,
+    /// normalised so 1.0 = perfectly coalesced 32-wide word access and
+    /// 1/32 ≈ fully strided (the paper's worst case, §III.B).
+    pub fn bus_utilisation(&self) -> f64 {
+        if self.total_transactions == 0 {
+            return 1.0;
+        }
+        (self.total_accesses as f64 / self.total_transactions as f64) / 32.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_and_bus_utilisation() {
+        let r = SimReport {
+            total_ns: 3.0e6,
+            kernels: vec![],
+            occupancy: 0.5,
+            total_transactions: 10,
+            total_accesses: 320,
+        };
+        assert!((r.millis() - 3.0).abs() < 1e-12);
+        assert!((r.bus_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_transactions_is_full_utilisation() {
+        let r = SimReport {
+            total_ns: 0.0,
+            kernels: vec![],
+            occupancy: 0.0,
+            total_transactions: 0,
+            total_accesses: 0,
+        };
+        assert_eq!(r.bus_utilisation(), 1.0);
+    }
+}

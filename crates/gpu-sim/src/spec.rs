@@ -1,0 +1,159 @@
+//! Device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Streaming multiprocessors (SMX units).
+    pub num_sms: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Aggregate DRAM bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Coalescing granularity (bytes served per memory transaction).
+    pub cacheline_bytes: usize,
+    /// Device memory capacity, bytes.
+    pub global_mem_bytes: u64,
+    /// Hyper-Q: maximum concurrently executing kernels.
+    pub max_concurrent_kernels: usize,
+    /// Host-side kernel launch latency, ns.
+    pub kernel_launch_ns: f64,
+    /// Device-side (dynamic parallelism) child-kernel launch latency, ns.
+    pub dynpar_launch_ns: f64,
+    /// `cudaDeviceSynchronize` cost, ns.
+    pub sync_ns: f64,
+    /// Issue cost of one arithmetic/logic op, cycles.
+    pub cycles_per_op: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: Tesla K40 (Kepler GK110B) —
+    /// 15 SMX × 192 cores = 2880 cores at 745 MHz, 12 GB GDDR5 at
+    /// 288 GB/s, Hyper-Q with 32 connections, dynamic parallelism.
+    pub fn k40() -> Self {
+        Self {
+            name: "Tesla K40 (simulated)".to_string(),
+            num_sms: 15,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.745,
+            mem_bandwidth_gbps: 288.0,
+            cacheline_bytes: 128,
+            global_mem_bytes: 12 * (1 << 30),
+            max_concurrent_kernels: 32,
+            kernel_launch_ns: 5_000.0,
+            dynpar_launch_ns: 45_000.0,
+            sync_ns: 8_000.0,
+            cycles_per_op: 1.0,
+        }
+    }
+
+    /// Tesla K20X (Kepler GK110): 14 SMX at 732 MHz, 6 GB at 250 GB/s.
+    /// Same architecture generation as the K40, fewer resources — for
+    /// device-sensitivity studies.
+    pub fn k20x() -> Self {
+        Self {
+            name: "Tesla K20X (simulated)".to_string(),
+            num_sms: 14,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.732,
+            mem_bandwidth_gbps: 250.0,
+            cacheline_bytes: 128,
+            global_mem_bytes: 6 * (1 << 30),
+            max_concurrent_kernels: 32,
+            kernel_launch_ns: 5_000.0,
+            dynpar_launch_ns: 45_000.0,
+            sync_ns: 8_000.0,
+            cycles_per_op: 1.0,
+        }
+    }
+
+    /// Tesla M2090 (Fermi GF110): 16 SMs × 32 cores at 1.3 GHz, 6 GB at
+    /// 177 GB/s. **No Hyper-Q** (one work queue ⇒ one concurrent kernel)
+    /// and no dynamic parallelism in hardware — the model charges child
+    /// launches as full host round-trips (~3× the Kepler device-side
+    /// cost), which is how the paper's algorithm would have to emulate
+    /// them on this generation.
+    pub fn m2090() -> Self {
+        Self {
+            name: "Tesla M2090 (simulated)".to_string(),
+            num_sms: 16,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.3,
+            mem_bandwidth_gbps: 177.0,
+            cacheline_bytes: 128,
+            global_mem_bytes: 6 * (1 << 30),
+            max_concurrent_kernels: 1,
+            kernel_launch_ns: 7_000.0,
+            dynpar_launch_ns: 135_000.0,
+            sync_ns: 10_000.0,
+            cycles_per_op: 1.0,
+        }
+    }
+
+    /// Concurrent warp-issue slots the device offers
+    /// (`num_sms · cores_per_sm / warp_size`; 90 for the K40).
+    pub fn warp_slots(&self) -> usize {
+        self.num_sms * self.cores_per_sm / self.warp_size
+    }
+
+    /// Cycles one memory transaction occupies a warp slot: the cache line
+    /// divided by the per-slot share of DRAM bandwidth. For the K40:
+    /// `288 GB/s / 90 slots / 0.745 GHz ≈ 4.3 B/cycle` → a 128 B
+    /// transaction ≈ 30 cycles.
+    pub fn cycles_per_transaction(&self) -> f64 {
+        let bytes_per_cycle_per_slot =
+            self.mem_bandwidth_gbps / self.warp_slots() as f64 / self.clock_ghz;
+        self.cacheline_bytes as f64 / bytes_per_cycle_per_slot
+    }
+
+    /// Nanoseconds per core cycle.
+    #[inline]
+    pub fn ns_per_cycle(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_headline_numbers() {
+        let k = DeviceSpec::k40();
+        assert_eq!(k.num_sms * k.cores_per_sm, 2880);
+        assert_eq!(k.warp_slots(), 90);
+        assert!((k.ns_per_cycle() - 1.342).abs() < 1e-2);
+    }
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        let k40 = DeviceSpec::k40();
+        let k20x = DeviceSpec::k20x();
+        let m2090 = DeviceSpec::m2090();
+        assert!(k20x.warp_slots() < k40.warp_slots());
+        assert_eq!(m2090.num_sms * m2090.cores_per_sm, 512);
+        assert_eq!(m2090.max_concurrent_kernels, 1);
+        assert!(m2090.dynpar_launch_ns > k40.dynpar_launch_ns);
+        for spec in [k40, k20x, m2090] {
+            assert!(spec.warp_slots() > 0);
+            assert!(spec.cycles_per_transaction() > 0.0);
+        }
+    }
+
+    #[test]
+    fn transaction_cost_is_about_thirty_cycles() {
+        let k = DeviceSpec::k40();
+        let c = k.cycles_per_transaction();
+        assert!((25.0..35.0).contains(&c), "got {c}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Chrome trace-event export.
+//!
+//! Converts a [`SimReport`] into the Trace Event JSON format understood
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! complete event (`"ph":"X"`) per kernel, one track (`tid`) per stream.
+//! The JSON is emitted by hand — the format is flat enough that pulling
+//! in a JSON dependency for it would be overkill.
+
+use crate::metrics::SimReport;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a Trace Event JSON document.
+///
+/// Timestamps are microseconds (the format's unit); each kernel carries
+/// its warp count, transactions, and work cycles as `args`.
+pub fn to_chrome_trace(report: &SimReport) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, k) in report.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"warps\":{},\"transactions\":{},\
+             \"accesses\":{},\"work_cycles\":{:.0}}}}}",
+            escape(&k.name),
+            k.start_ns / 1e3,
+            (k.end_ns - k.start_ns) / 1e3,
+            k.stream,
+            k.warps,
+            k.transactions,
+            k.accesses,
+            k.work_cycles,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"occupancy\":{:.6},\
+         \"total_ns\":{:.3},\"total_transactions\":{}}}}}",
+        report.occupancy, report.total_ns, report.total_transactions
+    );
+    out
+}
+
+/// Writes the trace to a file.
+pub fn write_chrome_trace(
+    report: &SimReport,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_trace(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GpuSim;
+    use crate::kernel::KernelDesc;
+    use crate::spec::DeviceSpec;
+    use crate::warp::WarpDesc;
+
+    fn report() -> SimReport {
+        let mut sim = GpuSim::new(DeviceSpec::k40(), 2);
+        let warp = WarpDesc {
+            active_threads: 32,
+            compute_cycles: 1000,
+            transactions: 3,
+            accesses: 9,
+        };
+        sim.launch(0, KernelDesc::new("alpha \"quoted\"", vec![warp; 10]));
+        sim.launch(1, KernelDesc::new("beta\n", vec![warp; 5]));
+        sim.run()
+    }
+
+    #[test]
+    fn trace_contains_every_kernel_and_valid_structure() {
+        let json = to_chrome_trace(&report());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("alpha \\\"quoted\\\""));
+        assert!(json.contains("beta\\n"));
+        assert!(json.contains("\"tid\":1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\u{1}y"), "x\\u0001y");
+        assert_eq!(escape("tab\there"), "tab\\there");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let empty = SimReport {
+            total_ns: 0.0,
+            kernels: vec![],
+            occupancy: 0.0,
+            total_transactions: 0,
+            total_accesses: 0,
+        };
+        let json = to_chrome_trace(&empty);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn file_write_roundtrip() {
+        let dir = std::env::temp_dir().join("gpu-sim-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&report(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! Warp descriptions and their construction from per-thread work.
+
+use crate::mem::warp_transactions;
+use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// The execution profile of one warp: everything the engine needs to
+/// charge time for it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarpDesc {
+    /// Threads with real work (≤ warp size). Inactive lanes still occupy
+    /// the slot — that is the under-occupancy cost of tiny launches.
+    pub active_threads: usize,
+    /// Lockstep compute cycles: the maximum op count over the warp's
+    /// threads times the device CPI (divergence makes the slowest thread
+    /// gate the warp).
+    pub compute_cycles: u64,
+    /// Global-memory transactions after coalescing analysis.
+    pub transactions: u64,
+    /// Raw access count (for bus-utilisation metrics: transactions ≤
+    /// accesses, equality = fully uncoalesced).
+    pub accesses: u64,
+}
+
+impl WarpDesc {
+    /// Total cycles this warp occupies an issue slot.
+    pub fn cycles(&self, spec: &DeviceSpec) -> f64 {
+        self.compute_cycles as f64 * spec.cycles_per_op
+            + self.transactions as f64 * spec.cycles_per_transaction()
+    }
+}
+
+/// Builds [`WarpDesc`]s from per-thread work, grouping threads into warps
+/// of `spec.warp_size` in launch order (thread id = blockIdx·blockDim +
+/// threadIdx, exactly how Algorithm 5 maps configurations to threads).
+pub struct WarpBuilder<'a> {
+    spec: &'a DeviceSpec,
+    /// (ops, addresses) per pending thread.
+    pending: Vec<(u64, Vec<u64>)>,
+    warps: Vec<WarpDesc>,
+}
+
+impl<'a> WarpBuilder<'a> {
+    /// Creates a builder grouping threads by `spec.warp_size`.
+    pub fn new(spec: &'a DeviceSpec) -> Self {
+        Self {
+            spec,
+            pending: Vec::with_capacity(spec.warp_size),
+            warps: Vec::new(),
+        }
+    }
+
+    /// Adds one thread with `ops` compute operations and its global-memory
+    /// byte addresses in program order.
+    pub fn thread(&mut self, ops: u64, addresses: Vec<u64>) {
+        self.pending.push((ops, addresses));
+        if self.pending.len() == self.spec.warp_size {
+            self.flush_warp();
+        }
+    }
+
+    fn flush_warp(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let active = self.pending.len();
+        let compute = self.pending.iter().map(|(o, _)| *o).max().unwrap_or(0);
+        let accesses: u64 = self.pending.iter().map(|(_, a)| a.len() as u64).sum();
+        let per_thread: Vec<Vec<u64>> =
+            self.pending.drain(..).map(|(_, a)| a).collect();
+        let transactions = warp_transactions(&per_thread, self.spec.cacheline_bytes);
+        self.warps.push(WarpDesc {
+            active_threads: active,
+            compute_cycles: compute,
+            transactions,
+            accesses,
+        });
+    }
+
+    /// Finishes the trailing partial warp and returns all warps.
+    pub fn finish(mut self) -> Vec<WarpDesc> {
+        self.flush_warp();
+        self.warps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_threads_into_warps_of_32() {
+        let spec = DeviceSpec::k40();
+        let mut b = WarpBuilder::new(&spec);
+        for i in 0..70 {
+            b.thread(i as u64, vec![]);
+        }
+        let warps = b.finish();
+        assert_eq!(warps.len(), 3);
+        assert_eq!(warps[0].active_threads, 32);
+        assert_eq!(warps[2].active_threads, 6);
+        // Lockstep: warp compute = max thread ops.
+        assert_eq!(warps[0].compute_cycles, 31);
+        assert_eq!(warps[1].compute_cycles, 63);
+        assert_eq!(warps[2].compute_cycles, 69);
+    }
+
+    #[test]
+    fn imbalance_gates_the_warp() {
+        let spec = DeviceSpec::k40();
+        let mut b = WarpBuilder::new(&spec);
+        b.thread(1000, vec![]);
+        for _ in 0..31 {
+            b.thread(1, vec![]);
+        }
+        let warps = b.finish();
+        assert_eq!(warps.len(), 1);
+        assert_eq!(warps[0].compute_cycles, 1000);
+    }
+
+    #[test]
+    fn coalesced_vs_strided_transactions() {
+        let spec = DeviceSpec::k40();
+        // Coalesced: thread i reads word i.
+        let mut b = WarpBuilder::new(&spec);
+        for i in 0..32u64 {
+            b.thread(1, vec![i * 4]);
+        }
+        let coalesced = b.finish()[0];
+        // Strided: thread i reads word i·1024.
+        let mut b = WarpBuilder::new(&spec);
+        for i in 0..32u64 {
+            b.thread(1, vec![i * 4096]);
+        }
+        let strided = b.finish()[0];
+        assert_eq!(coalesced.transactions, 1);
+        assert_eq!(strided.transactions, 32);
+        assert!(strided.cycles(&spec) > 10.0 * coalesced.cycles(&spec));
+    }
+
+    #[test]
+    fn empty_builder_yields_no_warps() {
+        let spec = DeviceSpec::k40();
+        assert!(WarpBuilder::new(&spec).finish().is_empty());
+    }
+
+    #[test]
+    fn cycles_combine_compute_and_memory() {
+        let spec = DeviceSpec::k40();
+        let w = WarpDesc {
+            active_threads: 32,
+            compute_cycles: 100,
+            transactions: 2,
+            accesses: 64,
+        };
+        let expect = 100.0 * spec.cycles_per_op + 2.0 * spec.cycles_per_transaction();
+        assert!((w.cycles(&spec) - expect).abs() < 1e-9);
+    }
+}

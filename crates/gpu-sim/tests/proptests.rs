@@ -1,0 +1,129 @@
+//! Property tests of the discrete-event engine: conservation,
+//! determinism, and scheduling sanity under random kernel mixes.
+
+use gpu_sim::{DeviceSpec, GpuSim, KernelDesc, WarpDesc};
+use proptest::prelude::*;
+
+fn warp(cycles: u64, tx: u64) -> WarpDesc {
+    WarpDesc {
+        active_threads: 32,
+        compute_cycles: cycles,
+        transactions: tx,
+        accesses: tx,
+    }
+}
+
+/// Random kernel: 1–60 warps of modest work, occasional children/syncs.
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        1usize..=60,
+        1u64..=5_000,
+        0u64..=4,
+        0u64..=20,
+        0u64..=2,
+    )
+        .prop_map(|(warps, cycles, tx, children, syncs)| {
+            KernelDesc::new("k", vec![warp(cycles, tx); warps])
+                .with_child_launches(children)
+                .with_sync_points(syncs)
+        })
+}
+
+/// A random workload over up to 4 streams.
+fn arb_workload() -> impl Strategy<Value = Vec<(usize, KernelDesc)>> {
+    prop::collection::vec((0usize..4, arb_kernel()), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_kernel_completes_exactly_once(work in arb_workload()) {
+        let mut sim = GpuSim::new(DeviceSpec::k40(), 4);
+        for (s, k) in &work {
+            sim.launch(*s, k.clone());
+        }
+        let report = sim.run();
+        prop_assert_eq!(report.kernels.len(), work.len());
+        // Transactions/accesses are conserved.
+        let tx: u64 = work.iter().map(|(_, k)| k.transactions()).sum();
+        prop_assert_eq!(report.total_transactions, tx);
+    }
+
+    #[test]
+    fn total_time_bounded_by_serial_sum(work in arb_workload()) {
+        // Concurrency can only help: completion ≤ Σ (overhead + solo time)
+        // and ≥ the longest single kernel's solo time.
+        let spec = DeviceSpec::k40();
+        let mut sim = GpuSim::new(spec.clone(), 4);
+        let mut serial_sum = 0.0;
+        let mut longest = 0.0f64;
+        for (s, k) in &work {
+            let slots = spec.warp_slots() as f64;
+            let solo = (k.total_cycles(&spec) / slots)
+                .max(k.critical_cycles(&spec))
+                * spec.ns_per_cycle()
+                + spec.kernel_launch_ns
+                + k.overhead_ns(&spec);
+            serial_sum += solo;
+            longest = longest.max(solo);
+            sim.launch(*s, k.clone());
+        }
+        let total = sim.run().total_ns;
+        prop_assert!(total <= serial_sum + 1.0, "{total} > serial {serial_sum}");
+        prop_assert!(total + 1.0 >= longest, "{total} < longest {longest}");
+    }
+
+    #[test]
+    fn deterministic_replay(work in arb_workload()) {
+        let run = || {
+            let mut sim = GpuSim::new(DeviceSpec::k40(), 4);
+            for (s, k) in &work {
+                sim.launch(*s, k.clone());
+            }
+            sim.run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.total_ns, b.total_ns);
+        prop_assert_eq!(a.occupancy, b.occupancy);
+    }
+
+    #[test]
+    fn per_stream_fifo_order(work in arb_workload()) {
+        let mut sim = GpuSim::new(DeviceSpec::k40(), 4);
+        for (i, (s, k)) in work.iter().enumerate() {
+            let mut k = k.clone();
+            k.name = format!("{s}-{i}");
+            sim.launch(*s, k);
+        }
+        let report = sim.run();
+        for stream in 0..4 {
+            let ends: Vec<f64> = work
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, _))| *s == stream)
+                .map(|(i, (s, _))| {
+                    report
+                        .kernels
+                        .iter()
+                        .find(|k| k.name == format!("{s}-{i}"))
+                        .expect("kernel recorded")
+                        .end_ns
+                })
+                .collect();
+            // Launch order within a stream implies completion order.
+            prop_assert!(ends.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        }
+    }
+
+    #[test]
+    fn occupancy_is_a_fraction(work in arb_workload()) {
+        let mut sim = GpuSim::new(DeviceSpec::k40(), 4);
+        for (s, k) in &work {
+            sim.launch(*s, k.clone());
+        }
+        let r = sim.run();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.occupancy));
+    }
+}

@@ -1,0 +1,81 @@
+//! Brute-force oracle: enumerate all `2ⁿ` selections.
+
+use crate::problem::KnapsackProblem;
+
+/// Optimal `(profit, selection)` by exhaustive enumeration (`n ≤ 20`).
+pub fn brute_force(problem: &KnapsackProblem) -> (u64, Vec<usize>) {
+    let n = problem.num_items();
+    assert!(n <= 20, "brute force is exponential; n = {n} too large");
+    let d = problem.ndim();
+    let mut best = (0u64, Vec::new());
+    for mask in 0u32..(1 << n) {
+        let mut used = vec![0usize; d];
+        let mut profit = 0u64;
+        for j in 0..n {
+            if mask & (1 << j) == 0 {
+                continue;
+            }
+            let item = &problem.items()[j];
+            profit += item.profit;
+            for (u, &w) in used.iter_mut().zip(&item.weights) {
+                *u += w;
+            }
+        }
+        let feasible = used
+            .iter()
+            .zip(problem.capacities())
+            .all(|(&u, &c)| u <= c);
+        if feasible && profit > best.0 {
+            let selection = (0..n).filter(|&j| mask & (1 << j) != 0).collect();
+            best = (profit, selection);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Item, KnapsackProblem};
+
+    #[test]
+    fn known_small_case() {
+        // Classic 1-D: capacities 10; items (60,5), (50,4), (70,6), (30,3).
+        let p = KnapsackProblem::new(
+            vec![10],
+            vec![
+                Item { profit: 60, weights: vec![5] },
+                Item { profit: 50, weights: vec![4] },
+                Item { profit: 70, weights: vec![6] },
+                Item { profit: 30, weights: vec![3] },
+            ],
+        );
+        let (profit, sel) = brute_force(&p);
+        assert_eq!(profit, 120); // items 1 + 2 (weight 10)
+        assert_eq!(p.evaluate(&sel), Some(120));
+    }
+
+    #[test]
+    fn empty_selection_when_nothing_fits() {
+        let p = KnapsackProblem::new(
+            vec![1, 1],
+            vec![Item { profit: 9, weights: vec![2, 0] }],
+        );
+        assert_eq!(brute_force(&p), (0, vec![]));
+    }
+
+    #[test]
+    fn selection_is_always_feasible() {
+        let p = KnapsackProblem::new(
+            vec![7, 9, 4],
+            vec![
+                Item { profit: 3, weights: vec![2, 4, 1] },
+                Item { profit: 8, weights: vec![5, 2, 3] },
+                Item { profit: 2, weights: vec![1, 1, 1] },
+                Item { profit: 7, weights: vec![3, 6, 2] },
+            ],
+        );
+        let (profit, sel) = brute_force(&p);
+        assert_eq!(p.evaluate(&sel), Some(profit));
+    }
+}

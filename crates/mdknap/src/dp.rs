@@ -1,0 +1,313 @@
+//! The knapsack DP engines.
+//!
+//! All engines fill the same capacity-box table layer by layer (one
+//! layer per item) and must agree cell-for-cell:
+//!
+//! * [`KnapEngine::InPlace`] — the classic trick: sweep cells in
+//!   *reverse* row-major order so `DPⱼ₋₁(c − wⱼ)` is read before it is
+//!   overwritten; one buffer, no copies;
+//! * [`KnapEngine::Layered`] — rayon over cells with a double buffer
+//!   (every cell of a layer is independent given the previous layer);
+//! * [`KnapEngine::Blocked`] — the paper's data-partitioning scheme:
+//!   the table lives in block-major order ([`BlockedLayout`]) and each
+//!   layer sweeps blocks in reverse block-row-major order, cells within
+//!   a block in reverse in-block order. That order is in-place-safe for
+//!   the same reason the global reverse sweep is: a dependency's block
+//!   is componentwise ≤ the cell's block, so it is visited later.
+
+use crate::problem::KnapsackProblem;
+use ndtable::partition::DivisorRule;
+use ndtable::{BlockedLayout, Divisor, Shape};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which engine fills the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnapEngine {
+    /// Reverse row-major in-place sweep.
+    InPlace,
+    /// Rayon per-layer double buffer.
+    Layered,
+    /// Block-partitioned in-place sweep (dimension limit as in Alg. 4).
+    Blocked {
+        /// Maximum number of dimensions the divisor may split.
+        dim_limit: usize,
+    },
+}
+
+/// The filled table plus the optimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnapSolution {
+    /// Final-layer values in row-major order.
+    pub values: Vec<u64>,
+    /// Optimal profit (value at the full-capacity corner).
+    pub best: u64,
+}
+
+/// Solves `problem` with the chosen engine.
+pub fn solve(problem: &KnapsackProblem, engine: KnapEngine) -> KnapSolution {
+    match engine {
+        KnapEngine::InPlace => solve_in_place(problem),
+        KnapEngine::Layered => solve_layered(problem),
+        KnapEngine::Blocked { dim_limit } => solve_blocked(problem, dim_limit),
+    }
+}
+
+/// Flat offset of a weight vector, or `None` if it exceeds the box.
+fn weight_offset(shape: &Shape, weights: &[usize]) -> Option<usize> {
+    if !shape.contains(weights) {
+        return None; // cannot fit in any cell
+    }
+    Some(shape.flatten(weights))
+}
+
+fn solve_in_place(problem: &KnapsackProblem) -> KnapSolution {
+    let shape = problem.table_shape();
+    let sigma = shape.size();
+    let mut values = vec![0u64; sigma];
+    let mut idx = vec![0usize; shape.ndim()];
+    for item in problem.items() {
+        let Some(delta) = weight_offset(&shape, &item.weights) else {
+            continue;
+        };
+        // Reverse sweep; a cell takes the item iff c ≥ w componentwise.
+        for flat in (0..sigma).rev() {
+            shape.unflatten_into(flat, &mut idx);
+            if idx.iter().zip(&item.weights).all(|(&c, &w)| c >= w) {
+                let cand = values[flat - delta] + item.profit;
+                if cand > values[flat] {
+                    values[flat] = cand;
+                }
+            }
+        }
+    }
+    finish(values)
+}
+
+fn solve_layered(problem: &KnapsackProblem) -> KnapSolution {
+    let shape = problem.table_shape();
+    let sigma = shape.size();
+    let mut prev = vec![0u64; sigma];
+    let mut next = vec![0u64; sigma];
+    for item in problem.items() {
+        let Some(delta) = weight_offset(&shape, &item.weights) else {
+            continue;
+        };
+        next.par_iter_mut()
+            .enumerate()
+            .for_each_init(
+                || vec![0usize; shape.ndim()],
+                |idx, (flat, out)| {
+                    shape.unflatten_into(flat, idx);
+                    let take = if idx
+                        .iter()
+                        .zip(&item.weights)
+                        .all(|(&c, &w)| c >= w) { prev[flat - delta] + item.profit } else { 0 };
+                    *out = take.max(prev[flat]);
+                },
+            );
+        std::mem::swap(&mut prev, &mut next);
+    }
+    finish(prev)
+}
+
+fn solve_blocked(problem: &KnapsackProblem, dim_limit: usize) -> KnapSolution {
+    let shape = problem.table_shape();
+    let divisor = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+    let layout = BlockedLayout::new(shape.clone(), divisor);
+    let mut vals = vec![0u64; shape.size()];
+    let ndim = shape.ndim();
+    let mut base = vec![0usize; ndim];
+    let mut inb = vec![0usize; ndim];
+    let mut cell = vec![0usize; ndim];
+    let mut dep = vec![0usize; ndim];
+    for item in problem.items() {
+        if weight_offset(&shape, &item.weights).is_none() {
+            continue;
+        }
+        // Reverse block-row-major, reverse in-block: in-place safe.
+        for bf in (0..layout.num_blocks()).rev() {
+            layout.block_base(bf, &mut base);
+            for in_flat in (0..layout.cells_per_block()).rev() {
+                layout.block_shape().unflatten_into(in_flat, &mut inb);
+                let mut fits = true;
+                for d in 0..ndim {
+                    cell[d] = base[d] + inb[d];
+                    if cell[d] < item.weights[d] {
+                        fits = false;
+                    }
+                }
+                if !fits {
+                    continue;
+                }
+                for d in 0..ndim {
+                    dep[d] = cell[d] - item.weights[d];
+                }
+                let own = layout.blocked_offset(&cell);
+                let dep_off = layout.blocked_offset(&dep);
+                let cand = vals[dep_off] + item.profit;
+                if cand > vals[own] {
+                    vals[own] = cand;
+                }
+            }
+        }
+    }
+    finish(layout.scatter_back(&vals))
+}
+
+fn finish(values: Vec<u64>) -> KnapSolution {
+    let best = *values.last().expect("non-empty table");
+    KnapSolution { values, best }
+}
+
+/// Solves and reconstructs one optimal selection (item indices).
+/// Stores a selection bitmask per cell, so it requires `n ≤ 64`.
+pub fn solve_with_selection(problem: &KnapsackProblem) -> (KnapSolution, Vec<usize>) {
+    let n = problem.num_items();
+    assert!(n <= 64, "selection reconstruction needs n ≤ 64");
+    let shape = problem.table_shape();
+    let sigma = shape.size();
+    let mut values = vec![0u64; sigma];
+    let mut masks = vec![0u64; sigma];
+    let mut idx = vec![0usize; shape.ndim()];
+    for (j, item) in problem.items().iter().enumerate() {
+        let Some(delta) = weight_offset(&shape, &item.weights) else {
+            continue;
+        };
+        for flat in (0..sigma).rev() {
+            shape.unflatten_into(flat, &mut idx);
+            if idx.iter().zip(&item.weights).all(|(&c, &w)| c >= w) {
+                let cand = values[flat - delta] + item.profit;
+                if cand > values[flat] {
+                    values[flat] = cand;
+                    masks[flat] = masks[flat - delta] | (1 << j);
+                }
+            }
+        }
+    }
+    let best_mask = masks[sigma - 1];
+    let selection: Vec<usize> = (0..n).filter(|&j| best_mask & (1 << j) != 0).collect();
+    (finish(values), selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::problem::Item;
+
+    fn sample() -> KnapsackProblem {
+        KnapsackProblem::new(
+            vec![10, 8],
+            vec![
+                Item { profit: 6, weights: vec![4, 2] },
+                Item { profit: 5, weights: vec![3, 5] },
+                Item { profit: 9, weights: vec![7, 3] },
+                Item { profit: 4, weights: vec![2, 2] },
+            ],
+        )
+    }
+
+    fn engines() -> Vec<KnapEngine> {
+        vec![
+            KnapEngine::InPlace,
+            KnapEngine::Layered,
+            KnapEngine::Blocked { dim_limit: 2 },
+            KnapEngine::Blocked { dim_limit: 9 },
+        ]
+    }
+
+    #[test]
+    fn engines_agree_and_match_brute_force() {
+        let p = sample();
+        let expect = brute_force(&p).0;
+        for engine in engines() {
+            let sol = solve(&p, engine);
+            assert_eq!(sol.best, expect, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_cell_for_cell() {
+        let p = sample();
+        let reference = solve(&p, KnapEngine::InPlace);
+        for engine in engines() {
+            assert_eq!(solve(&p, engine).values, reference.values, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_dimension_blocks_heavy_items() {
+        let p = KnapsackProblem::new(
+            vec![5, 0],
+            vec![
+                Item { profit: 10, weights: vec![1, 1] }, // needs dim-1 capacity
+                Item { profit: 3, weights: vec![2, 0] },
+            ],
+        );
+        for engine in engines() {
+            assert_eq!(solve(&p, engine).best, 3, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn item_heavier_than_box_is_ignored() {
+        let p = KnapsackProblem::new(
+            vec![4],
+            vec![
+                Item { profit: 100, weights: vec![9] },
+                Item { profit: 1, weights: vec![4] },
+            ],
+        );
+        assert_eq!(solve(&p, KnapEngine::InPlace).best, 1);
+    }
+
+    #[test]
+    fn zero_one_property_item_taken_at_most_once() {
+        // One item worth taking repeatedly if the DP were unbounded:
+        // profit 5 at weight 2 under capacity 10 → 0/1 answer is 5, not 25.
+        let p = KnapsackProblem::new(vec![10], vec![Item { profit: 5, weights: vec![2] }]);
+        for engine in engines() {
+            assert_eq!(solve(&p, engine).best, 5, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn selection_reconstruction_is_feasible_and_optimal() {
+        let p = sample();
+        let (sol, selection) = solve_with_selection(&p);
+        let profit = p.evaluate(&selection).expect("selection must fit");
+        assert_eq!(profit, sol.best);
+        assert_eq!(sol.best, brute_force(&p).0);
+    }
+
+    #[test]
+    fn monotone_in_items() {
+        let mut items = sample().items().to_vec();
+        let base = solve(&sample(), KnapEngine::InPlace).best;
+        items.push(Item { profit: 2, weights: vec![1, 1] });
+        let more = solve(
+            &KnapsackProblem::new(vec![10, 8], items),
+            KnapEngine::InPlace,
+        )
+        .best;
+        assert!(more >= base);
+    }
+
+    #[test]
+    fn three_dimensional_case() {
+        let p = KnapsackProblem::new(
+            vec![6, 6, 6],
+            vec![
+                Item { profit: 7, weights: vec![3, 2, 1] },
+                Item { profit: 8, weights: vec![2, 3, 4] },
+                Item { profit: 5, weights: vec![4, 4, 4] },
+                Item { profit: 6, weights: vec![1, 1, 2] },
+            ],
+        );
+        let expect = brute_force(&p).0;
+        for engine in engines() {
+            assert_eq!(solve(&p, engine).best, expect, "{engine:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic random knapsack generators.
+
+use crate::problem::{Item, KnapsackProblem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uncorrelated instance: profits and weights independently uniform.
+/// Capacities are set to roughly half the total weight per dimension,
+/// the standard "hard middle" regime.
+pub fn uncorrelated(seed: u64, n: usize, d: usize, max_weight: usize) -> KnapsackProblem {
+    assert!(n > 0 && d > 0 && max_weight > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items: Vec<Item> = (0..n)
+        .map(|_| Item {
+            profit: rng.gen_range(1..=100),
+            weights: (0..d).map(|_| rng.gen_range(0..=max_weight)).collect(),
+        })
+        .collect();
+    let capacities = (0..d)
+        .map(|dim| {
+            let total: usize = items.iter().map(|it| it.weights[dim]).sum();
+            (total / 2).max(1)
+        })
+        .collect();
+    KnapsackProblem::new(capacities, items)
+}
+
+/// Profit-correlated instance: profit ≈ sum of weights + noise, the
+/// classically harder family (greedy-by-density is near-useless).
+pub fn correlated(seed: u64, n: usize, d: usize, max_weight: usize) -> KnapsackProblem {
+    assert!(n > 0 && d > 0 && max_weight > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let items: Vec<Item> = (0..n)
+        .map(|_| {
+            let weights: Vec<usize> = (0..d).map(|_| rng.gen_range(0..=max_weight)).collect();
+            let base: usize = weights.iter().sum();
+            Item {
+                profit: base as u64 + rng.gen_range(1..=10),
+                weights,
+            }
+        })
+        .collect();
+    let capacities = (0..d)
+        .map(|dim| {
+            let total: usize = items.iter().map(|it| it.weights[dim]).sum();
+            (total / 2).max(1)
+        })
+        .collect();
+    KnapsackProblem::new(capacities, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uncorrelated(3, 10, 2, 8), uncorrelated(3, 10, 2, 8));
+        assert_ne!(uncorrelated(3, 10, 2, 8), uncorrelated(4, 10, 2, 8));
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let p = uncorrelated(1, 12, 3, 6);
+        assert_eq!(p.num_items(), 12);
+        assert_eq!(p.ndim(), 3);
+        for item in p.items() {
+            assert!(item.weights.iter().all(|&w| w <= 6));
+            assert!((1..=100).contains(&item.profit));
+        }
+    }
+
+    #[test]
+    fn correlated_profits_track_weights() {
+        let p = correlated(2, 20, 2, 10);
+        for item in p.items() {
+            let wsum: usize = item.weights.iter().sum();
+            assert!(item.profit > wsum as u64);
+            assert!(item.profit <= wsum as u64 + 10);
+        }
+    }
+}

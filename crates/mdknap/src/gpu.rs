@@ -1,0 +1,194 @@
+//! Simulated-GPU execution of the knapsack layers: the data-partitioning
+//! scheme applied to a second higher-dimensional DP, as the paper's
+//! future work proposes.
+//!
+//! Structure per item: one kernel per block (blocks are independent
+//! within a layer — each cell depends only on the *previous* layer), one
+//! thread per cell, one global read at `c − wⱼ`. The contrast with the
+//! scheduling DP is instructive and honest: the knapsack dependency is a
+//! *constant stride*, so row-major access is already coalesced and the
+//! partitioning buys little bandwidth; what it buys is a block-resident
+//! working set (the memory-capacity motivation of Berger–Galea and of
+//! the paper's §V).
+
+use crate::problem::KnapsackProblem;
+use gpu_sim::{DeviceSpec, GpuSim, KernelDesc, SimReport, WarpBuilder};
+use ndtable::partition::DivisorRule;
+use ndtable::{BlockedLayout, Divisor};
+
+/// Layout choice for the simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnapLayout {
+    /// Flat row-major table, one kernel per item layer.
+    RowMajor,
+    /// Block-partitioned table (divisor limited to `dim_limit` dims),
+    /// one kernel per (item, block), blocks cycled over 4 streams.
+    Blocked {
+        /// Maximum number of dimensions the divisor may split.
+        dim_limit: usize,
+    },
+}
+
+/// Result of a simulated knapsack run.
+pub struct KnapGpuRun {
+    /// The simulation timeline and aggregates.
+    pub report: SimReport,
+    /// Kernels launched across all item layers.
+    pub kernels: usize,
+    /// Peak bytes resident if only the blocks referenced by the running
+    /// layer are kept on device (full table bytes for `RowMajor`).
+    pub peak_resident_bytes: u64,
+    /// Bytes of the full table (8-byte profit cells, two layers for the
+    /// double-buffered layered execution).
+    pub full_table_bytes: u64,
+}
+
+/// Simulates all item layers of `problem` on `spec`.
+pub fn simulate_knapsack(
+    problem: &KnapsackProblem,
+    spec: &DeviceSpec,
+    layout: KnapLayout,
+) -> KnapGpuRun {
+    let shape = problem.table_shape();
+    let sigma = shape.size();
+    let ndim = shape.ndim() as u64;
+    let cell_bytes = 8u64;
+    let full_table_bytes = 2 * sigma as u64 * cell_bytes;
+
+    match layout {
+        KnapLayout::RowMajor => {
+            let mut sim = GpuSim::new(spec.clone(), 1);
+            let mut kernels = 0usize;
+            let mut idx = vec![0usize; shape.ndim()];
+            for (j, item) in problem.items().iter().enumerate() {
+                if !shape.contains(&item.weights) {
+                    continue;
+                }
+                let delta = shape.flatten(&item.weights);
+                let mut b = WarpBuilder::new(spec);
+                for flat in 0..sigma {
+                    shape.unflatten_into(flat, &mut idx);
+                    let fits = idx.iter().zip(&item.weights).all(|(&c, &w)| c >= w);
+                    if fits {
+                        b.thread(2 * ndim, vec![(flat - delta) as u64 * cell_bytes]);
+                    } else {
+                        b.thread(ndim, vec![]);
+                    }
+                }
+                sim.launch(0, KernelDesc::new(format!("knap[item {j}]"), b.finish()));
+                kernels += 1;
+            }
+            KnapGpuRun {
+                report: sim.run(),
+                kernels,
+                peak_resident_bytes: full_table_bytes,
+                full_table_bytes,
+            }
+        }
+        KnapLayout::Blocked { dim_limit } => {
+            let divisor = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+            let blocked = BlockedLayout::new(shape.clone(), divisor);
+            let mut sim = GpuSim::new(spec.clone(), 4);
+            let mut kernels = 0usize;
+            let mut peak_blocks = 0usize;
+            let mut base = vec![0usize; shape.ndim()];
+            let mut inb = vec![0usize; shape.ndim()];
+            let mut cell = vec![0usize; shape.ndim()];
+            let mut dep = vec![0usize; shape.ndim()];
+            for (j, item) in problem.items().iter().enumerate() {
+                if !shape.contains(&item.weights) {
+                    continue;
+                }
+                for bf in 0..blocked.num_blocks() {
+                    blocked.block_base(bf, &mut base);
+                    let mut b = WarpBuilder::new(spec);
+                    // Blocks this kernel touches: its own plus each
+                    // distinct dependency block.
+                    let mut touched: Vec<usize> = vec![bf];
+                    for in_flat in 0..blocked.cells_per_block() {
+                        blocked.block_shape().unflatten_into(in_flat, &mut inb);
+                        let mut fits = true;
+                        for d in 0..cell.len() {
+                            cell[d] = base[d] + inb[d];
+                            if cell[d] < item.weights[d] {
+                                fits = false;
+                            }
+                        }
+                        if fits {
+                            for d in 0..cell.len() {
+                                dep[d] = cell[d] - item.weights[d];
+                            }
+                            let off = blocked.blocked_offset(&dep);
+                            let dep_block = off / blocked.cells_per_block();
+                            if !touched.contains(&dep_block) {
+                                touched.push(dep_block);
+                            }
+                            b.thread(2 * ndim, vec![off as u64 * cell_bytes]);
+                        } else {
+                            b.thread(ndim, vec![]);
+                        }
+                    }
+                    peak_blocks = peak_blocks.max(touched.len());
+                    sim.launch(
+                        kernels % 4,
+                        KernelDesc::new(format!("knap[item {j} blk {bf}]"), b.finish()),
+                    );
+                    kernels += 1;
+                }
+            }
+            // Resident set: current block (both layers) + its dependency
+            // blocks (previous layer only).
+            let block_bytes = blocked.cells_per_block() as u64 * cell_bytes;
+            let peak_resident_bytes = (peak_blocks as u64 + 1) * block_bytes;
+            KnapGpuRun {
+                report: sim.run(),
+                kernels,
+                peak_resident_bytes,
+                full_table_bytes,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uncorrelated;
+
+    #[test]
+    fn row_major_is_well_coalesced() {
+        let p = uncorrelated(5, 8, 3, 5);
+        let run = simulate_knapsack(&p, &DeviceSpec::k40(), KnapLayout::RowMajor);
+        // Constant-stride dependency ⇒ far better than the fully
+        // strided floor of 1/32 ≈ 0.031. (8-byte cells cap a full warp
+        // at 0.5; inactive lanes lower it further.)
+        assert!(
+            run.report.bus_utilisation() > 0.15,
+            "utilisation {}",
+            run.report.bus_utilisation()
+        );
+        assert_eq!(run.kernels, 8);
+    }
+
+    #[test]
+    fn blocked_reduces_resident_memory() {
+        let p = uncorrelated(6, 10, 3, 6);
+        let flat = simulate_knapsack(&p, &DeviceSpec::k40(), KnapLayout::RowMajor);
+        let blocked =
+            simulate_knapsack(&p, &DeviceSpec::k40(), KnapLayout::Blocked { dim_limit: 3 });
+        assert!(
+            blocked.peak_resident_bytes < flat.peak_resident_bytes,
+            "blocked {} vs flat {}",
+            blocked.peak_resident_bytes,
+            flat.peak_resident_bytes
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = uncorrelated(7, 6, 2, 5);
+        let a = simulate_knapsack(&p, &DeviceSpec::k40(), KnapLayout::Blocked { dim_limit: 2 });
+        let b = simulate_knapsack(&p, &DeviceSpec::k40(), KnapLayout::Blocked { dim_limit: 2 });
+        assert_eq!(a.report.total_ns, b.report.total_ns);
+    }
+}

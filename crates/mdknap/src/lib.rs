@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Multi-dimensional 0/1 knapsack on the higher-dimensional DP substrate.
+//!
+//! The paper's future work (§V): *"we plan to apply the proposed
+//! data-partitioning scheme to other higher-dimensional dynamic
+//! programming problems, like higher-dimensional knapsack problems"*.
+//! This crate does exactly that. The problem (Berger–Galea's target):
+//! `n` items with profit `pⱼ` and a `d`-dimensional weight vector `wⱼ`,
+//! a capacity vector `C`; maximise total profit subject to componentwise
+//! capacity.
+//!
+//! The DP fills a table over the capacity box (`Π (Cᵢ+1)` cells), one
+//! layer per item:
+//!
+//! ```text
+//! DPⱼ(c) = max( DPⱼ₋₁(c), DPⱼ₋₁(c − wⱼ) + pⱼ )      (c ≥ wⱼ)
+//! ```
+//!
+//! Three engines ([`dp`]): in-place reverse sweep, rayon double-buffer,
+//! and a block-partitioned sweep on [`ndtable::BlockedLayout`] — the
+//! same layout machinery the scheduling DP uses, demonstrating the
+//! partitioning scheme generalises. [`gpu`] runs the per-item layers on
+//! the simulator and exposes the interesting contrast with the
+//! scheduling DP: the knapsack's single constant-offset dependency is
+//! already perfectly coalesced in row-major order, so here partitioning
+//! buys memory *capacity* (block-resident working sets), not bandwidth —
+//! matching Berger–Galea's motivation.
+
+pub mod brute;
+pub mod dp;
+pub mod gen;
+pub mod gpu;
+pub mod heuristics;
+pub mod problem;
+
+pub use dp::{KnapEngine, KnapSolution};
+pub use problem::{Item, KnapsackProblem};

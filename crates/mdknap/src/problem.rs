@@ -1,0 +1,144 @@
+//! Problem representation.
+
+use ndtable::Shape;
+use serde::{Deserialize, Serialize};
+
+/// One item: a profit and a weight per resource dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Item {
+    /// Profit gained when the item is taken.
+    pub profit: u64,
+    /// Resource consumption per dimension.
+    pub weights: Vec<usize>,
+}
+
+/// A multi-dimensional 0/1 knapsack instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnapsackProblem {
+    capacities: Vec<usize>,
+    items: Vec<Item>,
+}
+
+impl KnapsackProblem {
+    /// Builds a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no dimensions, or an item's weight arity does
+    /// not match the capacity arity. Items that cannot fit even alone
+    /// are allowed (they are simply never taken).
+    pub fn new(capacities: Vec<usize>, items: Vec<Item>) -> Self {
+        assert!(!capacities.is_empty(), "need at least one dimension");
+        for (j, item) in items.iter().enumerate() {
+            assert_eq!(
+                item.weights.len(),
+                capacities.len(),
+                "item {j} has {} weights for {} dimensions",
+                item.weights.len(),
+                capacities.len()
+            );
+        }
+        Self { capacities, items }
+    }
+
+    #[inline]
+    /// Capacity per resource dimension.
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    #[inline]
+    /// The items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    #[inline]
+    /// Number of items, `n`.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of resource dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// The DP-table shape (extent `Cᵢ + 1` per dimension).
+    pub fn table_shape(&self) -> Shape {
+        Shape::for_counts(&self.capacities)
+    }
+
+    /// Table size `σ`.
+    pub fn table_size(&self) -> usize {
+        self.table_shape().size()
+    }
+
+    /// Whether a selection (item-index set) fits the capacities; returns
+    /// its profit when it does.
+    pub fn evaluate(&self, selection: &[usize]) -> Option<u64> {
+        let mut used = vec![0usize; self.ndim()];
+        let mut profit = 0u64;
+        let mut seen = vec![false; self.num_items()];
+        for &j in selection {
+            assert!(!seen[j], "item {j} selected twice");
+            seen[j] = true;
+            for (u, &w) in used.iter_mut().zip(&self.items[j].weights) {
+                *u += w;
+            }
+            profit += self.items[j].profit;
+        }
+        used.iter()
+            .zip(&self.capacities)
+            .all(|(&u, &c)| u <= c)
+            .then_some(profit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnapsackProblem {
+        KnapsackProblem::new(
+            vec![10, 8],
+            vec![
+                Item { profit: 6, weights: vec![4, 2] },
+                Item { profit: 5, weights: vec![3, 5] },
+                Item { profit: 9, weights: vec![7, 3] },
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_size() {
+        let p = sample();
+        assert_eq!(p.table_shape().extents(), &[11, 9]);
+        assert_eq!(p.table_size(), 99);
+        assert_eq!(p.ndim(), 2);
+    }
+
+    #[test]
+    fn evaluate_checks_capacity() {
+        let p = sample();
+        assert_eq!(p.evaluate(&[0, 2]), None); // 4+7 > 10
+        assert_eq!(p.evaluate(&[0, 1]), Some(11)); // (7,7) fits
+        assert_eq!(p.evaluate(&[]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "selected twice")]
+    fn evaluate_rejects_duplicates() {
+        sample().evaluate(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn arity_mismatch_rejected() {
+        KnapsackProblem::new(
+            vec![5, 5],
+            vec![Item { profit: 1, weights: vec![1] }],
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: engine agreement, brute-force equality, and structural
+//! invariants of the knapsack DP.
+
+use mdknap::brute::brute_force;
+use mdknap::dp::{solve, solve_with_selection, KnapEngine};
+use mdknap::problem::{Item, KnapsackProblem};
+use proptest::prelude::*;
+
+/// Small instances: ≤ 8 items, ≤ 3 dimensions, weights ≤ 6, capacity
+/// box ≤ ~1500 cells.
+fn small_problem() -> impl Strategy<Value = KnapsackProblem> {
+    (1usize..=3, 1usize..=8).prop_flat_map(|(d, n)| {
+        let caps = prop::collection::vec(1usize..=10, d);
+        let items = prop::collection::vec(
+            (1u64..=50, prop::collection::vec(0usize..=6, d))
+                .prop_map(|(profit, weights)| Item { profit, weights }),
+            n,
+        );
+        (caps, items).prop_map(|(c, i)| KnapsackProblem::new(c, i))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_with_brute_force(p in small_problem(), dim_limit in 1usize..=6) {
+        let expect = brute_force(&p).0;
+        for engine in [
+            KnapEngine::InPlace,
+            KnapEngine::Layered,
+            KnapEngine::Blocked { dim_limit },
+        ] {
+            prop_assert_eq!(solve(&p, engine).best, expect, "{:?}", engine);
+        }
+    }
+
+    #[test]
+    fn engines_agree_cell_for_cell(p in small_problem(), dim_limit in 1usize..=6) {
+        let reference = solve(&p, KnapEngine::InPlace);
+        prop_assert_eq!(&solve(&p, KnapEngine::Layered).values, &reference.values);
+        prop_assert_eq!(&solve(&p, KnapEngine::Blocked { dim_limit }).values, &reference.values);
+    }
+
+    #[test]
+    fn table_is_monotone_in_capacity(p in small_problem()) {
+        // More capacity never hurts: the table is monotone along every
+        // axis (cell c dominates cell c' ≤ c).
+        let sol = solve(&p, KnapEngine::InPlace);
+        let shape = p.table_shape();
+        for flat in 0..shape.size() {
+            let idx = shape.unflatten(flat);
+            for d in 0..idx.len() {
+                if idx[d] > 0 {
+                    let mut less = idx.clone();
+                    less[d] -= 1;
+                    let less_flat = shape.flatten(&less);
+                    prop_assert!(sol.values[less_flat] <= sol.values[flat]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_feasible_and_achieves_best(p in small_problem()) {
+        let (sol, selection) = solve_with_selection(&p);
+        let profit = p.evaluate(&selection);
+        prop_assert_eq!(profit, Some(sol.best));
+    }
+
+    #[test]
+    fn origin_cell_is_free_items_only(p in small_problem()) {
+        // Capacity 0 in every dimension: only weight-zero items count.
+        let sol = solve(&p, KnapEngine::InPlace);
+        let free_profit: u64 = p
+            .items()
+            .iter()
+            .filter(|it| it.weights.iter().all(|&w| w == 0))
+            .map(|it| it.profit)
+            .sum();
+        prop_assert_eq!(sol.values[0], free_profit);
+    }
+}

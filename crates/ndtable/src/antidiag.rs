@@ -1,0 +1,150 @@
+//! Anti-diagonal levels: the wavefront structure of componentwise-≤ DPs.
+//!
+//! A cell `v` of the recurrence `OPT(v) = 1 + min_{s ∈ C, 0 ≠ s ≤ v}
+//! OPT(v − s)` depends only on cells with a strictly smaller component sum.
+//! Grouping cells by `ℓ(v) = Σᵢ vᵢ` therefore yields `max_level + 1`
+//! *anti-diagonal levels*; all cells on one level are mutually independent
+//! and can be filled in parallel once every earlier level is complete
+//! (Ghalami–Grosu, Algorithm 2).
+
+use crate::shape::Shape;
+
+/// Flat indices of a table grouped by anti-diagonal level.
+#[derive(Debug, Clone)]
+pub struct LevelBuckets {
+    buckets: Vec<Vec<usize>>,
+}
+
+impl LevelBuckets {
+    /// Builds the buckets for `shape` with a single counting pass — the
+    /// parallel-for of Algorithm 2 (lines 4–8) computes exactly these `d_i`
+    /// values; here we additionally bucket them so each level can be handed
+    /// to a parallel iterator without rescanning the whole table per level
+    /// (the `if d_i = l` filter of Alg. 2 line 12).
+    pub fn new(shape: &Shape) -> Self {
+        let mut counts = vec![0usize; shape.max_level() + 1];
+        for flat in 0..shape.size() {
+            counts[shape.level_of_flat(flat)] += 1;
+        }
+        let mut buckets: Vec<Vec<usize>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for flat in 0..shape.size() {
+            buckets[shape.level_of_flat(flat)].push(flat);
+        }
+        Self { buckets }
+    }
+
+    /// Number of levels (`max_level + 1`).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Flat indices on level `l`, in increasing (row-major) order.
+    #[inline]
+    pub fn level(&self, l: usize) -> &[usize] {
+        &self.buckets[l]
+    }
+
+    /// Iterates `(level, cells)` pairs in dependency order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.buckets.iter().enumerate().map(|(l, b)| (l, b.as_slice()))
+    }
+
+    /// The size of the widest level — the maximum degree of cell-level
+    /// parallelism the table offers.
+    pub fn max_width(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of cells across all levels (equals `shape.size()`).
+    pub fn total_cells(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Number of cells on each anti-diagonal level, computed without
+/// materialising the buckets. Used by the execution models, where only the
+/// level *widths* matter.
+pub fn level_widths(shape: &Shape) -> Vec<usize> {
+    // Dynamic programming over dimensions: widths of the prefix shape,
+    // convolved with each new extent. O(ndim · size-of-level-vector²)
+    // worst case but tiny in practice (levels ≤ a few hundred).
+    let mut widths = vec![1usize];
+    for &e in shape.extents() {
+        let mut next = vec![0usize; widths.len() + e - 1];
+        for (l, &w) in widths.iter().enumerate() {
+            for add in 0..e {
+                next[l + add] += w;
+            }
+        }
+        widths = next;
+    }
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_table() {
+        let shape = Shape::new(&[3, 4, 2]);
+        let lb = LevelBuckets::new(&shape);
+        assert_eq!(lb.total_cells(), shape.size());
+        assert_eq!(lb.num_levels(), shape.max_level() + 1);
+        let mut seen = vec![false; shape.size()];
+        for (l, cells) in lb.iter() {
+            for &c in cells {
+                assert!(!seen[c]);
+                seen[c] = true;
+                assert_eq!(shape.level_of_flat(c), l);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn level_zero_is_origin_and_last_is_full_corner() {
+        let shape = Shape::new(&[3, 3]);
+        let lb = LevelBuckets::new(&shape);
+        assert_eq!(lb.level(0), &[0]);
+        assert_eq!(lb.level(lb.num_levels() - 1), &[shape.size() - 1]);
+    }
+
+    #[test]
+    fn levels_sorted_row_major() {
+        let shape = Shape::new(&[4, 4]);
+        let lb = LevelBuckets::new(&shape);
+        for (_, cells) in lb.iter() {
+            assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn level_widths_match_buckets() {
+        for extents in [vec![2, 3, 4], vec![6, 6, 6], vec![1, 5], vec![2, 2, 2, 2, 2]] {
+            let shape = Shape::new(&extents);
+            let lb = LevelBuckets::new(&shape);
+            let widths = level_widths(&shape);
+            assert_eq!(widths.len(), lb.num_levels());
+            for (l, cells) in lb.iter() {
+                assert_eq!(widths[l], cells.len(), "level {l} of {extents:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_width_of_square_2d_is_diagonal() {
+        let shape = Shape::new(&[5, 5]);
+        assert_eq!(LevelBuckets::new(&shape).max_width(), 5);
+    }
+
+    #[test]
+    fn paper_example_3d_configuration_levels() {
+        // §III.B: (1,2,1) and (0,0,4) are on the same anti-diagonal level.
+        let shape = Shape::new(&[5, 5, 5]);
+        assert_eq!(shape.level_of_flat(shape.flatten(&[1, 2, 1])), 4);
+        assert_eq!(shape.level_of_flat(shape.flatten(&[0, 0, 4])), 4);
+    }
+}

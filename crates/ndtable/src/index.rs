@@ -1,0 +1,175 @@
+//! Iterators over multi-indices.
+
+use crate::shape::Shape;
+
+/// Iterates all multi-indices of a [`Shape`] in row-major order.
+///
+/// Yields `&[usize]` views into an internal buffer via [`Self::next_ref`],
+/// or owned `Vec<usize>` through the `Iterator` impl. The borrowing form
+/// exists because the DP sweeps visit up to hundreds of thousands of cells
+/// and must not allocate per cell.
+pub struct MultiIndexIter<'a> {
+    shape: &'a Shape,
+    current: Vec<usize>,
+    /// Number of indices yielded so far; iteration ends at `shape.size()`.
+    yielded: usize,
+}
+
+impl<'a> MultiIndexIter<'a> {
+    /// Creates an iterator over all multi-indices of `shape`.
+    pub fn new(shape: &'a Shape) -> Self {
+        Self {
+            shape,
+            current: vec![0; shape.ndim()],
+            yielded: 0,
+        }
+    }
+
+    /// Advances and returns a borrowed view of the next multi-index, or
+    /// `None` when exhausted. The returned slice is invalidated by the next
+    /// call.
+    pub fn next_ref(&mut self) -> Option<&[usize]> {
+        if self.yielded >= self.shape.size() {
+            return None;
+        }
+        if self.yielded > 0 {
+            // Row-major increment: bump the last dimension, carrying left.
+            let extents = self.shape.extents();
+            for d in (0..self.current.len()).rev() {
+                self.current[d] += 1;
+                if self.current[d] < extents[d] {
+                    break;
+                }
+                self.current[d] = 0;
+            }
+        }
+        self.yielded += 1;
+        Some(&self.current)
+    }
+}
+
+impl Iterator for MultiIndexIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_ref().map(|s| s.to_vec())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.shape.size() - self.yielded;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for MultiIndexIter<'_> {}
+
+/// Iterates all multi-indices `u` with `u ≤ bound` componentwise, in
+/// row-major order — the *dominated box* of `bound`.
+///
+/// This is the dependency footprint of a DP cell: every sub-configuration
+/// subtracted from `v` lands somewhere in `dominated(v)`.
+pub struct DominatedIter<'a> {
+    bound: &'a [usize],
+    current: Vec<usize>,
+    done: bool,
+    started: bool,
+}
+
+impl<'a> DominatedIter<'a> {
+    /// Creates an iterator over the dominated box of `bound`.
+    pub fn new(bound: &'a [usize]) -> Self {
+        Self {
+            bound,
+            current: vec![0; bound.len()],
+            done: bound.is_empty(),
+            started: false,
+        }
+    }
+
+    /// Advances and returns a borrowed view of the next index, or `None`
+    /// when exhausted. The slice is invalidated by the next call.
+    pub fn next_ref(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if self.started {
+            let mut d = self.current.len();
+            loop {
+                if d == 0 {
+                    self.done = true;
+                    return None;
+                }
+                d -= 1;
+                self.current[d] += 1;
+                if self.current[d] <= self.bound[d] {
+                    break;
+                }
+                self.current[d] = 0;
+            }
+        }
+        self.started = true;
+        Some(&self.current)
+    }
+}
+
+impl Iterator for DominatedIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_ref().map(|s| s.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_index_iter_matches_unflatten() {
+        let s = Shape::new(&[2, 3, 2]);
+        let all: Vec<Vec<usize>> = s.iter().collect();
+        assert_eq!(all.len(), s.size());
+        for (flat, idx) in all.iter().enumerate() {
+            assert_eq!(*idx, s.unflatten(flat));
+        }
+    }
+
+    #[test]
+    fn multi_index_iter_exact_size() {
+        let s = Shape::new(&[4, 5]);
+        let mut it = s.iter();
+        assert_eq!(it.len(), 20);
+        it.next();
+        assert_eq!(it.len(), 19);
+    }
+
+    #[test]
+    fn single_cell_shape_yields_origin_once() {
+        let s = Shape::new(&[1, 1, 1]);
+        let all: Vec<Vec<usize>> = s.iter().collect();
+        assert_eq!(all, vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn dominated_iter_counts_box() {
+        let bound = [2usize, 1, 3];
+        let got: Vec<Vec<usize>> = DominatedIter::new(&bound).collect();
+        assert_eq!(got.len(), 3 * 2 * 4);
+        assert_eq!(got.first().unwrap(), &vec![0, 0, 0]);
+        assert_eq!(got.last().unwrap(), &vec![2, 1, 3]);
+        // All yielded indices are dominated and unique.
+        for u in &got {
+            assert!(u.iter().zip(&bound).all(|(a, b)| a <= b));
+        }
+        let mut dedup = got.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), got.len());
+    }
+
+    #[test]
+    fn dominated_iter_zero_bound() {
+        let got: Vec<Vec<usize>> = DominatedIter::new(&[0, 0]).collect();
+        assert_eq!(got, vec![vec![0, 0]]);
+    }
+}

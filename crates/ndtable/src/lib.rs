@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Higher-dimensional dynamic-programming table substrate.
+//!
+//! The PTAS for `P||Cmax` (Hochbaum–Shmoys) spends essentially all of its
+//! time filling a *higher-dimensional* DP table: one cell per vector
+//! `v ≤ N` where `N = (n_1, …, n_d)` counts the rounded long jobs per size
+//! class. This crate provides everything the DP needs to describe and store
+//! such tables:
+//!
+//! * [`Shape`] — extents, row-major strides, flat ↔ multi index conversion;
+//! * [`NdTable`] — dense storage addressed by either index form;
+//! * [`antidiag`] — *anti-diagonal levels* (`ℓ(v) = Σᵢ vᵢ`), the wavefront
+//!   structure that makes the DP parallelisable (Ghalami–Grosu, Alg. 2);
+//! * [`partition`] — the divisor computation of the paper's Algorithm 4
+//!   (lines 4–10): how many segments each dimension is cut into;
+//! * [`blocked`] — the block-major memory layout produced by the paper's
+//!   data-partitioning scheme, including the `M_offset` bijection, the
+//!   physical reorganisation of a row-major table, and block-level
+//!   (wavefront-of-blocks) scheduling.
+//!
+//! The crate is deliberately independent of the scheduling problem: it only
+//! knows about dense boxes of cells and their dependence structure under
+//! "componentwise-≤" recurrences, so it can serve other higher-dimensional
+//! DPs (e.g. multi-dimensional knapsack, the paper's future-work target).
+
+pub mod antidiag;
+pub mod blocked;
+pub mod index;
+pub mod partition;
+pub mod shape;
+pub mod table;
+
+pub use antidiag::LevelBuckets;
+pub use blocked::{BlockLevels, BlockedLayout};
+pub use index::MultiIndexIter;
+pub use partition::Divisor;
+pub use shape::Shape;
+pub use table::NdTable;

@@ -1,0 +1,278 @@
+//! The divisor computation of the paper's data-partitioning scheme
+//! (Algorithm 4, lines 4–10).
+//!
+//! A *divisor* has one entry per table dimension; entry `i` is the number
+//! of equal segments dimension `i` is cut into. Block size in dimension `i`
+//! is therefore `extent_i / divisor_i`, so each entry must divide its
+//! extent. Only the `dim` *largest* dimensions (by extent, ties broken by
+//! lowest index — confirmed against Table I row 2) are actually split; the
+//! rest get divisor 1.
+//!
+//! ## Pseudocode vs. published tables
+//!
+//! Algorithm 4 literally computes `div = ⌊√(nᵢ+1)⌋` and decrements until it
+//! divides the extent, which yields `div = 1` for prime extents. The
+//! published block-size tables (I–VI) however show *block size 1* for every
+//! selected prime-extent dimension (e.g. extent 7 → block 1 in Table V,
+//! extent 3 → block 1 in Tables I–III), i.e. `div = extent`. Since a
+//! selected dimension with `div = 1` would not be partitioned at all, the
+//! implementation evidently promotes `div = 1` to `div = extent` for
+//! selected dimensions. [`DivisorRule::TableConsistent`] (the default)
+//! reproduces the published tables; [`DivisorRule::LiteralPseudocode`]
+//! keeps the literal text for ablation.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+
+/// Which reading of Algorithm 4's divisor computation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DivisorRule {
+    /// Reproduces Tables I–VI: a selected dimension whose
+    /// square-root-descent divisor is 1 (prime extent) is split into
+    /// `extent` segments of size 1.
+    #[default]
+    TableConsistent,
+    /// The literal pseudocode: square-root descent only; prime extents end
+    /// up unsplit even when selected.
+    LiteralPseudocode,
+}
+
+/// Per-dimension segment counts for block partitioning.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divisor {
+    per_dim: Vec<usize>,
+}
+
+/// Largest divisor of `extent` that is ≤ ⌊√extent⌋ (Algorithm 4 lines 6–8).
+pub fn sqrt_descent_divisor(extent: usize) -> usize {
+    assert!(extent > 0, "extent must be positive");
+    let mut div = isqrt(extent).max(1);
+    while !extent.is_multiple_of(div) {
+        div -= 1;
+    }
+    div
+}
+
+/// Integer square root (floor).
+pub fn isqrt(n: usize) -> usize {
+    if n < 2 {
+        return n;
+    }
+    let mut x = (n as f64).sqrt() as usize;
+    // Float rounding can be off by one in either direction near perfect
+    // squares; correct both ways.
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+impl Divisor {
+    /// Computes the divisor for `shape`, splitting only the `dim_limit`
+    /// largest dimensions (the paper's `dim ∈ {3..9}` parameter).
+    pub fn compute(shape: &Shape, dim_limit: usize, rule: DivisorRule) -> Self {
+        let extents = shape.extents();
+        // Rank dimensions by extent, descending; ties → lowest index.
+        let mut order: Vec<usize> = (0..extents.len()).collect();
+        order.sort_by(|&a, &b| extents[b].cmp(&extents[a]).then(a.cmp(&b)));
+        let selected: Vec<bool> = {
+            let mut sel = vec![false; extents.len()];
+            for &d in order.iter().take(dim_limit) {
+                sel[d] = true;
+            }
+            sel
+        };
+        let per_dim = extents
+            .iter()
+            .zip(&selected)
+            .map(|(&e, &sel)| {
+                if !sel {
+                    return 1;
+                }
+                let div = sqrt_descent_divisor(e);
+                match rule {
+                    DivisorRule::TableConsistent if div == 1 => e,
+                    _ => div,
+                }
+            })
+            .collect();
+        Self { per_dim }
+    }
+
+    /// A divisor that leaves the table as a single block.
+    pub fn identity(ndim: usize) -> Self {
+        Self {
+            per_dim: vec![1; ndim],
+        }
+    }
+
+    /// Builds a divisor from explicit per-dimension segment counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is zero or does not divide its extent.
+    pub fn from_parts(shape: &Shape, per_dim: &[usize]) -> Self {
+        assert_eq!(per_dim.len(), shape.ndim(), "divisor arity mismatch");
+        for (d, (&div, &e)) in per_dim.iter().zip(shape.extents()).enumerate() {
+            assert!(div > 0, "divisor[{d}] must be positive");
+            assert_eq!(e % div, 0, "divisor[{d}]={div} must divide extent {e}");
+        }
+        Self {
+            per_dim: per_dim.to_vec(),
+        }
+    }
+
+    #[inline]
+    /// Segment count per dimension.
+    pub fn per_dim(&self) -> &[usize] {
+        &self.per_dim
+    }
+
+    #[inline]
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.per_dim.len()
+    }
+
+    /// Total number of blocks (product of segment counts).
+    pub fn num_blocks(&self) -> usize {
+        self.per_dim.iter().product()
+    }
+
+    /// Block size in each dimension for `shape`.
+    pub fn block_sizes(&self, shape: &Shape) -> Vec<usize> {
+        shape
+            .extents()
+            .iter()
+            .zip(&self.per_dim)
+            .map(|(&e, &d)| e / d)
+            .collect()
+    }
+
+    /// Number of dimensions actually split (divisor > 1).
+    pub fn split_dims(&self) -> usize {
+        self.per_dim.iter().filter(|&&d| d > 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact() {
+        for n in 0..2000usize {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn sqrt_descent_examples() {
+        assert_eq!(sqrt_descent_divisor(6), 2);
+        assert_eq!(sqrt_descent_divisor(4), 2);
+        assert_eq!(sqrt_descent_divisor(8), 2);
+        assert_eq!(sqrt_descent_divisor(9), 3);
+        assert_eq!(sqrt_descent_divisor(16), 4);
+        assert_eq!(sqrt_descent_divisor(15), 3);
+        assert_eq!(sqrt_descent_divisor(18), 3);
+        assert_eq!(sqrt_descent_divisor(3), 1);
+        assert_eq!(sqrt_descent_divisor(7), 1);
+        assert_eq!(sqrt_descent_divisor(1), 1);
+    }
+
+    /// Table I row 1: table (6,4,6,6,4), DIM3 blocks (3,4,3,3,4),
+    /// DIM5 blocks (3,2,3,3,2).
+    #[test]
+    fn paper_table_i_row1() {
+        let shape = Shape::new(&[6, 4, 6, 6, 4]);
+        let d3 = Divisor::compute(&shape, 3, DivisorRule::TableConsistent);
+        assert_eq!(d3.block_sizes(&shape), vec![3, 4, 3, 3, 4]);
+        let d5 = Divisor::compute(&shape, 5, DivisorRule::TableConsistent);
+        assert_eq!(d5.block_sizes(&shape), vec![3, 2, 3, 3, 2]);
+    }
+
+    /// Table I row 2: ties among equal extents are broken by lowest index.
+    #[test]
+    fn paper_table_i_row2_tie_break() {
+        let shape = Shape::new(&[2, 6, 3, 4, 6, 4]);
+        let d3 = Divisor::compute(&shape, 3, DivisorRule::TableConsistent);
+        assert_eq!(d3.block_sizes(&shape), vec![2, 3, 3, 2, 3, 4]);
+        let d5 = Divisor::compute(&shape, 5, DivisorRule::TableConsistent);
+        assert_eq!(d5.block_sizes(&shape), vec![2, 3, 1, 2, 3, 2]);
+    }
+
+    /// Table II row 1: prime extent 5 selected ⇒ block size 1.
+    #[test]
+    fn paper_table_ii_row1_prime_promotion() {
+        let shape = Shape::new(&[5, 3, 6, 3, 4, 4, 2]);
+        let d3 = Divisor::compute(&shape, 3, DivisorRule::TableConsistent);
+        assert_eq!(d3.block_sizes(&shape), vec![1, 3, 3, 3, 2, 4, 2]);
+        let d5 = Divisor::compute(&shape, 5, DivisorRule::TableConsistent);
+        assert_eq!(d5.block_sizes(&shape), vec![1, 1, 3, 3, 2, 2, 2]);
+    }
+
+    /// Table III row 1: 4 dimensions, dim_limit larger than ndim splits all.
+    #[test]
+    fn paper_table_iii_row1() {
+        let shape = Shape::new(&[3, 16, 15, 18]);
+        let d3 = Divisor::compute(&shape, 3, DivisorRule::TableConsistent);
+        assert_eq!(d3.block_sizes(&shape), vec![3, 4, 5, 6]);
+        let d5 = Divisor::compute(&shape, 5, DivisorRule::TableConsistent);
+        assert_eq!(d5.block_sizes(&shape), vec![1, 4, 5, 6]);
+    }
+
+    /// Table V row 1 (DIM7): large 8-dimensional case with several primes.
+    #[test]
+    fn paper_table_v_row1_dim7() {
+        let shape = Shape::new(&[5, 6, 3, 7, 6, 4, 8, 3]);
+        let d7 = Divisor::compute(&shape, 7, DivisorRule::TableConsistent);
+        assert_eq!(d7.block_sizes(&shape), vec![1, 3, 1, 1, 3, 2, 4, 3]);
+    }
+
+    #[test]
+    fn literal_pseudocode_leaves_primes_unsplit() {
+        let shape = Shape::new(&[5, 3, 6, 3, 4, 4, 2]);
+        let d3 = Divisor::compute(&shape, 3, DivisorRule::LiteralPseudocode);
+        // Extent 5 is selected but prime: literal rule keeps divisor 1.
+        assert_eq!(d3.block_sizes(&shape), vec![5, 3, 3, 3, 2, 4, 2]);
+    }
+
+    #[test]
+    fn divisors_always_divide() {
+        let shape = Shape::new(&[6, 4, 6, 6, 4, 7, 9, 10]);
+        for dim_limit in 0..=9 {
+            for rule in [DivisorRule::TableConsistent, DivisorRule::LiteralPseudocode] {
+                let d = Divisor::compute(&shape, dim_limit, rule);
+                for (&div, &e) in d.per_dim().iter().zip(shape.extents()) {
+                    assert_eq!(e % div, 0);
+                }
+                assert!(d.split_dims() <= dim_limit);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_divisor_is_one_block() {
+        let d = Divisor::identity(4);
+        assert_eq!(d.num_blocks(), 1);
+        assert_eq!(d.split_dims(), 0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let shape = Shape::new(&[6, 4]);
+        let d = Divisor::from_parts(&shape, &[3, 2]);
+        assert_eq!(d.num_blocks(), 6);
+        assert_eq!(d.block_sizes(&shape), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn from_parts_rejects_nondivisor() {
+        Divisor::from_parts(&Shape::new(&[6, 4]), &[4, 2]);
+    }
+}

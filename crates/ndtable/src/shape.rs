@@ -1,0 +1,262 @@
+//! Extents and row-major index arithmetic for dense higher-dimensional tables.
+
+use serde::{Deserialize, Serialize};
+
+/// The extents of a dense higher-dimensional table.
+///
+/// For the `P||Cmax` DP the table for a class-count vector
+/// `N = (n_1, …, n_d)` has extent `n_i + 1` in dimension `i` (cell `v`
+/// exists for every `0 ≤ v_i ≤ n_i`). `Shape` stores those extents and owns
+/// all flat ↔ multi index conversions in *row-major* order, the layout the
+/// paper's Algorithm 2 assumes ("the i-th entry of DP-table in row-major
+/// order").
+///
+/// Row-major order has a property the sequential DP relies on: if
+/// `u ≤ v` componentwise and `u ≠ v`, then `flatten(u) < flatten(v)`, so a
+/// plain flat-order sweep is a valid topological order of the recurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    extents: Vec<usize>,
+    /// Row-major strides; `strides[i]` = product of extents after `i`.
+    strides: Vec<usize>,
+    /// Total number of cells (product of extents).
+    size: usize,
+}
+
+impl Shape {
+    /// Builds a shape from per-dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extents` is empty, any extent is zero, or the total size
+    /// overflows `usize`.
+    pub fn new(extents: &[usize]) -> Self {
+        assert!(!extents.is_empty(), "Shape requires at least one dimension");
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "Shape extents must be positive, got {extents:?}"
+        );
+        let mut strides = vec![0usize; extents.len()];
+        let mut acc: usize = 1;
+        for (i, &e) in extents.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc
+                .checked_mul(e)
+                .expect("Shape size overflows usize");
+        }
+        Self {
+            extents: extents.to_vec(),
+            strides,
+            size: acc,
+        }
+    }
+
+    /// Builds the DP-table shape for a class-count vector `N`: extent
+    /// `n_i + 1` per dimension.
+    pub fn for_counts(counts: &[usize]) -> Self {
+        let extents: Vec<usize> = counts.iter().map(|&n| n + 1).collect();
+        Self::new(&extents)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-dimension extents.
+    #[inline]
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Row-major strides.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Total number of cells, `σ = Π extents`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of dimensions with extent > 1 — the paper's "non-zero
+    /// dimensions" (a class with `n_i = 0` contributes extent 1 and no
+    /// real dimensionality).
+    pub fn nonzero_dims(&self) -> usize {
+        self.extents.iter().filter(|&&e| e > 1).count()
+    }
+
+    /// The largest anti-diagonal level, `Σᵢ (extentᵢ − 1)`; for the DP
+    /// table of `N` this equals `n' = Σᵢ nᵢ`, the number of long jobs.
+    pub fn max_level(&self) -> usize {
+        self.extents.iter().map(|&e| e - 1).sum()
+    }
+
+    /// Whether `idx` is a valid multi-index for this shape.
+    pub fn contains(&self, idx: &[usize]) -> bool {
+        idx.len() == self.ndim() && idx.iter().zip(&self.extents).all(|(&i, &e)| i < e)
+    }
+
+    /// Row-major flat index of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `idx` is out of bounds.
+    #[inline]
+    pub fn flatten(&self, idx: &[usize]) -> usize {
+        debug_assert!(self.contains(idx), "index {idx:?} out of {:?}", self.extents);
+        idx.iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| i * s)
+            .sum()
+    }
+
+    /// Multi-index of a row-major flat index, written into `out`.
+    ///
+    /// Avoids allocating in hot loops; `out.len()` must equal `ndim()`.
+    #[inline]
+    pub fn unflatten_into(&self, mut flat: usize, out: &mut [usize]) {
+        debug_assert!(flat < self.size, "flat index {flat} out of {}", self.size);
+        debug_assert_eq!(out.len(), self.ndim());
+        for (o, &s) in out.iter_mut().zip(&self.strides) {
+            *o = flat / s;
+            flat %= s;
+        }
+    }
+
+    /// Multi-index of a row-major flat index (allocating convenience form).
+    pub fn unflatten(&self, flat: usize) -> Vec<usize> {
+        let mut out = vec![0; self.ndim()];
+        self.unflatten_into(flat, &mut out);
+        out
+    }
+
+    /// Anti-diagonal level of a flat index: the sum of its multi-index
+    /// components. Computed without materialising the multi-index.
+    #[inline]
+    pub fn level_of_flat(&self, mut flat: usize) -> usize {
+        let mut level = 0;
+        for &s in &self.strides {
+            level += flat / s;
+            flat %= s;
+        }
+        level
+    }
+
+    /// Iterator over all multi-indices in row-major order.
+    pub fn iter(&self) -> crate::index::MultiIndexIter<'_> {
+        crate::index::MultiIndexIter::new(self)
+    }
+
+    /// Returns a shape with all extent-1 dimensions removed ("squeezed"),
+    /// plus the map from squeezed dimension to original dimension.
+    ///
+    /// The DP only gains parallel structure from non-trivial dimensions;
+    /// the paper reports the number of *non-zero dimensions* for exactly
+    /// this reason. If every extent is 1 the result keeps one dimension so
+    /// the shape stays valid.
+    pub fn squeeze(&self) -> (Shape, Vec<usize>) {
+        let kept: Vec<usize> = (0..self.ndim()).filter(|&i| self.extents[i] > 1).collect();
+        if kept.is_empty() {
+            return (Shape::new(&[1]), vec![0]);
+        }
+        let extents: Vec<usize> = kept.iter().map(|&i| self.extents[i]).collect();
+        (Shape::new(&extents), kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[3, 4, 5]);
+        assert_eq!(s.strides(), &[20, 5, 1]);
+        assert_eq!(s.size(), 60);
+        assert_eq!(s.ndim(), 3);
+    }
+
+    #[test]
+    fn for_counts_adds_one() {
+        let s = Shape::for_counts(&[2, 0, 3]);
+        assert_eq!(s.extents(), &[3, 1, 4]);
+        assert_eq!(s.size(), 12);
+        assert_eq!(s.nonzero_dims(), 2);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip_exhaustive() {
+        let s = Shape::new(&[2, 3, 4]);
+        for flat in 0..s.size() {
+            let idx = s.unflatten(flat);
+            assert_eq!(s.flatten(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn level_of_flat_matches_component_sum() {
+        let s = Shape::new(&[3, 2, 4]);
+        for flat in 0..s.size() {
+            let idx = s.unflatten(flat);
+            assert_eq!(s.level_of_flat(flat), idx.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn max_level_is_sum_of_extent_minus_one() {
+        let s = Shape::new(&[3, 2, 4]);
+        assert_eq!(s.max_level(), 2 + 1 + 3);
+        assert_eq!(Shape::for_counts(&[5, 7]).max_level(), 12);
+    }
+
+    #[test]
+    fn row_major_dominance_is_topological() {
+        // u ≤ v componentwise and u ≠ v implies flatten(u) < flatten(v).
+        let s = Shape::new(&[3, 3, 3]);
+        for fv in 0..s.size() {
+            let v = s.unflatten(fv);
+            for fu in 0..s.size() {
+                let u = s.unflatten(fu);
+                let dominated = u.iter().zip(&v).all(|(a, b)| a <= b) && u != v;
+                if dominated {
+                    assert!(fu < fv, "u={u:?} v={v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn squeeze_removes_trivial_dims() {
+        let s = Shape::new(&[1, 4, 1, 3, 1]);
+        let (sq, map) = s.squeeze();
+        assert_eq!(sq.extents(), &[4, 3]);
+        assert_eq!(map, vec![1, 3]);
+        let (all_one, map1) = Shape::new(&[1, 1]).squeeze();
+        assert_eq!(all_one.extents(), &[1]);
+        assert_eq!(map1, vec![0]);
+    }
+
+    #[test]
+    fn contains_checks_bounds_and_arity() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.contains(&[1, 1]));
+        assert!(!s.contains(&[2, 0]));
+        assert!(!s.contains(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_extents_rejected() {
+        Shape::new(&[]);
+    }
+}

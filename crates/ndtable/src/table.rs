@@ -1,0 +1,149 @@
+//! Dense storage for higher-dimensional tables.
+
+use crate::shape::Shape;
+
+/// A dense higher-dimensional table in row-major order.
+///
+/// Cells are addressed either by multi-index (convenient) or flat index
+/// (hot paths). The DP algorithms in `pcmax-ptas` keep the table flat and
+/// index arithmetic explicit, exactly as the paper's implementations do —
+/// this type is the shared vocabulary between the sequential, rayon,
+/// blocked, and simulated-GPU sweeps so their results can be compared
+/// cell-for-cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdTable<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Clone> NdTable<T> {
+    /// Creates a table with every cell set to `fill`.
+    pub fn filled(shape: Shape, fill: T) -> Self {
+        let data = vec![fill; shape.size()];
+        Self { shape, data }
+    }
+}
+
+impl<T> NdTable<T> {
+    /// Wraps existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.size()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.size(),
+            "data length {} does not match shape size {}",
+            data.len(),
+            shape.size()
+        );
+        Self { shape, data }
+    }
+
+    #[inline]
+    /// The table's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    #[inline]
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    /// Whether the table has no cells (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    /// The cells as a row-major slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    /// The cells as a mutable row-major slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the table and returns the flat data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    #[inline]
+    /// Cell at a row-major flat index.
+    pub fn get_flat(&self, flat: usize) -> &T {
+        &self.data[flat]
+    }
+
+    #[inline]
+    /// Mutable cell at a row-major flat index.
+    pub fn get_flat_mut(&mut self, flat: usize) -> &mut T {
+        &mut self.data[flat]
+    }
+
+    #[inline]
+    /// Cell at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> &T {
+        &self.data[self.shape.flatten(idx)]
+    }
+
+    #[inline]
+    /// Mutable cell at a multi-index.
+    pub fn get_mut(&mut self, idx: &[usize]) -> &mut T {
+        let flat = self.shape.flatten(idx);
+        &mut self.data[flat]
+    }
+
+    /// Applies `f` to every cell, producing a new table of the same shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> NdTable<U> {
+        NdTable {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_indexing() {
+        let shape = Shape::new(&[2, 3]);
+        let mut t = NdTable::filled(shape, 0u32);
+        *t.get_mut(&[1, 2]) = 7;
+        assert_eq!(*t.get(&[1, 2]), 7);
+        assert_eq!(*t.get_flat(5), 7);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let shape = Shape::new(&[2, 2]);
+        let t = NdTable::from_vec(shape, vec![1, 2, 3, 4]);
+        assert_eq!(*t.get(&[0, 1]), 2);
+        assert_eq!(t.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        NdTable::from_vec(Shape::new(&[2, 2]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let shape = Shape::new(&[2, 2]);
+        let t = NdTable::from_vec(shape, vec![1u32, 2, 3, 4]);
+        let u = t.map(|&x| x * 10);
+        assert_eq!(u.as_slice(), &[10, 20, 30, 40]);
+        assert_eq!(u.shape(), t.shape());
+    }
+}

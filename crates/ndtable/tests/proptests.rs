@@ -1,0 +1,130 @@
+//! Property-based tests for the table substrate: index arithmetic,
+//! anti-diagonal structure, and the blocked-layout bijection.
+
+use ndtable::partition::{sqrt_descent_divisor, DivisorRule};
+use ndtable::{BlockLevels, BlockedLayout, Divisor, Shape};
+use proptest::prelude::*;
+
+/// Random small shapes: 1–6 dimensions with extents 1–8 and a size cap so
+/// exhaustive checks stay fast.
+fn small_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1usize..=8, 1..=6)
+        .prop_filter("size cap", |ext| ext.iter().product::<usize>() <= 4096)
+        .prop_map(|ext| Shape::new(&ext))
+}
+
+proptest! {
+    #[test]
+    fn flatten_unflatten_roundtrip(shape in small_shape(), seed in any::<usize>()) {
+        let flat = seed % shape.size();
+        let idx = shape.unflatten(flat);
+        prop_assert!(shape.contains(&idx));
+        prop_assert_eq!(shape.flatten(&idx), flat);
+    }
+
+    #[test]
+    fn level_equals_component_sum(shape in small_shape(), seed in any::<usize>()) {
+        let flat = seed % shape.size();
+        let idx = shape.unflatten(flat);
+        prop_assert_eq!(shape.level_of_flat(flat), idx.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn row_major_order_is_topological(shape in small_shape(), a in any::<usize>(), b in any::<usize>()) {
+        let fa = a % shape.size();
+        let fb = b % shape.size();
+        let ia = shape.unflatten(fa);
+        let ib = shape.unflatten(fb);
+        if ia.iter().zip(&ib).all(|(x, y)| x <= y) && ia != ib {
+            prop_assert!(fa < fb);
+        }
+    }
+
+    #[test]
+    fn level_widths_sum_to_size(shape in small_shape()) {
+        let widths = ndtable::antidiag::level_widths(&shape);
+        prop_assert_eq!(widths.iter().sum::<usize>(), shape.size());
+        prop_assert_eq!(widths.len(), shape.max_level() + 1);
+        // First and last levels hold exactly the two corners.
+        prop_assert_eq!(widths[0], 1);
+        prop_assert_eq!(*widths.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn sqrt_descent_divides_and_bounded(extent in 1usize..10_000) {
+        let d = sqrt_descent_divisor(extent);
+        prop_assert!(d >= 1);
+        prop_assert_eq!(extent % d, 0);
+        prop_assert!(d * d <= extent);
+    }
+
+    #[test]
+    fn computed_divisor_always_valid(shape in small_shape(), dim_limit in 0usize..=9,
+                                     table_rule in any::<bool>()) {
+        let rule = if table_rule { DivisorRule::TableConsistent } else { DivisorRule::LiteralPseudocode };
+        let d = Divisor::compute(&shape, dim_limit, rule);
+        for (&div, &e) in d.per_dim().iter().zip(shape.extents()) {
+            prop_assert!(div >= 1);
+            prop_assert_eq!(e % div, 0);
+        }
+        prop_assert!(d.split_dims() <= dim_limit);
+    }
+
+    #[test]
+    fn blocked_layout_is_bijection(shape in small_shape(), dim_limit in 0usize..=9) {
+        let d = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+        let layout = BlockedLayout::new(shape.clone(), d);
+        let perm = layout.permutation();
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            prop_assert!(p < perm.len());
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn reorganize_scatter_roundtrip(shape in small_shape(), dim_limit in 0usize..=9) {
+        let d = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+        let layout = BlockedLayout::new(shape.clone(), d);
+        let data: Vec<u32> = (0..shape.size() as u32).collect();
+        let blocked = layout.reorganize(&data);
+        prop_assert_eq!(layout.scatter_back(&blocked), data);
+    }
+
+    #[test]
+    fn block_dependencies_never_point_forward(shape in small_shape(), dim_limit in 0usize..=9,
+                                              seed in any::<usize>()) {
+        // For a random cell v and a random dominated cell u ≤ v, the block
+        // of u must be on a block-level ≤ the block-level of v, with
+        // equality only within the same block.
+        let d = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+        let layout = BlockedLayout::new(shape.clone(), d);
+        let v = shape.unflatten(seed % shape.size());
+        let u: Vec<usize> = v.iter().map(|&c| if c > 0 { c - 1 } else { 0 }).collect();
+        let mut bv = vec![0usize; shape.ndim()];
+        let mut bu = vec![0usize; shape.ndim()];
+        layout.block_of(&v, &mut bv);
+        layout.block_of(&u, &mut bu);
+        let lv: usize = bv.iter().sum();
+        let lu: usize = bu.iter().sum();
+        prop_assert!(lu <= lv);
+        if lu == lv && u != v {
+            // equal block-level across distinct dominated cells forces the
+            // same block (independence of same-level blocks).
+            prop_assert!(bu.iter().zip(&bv).all(|(a, b)| a <= b));
+            if bu != bv {
+                prop_assert!(false, "distinct same-level blocks with dependency");
+            }
+        }
+    }
+
+    #[test]
+    fn block_levels_cover_all_blocks(shape in small_shape(), dim_limit in 0usize..=9) {
+        let d = Divisor::compute(&shape, dim_limit, DivisorRule::TableConsistent);
+        let layout = BlockedLayout::new(shape, d);
+        let bl = BlockLevels::new(&layout);
+        let total: usize = bl.iter().map(|(_, b)| b.len()).sum();
+        prop_assert_eq!(total, layout.num_blocks());
+    }
+}

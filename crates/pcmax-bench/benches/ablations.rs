@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * divisor rule (table-consistent prime promotion vs the literal
+//!   pseudocode) — effect on the real blocked engine;
+//! * dimension limit of the partitioning — effect on the real blocked
+//!   engine (the CPU analogue of Fig. 4);
+//! * level-bucket construction vs rescanning the table per level (the
+//!   Alg. 2 line 12 filter the buckets replace).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndtable::partition::DivisorRule;
+use ndtable::{Divisor, LevelBuckets, Shape};
+use pcmax_gpu::synth::problem_with_extents;
+use std::hint::black_box;
+
+fn bench_divisor_rule(c: &mut Criterion) {
+    let problem = problem_with_extents(&[5, 3, 6, 3, 4, 4, 2], 4); // σ = 8640
+    let mut g = c.benchmark_group("ablation_divisor_rule");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (name, rule) in [
+        ("table_consistent", DivisorRule::TableConsistent),
+        ("literal_pseudocode", DivisorRule::LiteralPseudocode),
+    ] {
+        g.bench_function(name, |b| {
+            let divisor = Divisor::compute(problem.shape(), 5, rule);
+            b.iter(|| black_box(problem.solve_blocked_with(&divisor)).opt)
+        });
+    }
+    g.finish();
+}
+
+fn bench_dim_sweep(c: &mut Criterion) {
+    let problem = problem_with_extents(&[3, 3, 3, 2, 3, 4, 2, 5, 2], 4); // σ = 12960, 9 dims
+    let mut g = c.benchmark_group("ablation_dim_sweep");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for dim in [3usize, 5, 7, 9] {
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &d| {
+            b.iter(|| black_box(problem.solve_blocked(d)).opt)
+        });
+    }
+    g.finish();
+}
+
+fn bench_level_buckets_vs_rescan(c: &mut Criterion) {
+    let shape = Shape::new(&[4, 4, 6, 6, 2, 3, 3, 2]); // σ = 20736
+    let mut g = c.benchmark_group("ablation_level_discovery");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function("bucket_once", |b| {
+        b.iter(|| black_box(LevelBuckets::new(&shape)).num_levels())
+    });
+    g.bench_function("rescan_per_level", |b| {
+        // What Algorithm 2 line 12 does: scan all σ cells at every level.
+        b.iter(|| {
+            let mut total = 0usize;
+            for l in 0..=shape.max_level() {
+                for flat in 0..shape.size() {
+                    if shape.level_of_flat(flat) == l {
+                        total += 1;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_divisor_rule,
+    bench_dim_sweep,
+    bench_level_buckets_vs_rescan
+);
+criterion_main!(benches);

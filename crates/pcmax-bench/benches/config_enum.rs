@@ -1,0 +1,64 @@
+//! Microbenchmarks of the DP's inner loop: machine-configuration
+//! enumeration with capacity pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_ptas::config::{all_configs, count_configs, for_each_config};
+use std::hint::black_box;
+
+struct Case {
+    name: &'static str,
+    bound: Vec<usize>,
+    sizes: Vec<u64>,
+    cap: u64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "narrow_5d",
+            bound: vec![2, 2, 2, 2, 2],
+            sizes: vec![240, 300, 420, 540, 900],
+            cap: 1019,
+        },
+        Case {
+            name: "wide_9d",
+            bound: vec![3, 2, 3, 2, 2, 2, 2, 3, 4],
+            sizes: vec![240, 300, 360, 420, 480, 540, 660, 780, 960],
+            cap: 1019,
+        },
+        Case {
+            name: "deep_counts",
+            bound: vec![15, 14, 17],
+            sizes: vec![240, 600, 960],
+            cap: 1019,
+        },
+    ]
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("config_enum");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for case in cases() {
+        let zeros = vec![0usize; case.bound.len()];
+        g.bench_with_input(BenchmarkId::new("for_each", case.name), &case, |b, case| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for_each_config(&case.bound, &case.sizes, &zeros, case.cap, &mut |_, w, _| {
+                    acc = acc.wrapping_add(w);
+                });
+                black_box(acc)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("count", case.name), &case, |b, case| {
+            b.iter(|| black_box(count_configs(&case.bound, &case.sizes, case.cap)))
+        });
+        g.bench_with_input(BenchmarkId::new("collect", case.name), &case, |b, case| {
+            b.iter(|| black_box(all_configs(&case.bound, &case.sizes, case.cap).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

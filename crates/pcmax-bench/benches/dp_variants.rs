@@ -1,0 +1,36 @@
+//! Wall-clock comparison of the real DP engines (sequential, rayon
+//! anti-diagonal, block-partitioned) on paper-shaped tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_gpu::synth::problem_with_extents;
+use pcmax_ptas::DpEngine;
+use std::hint::black_box;
+
+fn bench_dp_variants(c: &mut Criterion) {
+    let shapes: [(&str, Vec<usize>); 3] = [
+        ("sigma3456", vec![6, 4, 6, 6, 4]),
+        ("sigma8640", vec![5, 3, 6, 3, 4, 4, 2]),
+        ("sigma12960", vec![3, 16, 15, 18]),
+    ];
+    let mut g = c.benchmark_group("dp_variants");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (name, extents) in shapes {
+        let problem = problem_with_extents(&extents, 4);
+        for (engine_name, engine) in [
+            ("seq", DpEngine::Sequential),
+            ("antidiag", DpEngine::AntiDiagonal),
+            ("blocked_dim3", DpEngine::Blocked { dim_limit: 3 }),
+            ("blocked_dim6", DpEngine::Blocked { dim_limit: 6 }),
+        ] {
+            g.bench_with_input(BenchmarkId::new(engine_name, name), &problem, |b, p| {
+                b.iter(|| black_box(p.solve(engine)).opt)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp_variants);
+criterion_main!(benches);

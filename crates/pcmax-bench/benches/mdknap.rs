@@ -1,0 +1,34 @@
+//! Wall-clock benches of the multi-dimensional knapsack engines — the
+//! future-work extension, on the same partitioning substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdknap::dp::{solve, KnapEngine};
+use mdknap::gen::{correlated, uncorrelated};
+use std::hint::black_box;
+
+fn bench_knapsack(c: &mut Criterion) {
+    let cases = [
+        ("uncorr_2d", uncorrelated(1, 30, 2, 12)),
+        ("uncorr_3d", uncorrelated(2, 20, 3, 7)),
+        ("corr_3d", correlated(3, 20, 3, 7)),
+    ];
+    let mut g = c.benchmark_group("mdknap");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (name, p) in &cases {
+        for (engine_name, engine) in [
+            ("in_place", KnapEngine::InPlace),
+            ("layered", KnapEngine::Layered),
+            ("blocked_dim3", KnapEngine::Blocked { dim_limit: 3 }),
+        ] {
+            g.bench_with_input(BenchmarkId::new(engine_name, name), p, |b, p| {
+                b.iter(|| black_box(solve(p, engine)).best)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_knapsack);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of the data-partitioning substrate: divisor computation,
+//! blocked-offset arithmetic, and the physical memory reorganisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndtable::partition::DivisorRule;
+use ndtable::{BlockedLayout, Divisor, Shape};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let shapes: [(&str, Vec<usize>); 3] = [
+        ("sigma12960", vec![3, 16, 15, 18]),
+        ("sigma20736", vec![4, 4, 6, 6, 2, 3, 3, 2]),
+        ("sigma362880", vec![5, 6, 3, 7, 6, 4, 8, 3]),
+    ];
+
+    let mut g = c.benchmark_group("partition_layout");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    for (name, extents) in &shapes {
+        let shape = Shape::new(extents);
+        g.bench_with_input(BenchmarkId::new("divisor", name), &shape, |b, s| {
+            b.iter(|| black_box(Divisor::compute(s, 6, DivisorRule::TableConsistent)))
+        });
+
+        let divisor = Divisor::compute(&shape, 6, DivisorRule::TableConsistent);
+        let layout = BlockedLayout::new(shape.clone(), divisor);
+        g.bench_with_input(
+            BenchmarkId::new("blocked_offset_sweep", name),
+            &layout,
+            |b, l| {
+                b.iter(|| {
+                    // Translate every cell: the address arithmetic the
+                    // blocked DP pays per dependency.
+                    let mut acc = 0usize;
+                    let mut it = l.shape().iter();
+                    while let Some(idx) = it.next_ref() {
+                        acc = acc.wrapping_add(l.blocked_offset(idx));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        let data: Vec<u32> = (0..shape.size() as u32).collect();
+        g.bench_with_input(
+            BenchmarkId::new("reorganize", name),
+            &(&layout, &data),
+            |b, (l, d)| b.iter(|| black_box(l.reorganize(d).len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end PTAS wall-clock: search strategies, precisions, and the
+//! polynomial baselines on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_core::gen::uniform;
+use pcmax_core::heuristics::{lpt, multifit};
+use pcmax_ptas::{Ptas, SearchStrategy};
+use std::hint::black_box;
+
+fn bench_ptas(c: &mut Criterion) {
+    let instances = [
+        ("n40_m6", uniform(11, 40, 6, 10, 100)),
+        ("n80_m10", uniform(12, 80, 10, 10, 100)),
+    ];
+    let mut g = c.benchmark_group("ptas_end2end");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (name, inst) in &instances {
+        g.bench_with_input(BenchmarkId::new("bisection_eps03", name), inst, |b, i| {
+            b.iter(|| black_box(Ptas::new(0.3).solve(i)).makespan)
+        });
+        g.bench_with_input(BenchmarkId::new("quarter_eps03", name), inst, |b, i| {
+            b.iter(|| {
+                black_box(
+                    Ptas::new(0.3)
+                        .with_strategy(SearchStrategy::QuarterSplit)
+                        .solve(i),
+                )
+                .makespan
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bisection_eps05", name), inst, |b, i| {
+            b.iter(|| black_box(Ptas::new(0.5).solve(i)).makespan)
+        });
+        g.bench_with_input(BenchmarkId::new("lpt", name), inst, |b, i| {
+            b.iter(|| black_box(lpt(i)).makespan(i))
+        });
+        g.bench_with_input(BenchmarkId::new("multifit", name), inst, |b, i| {
+            b.iter(|| black_box(multifit(i, 10)).makespan(i))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ptas);
+criterion_main!(benches);

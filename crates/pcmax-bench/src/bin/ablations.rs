@@ -1,0 +1,157 @@
+//! Modeled-time ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Stream count** — the paper asserts "applying four streams to each
+//!   data set provides the best performance for the majority of problem
+//!   instances"; sweep 1/2/4/8/16 streams.
+//! * **Divisor rule** — prime-extent promotion (table-consistent) vs the
+//!   literal pseudocode.
+//! * **Search scope** — the block-scoped `SetOPT` search vs the
+//!   whole-table search of the naive port (at equal layout), isolating
+//!   the claim of §III.E.
+//! * **Memory residency** — per DIM, the peak block-resident working set
+//!   vs the full table (the §V future-work saving).
+
+use gpu_sim::DeviceSpec;
+use ndtable::partition::DivisorRule;
+use pcmax_bench::fmt;
+use pcmax_gpu::naive::simulate_naive;
+use pcmax_gpu::synth::{instance_with_scale, problem_with_extents};
+use pcmax_gpu::{simulate_partitioned, solve_gpu, GpuPtasConfig, PartitionOptions, TableAnalysis};
+
+fn main() {
+    let spec = DeviceSpec::k40();
+
+    // One mid-size and one large paper shape.
+    let shapes: Vec<(&str, Vec<usize>)> = vec![
+        ("sigma12960", vec![3, 16, 15, 18]),
+        ("sigma20736", vec![4, 4, 6, 6, 2, 3, 3, 2]),
+    ];
+
+    for (name, extents) in &shapes {
+        let problem = problem_with_extents(extents, 4);
+        let analysis = TableAnalysis::analyze(&problem);
+
+        println!("\n## {name} {extents:?}");
+
+        // 1. Stream sweep.
+        let header: Vec<String> = ["streams", "modeled ms", "occupancy %"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&streams| {
+                let opts = PartitionOptions {
+                    streams,
+                    ..PartitionOptions::with_dim_limit(6)
+                };
+                let run = simulate_partitioned(&problem, &analysis, &spec, &opts);
+                vec![
+                    streams.to_string(),
+                    fmt::ms(run.report.millis()),
+                    format!("{:.2}", 100.0 * run.report.occupancy),
+                ]
+            })
+            .collect();
+        println!("\n# stream-count sweep (DIM6)");
+        fmt::print_table(&header, &rows);
+        fmt::write_csv(&format!("ablation_streams_{name}"), &header, &rows).expect("csv");
+
+        // 2. Divisor rule.
+        println!("\n# divisor rule (DIM5)");
+        let header: Vec<String> = ["rule", "blocks", "modeled ms"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = [
+            ("table-consistent", DivisorRule::TableConsistent),
+            ("literal-pseudocode", DivisorRule::LiteralPseudocode),
+        ]
+        .iter()
+        .map(|&(rname, rule)| {
+            let opts = PartitionOptions {
+                rule,
+                ..PartitionOptions::with_dim_limit(5)
+            };
+            let run = simulate_partitioned(&problem, &analysis, &spec, &opts);
+            vec![
+                rname.to_string(),
+                run.num_blocks.to_string(),
+                fmt::ms(run.report.millis()),
+            ]
+        })
+        .collect();
+        fmt::print_table(&header, &rows);
+        fmt::write_csv(&format!("ablation_divisor_{name}"), &header, &rows).expect("csv");
+
+        // 3. Search scope: naive whole-table vs partitioned block search.
+        let naive = simulate_naive(&problem, &analysis, &spec);
+        let part =
+            simulate_partitioned(&problem, &analysis, &spec, &PartitionOptions::with_dim_limit(6));
+        println!("\n# search scope");
+        println!(
+            "whole-table (naive port): {} ms; block-scoped (DIM6): {} ms; factor {:.1}x",
+            fmt::ms(naive.millis()),
+            fmt::ms(part.report.millis()),
+            naive.total_ns / part.report.total_ns
+        );
+
+        // 4. Memory residency per DIM.
+        println!("\n# peak block-resident memory vs full table (4-byte cells)");
+        let header: Vec<String> = ["dim", "blocks", "resident B", "full B", "saving"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = (3..=9)
+            .map(|dim| {
+                let run = simulate_partitioned(
+                    &problem,
+                    &analysis,
+                    &spec,
+                    &PartitionOptions::with_dim_limit(dim),
+                );
+                vec![
+                    format!("DIM{dim}"),
+                    run.num_blocks.to_string(),
+                    run.peak_resident_bytes.to_string(),
+                    run.full_table_bytes.to_string(),
+                    format!(
+                        "{:.1}%",
+                        100.0 * (1.0 - run.peak_resident_bytes as f64 / run.full_table_bytes as f64)
+                    ),
+                ]
+            })
+            .collect();
+        fmt::print_table(&header, &rows);
+        fmt::write_csv(&format!("ablation_memory_{name}"), &header, &rows).expect("csv");
+    }
+
+    // 5. Search segmentation (generalised Alg. 3): why four processes?
+    // More segments cut rounds but crowd the device; the sweet spot is
+    // where round savings stop paying for per-round width.
+    println!("\n## search-segment sweep (end-to-end GPU PTAS, one instance)");
+    let inst = instance_with_scale(77, 1);
+    let header: Vec<String> = ["segments", "rounds", "DP probes", "modeled ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&processes| {
+            let cfg = GpuPtasConfig {
+                processes,
+                ..GpuPtasConfig::default()
+            };
+            let out = solve_gpu(&inst, &cfg);
+            let probes: usize = out.rounds.iter().map(|r| r.targets.len()).sum();
+            vec![
+                processes.to_string(),
+                out.iterations.to_string(),
+                probes.to_string(),
+                fmt::ms(out.modeled_ms),
+            ]
+        })
+        .collect();
+    fmt::print_table(&header, &rows);
+    fmt::write_csv("ablation_segments", &header, &rows).expect("csv");
+}

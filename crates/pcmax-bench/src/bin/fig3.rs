@@ -1,0 +1,74 @@
+//! Fig. 3: average running time vs DP-table size.
+//!
+//! Usage: `fig3 [--group a|b|c|all] [--naive]`
+//!
+//! Reproduces the three panels of the paper's Fig. 3 with modeled times:
+//! OMP16/OMP28 from the multicore cost model, GPU-DIM3..9 from the
+//! simulator. `--naive` adds the direct-port straw man of §III.
+
+use pcmax_bench::series::{evaluate_table, DIM_RANGE};
+use pcmax_bench::shapes::{fig3_shape, fig3_sizes};
+use pcmax_bench::{fmt, series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let group = args
+        .iter()
+        .position(|a| a == "--group")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let with_naive = args.iter().any(|a| a == "--naive");
+    let groups: Vec<char> = match group {
+        "all" => vec!['a', 'b', 'c'],
+        g if g.len() == 1 => vec![g.chars().next().unwrap()],
+        other => panic!("bad --group {other}"),
+    };
+
+    for g in groups {
+        let (lo, hi) = match g {
+            'a' => ("100", "10000"),
+            'b' => ("20000", "100000"),
+            _ => ("110000", "500000"),
+        };
+        println!();
+        println!("# Fig. 3({g}): DP-table size {lo}..{hi} — modeled running time (ms)");
+        println!("#   series: OMP16 / OMP28 (CPU cost model), GPU-DIM3..9 (simulator)");
+
+        let mut header: Vec<String> = vec!["size".into(), "shape".into(), "OMP16".into(), "OMP28".into()];
+        header.extend(DIM_RANGE.map(|d| format!("GPU-DIM{d}")));
+        if with_naive {
+            header.push("GPU-naive".into());
+        }
+        header.push("winner".into());
+
+        let mut rows = Vec::new();
+        for size in fig3_sizes(g) {
+            let shape = fig3_shape(size);
+            let s = evaluate_table(&shape, with_naive);
+            let (best_dim, best_gpu) = s.best_gpu();
+            let winner = if s.omp28_ms.min(s.omp16_ms) <= best_gpu {
+                format!("OMP28 ({}x)", fmt::ms(best_gpu / s.omp28_ms))
+            } else {
+                format!("GPU-DIM{best_dim} ({}x)", fmt::ms(s.omp28_ms / best_gpu))
+            };
+            let mut row = vec![
+                s.size.to_string(),
+                fmt::tuple(&s.extents),
+                fmt::ms(s.omp16_ms),
+                fmt::ms(s.omp28_ms),
+            ];
+            row.extend(s.gpu_ms.iter().map(|&(_, v)| fmt::ms(v)));
+            if let Some(n) = s.naive_ms {
+                row.push(fmt::ms(n));
+            }
+            row.push(winner);
+            rows.push(row);
+            eprint!(".");
+        }
+        eprintln!();
+        fmt::print_table(&header, &rows);
+        fmt::write_csv(&format!("fig3{g}"), &header, &rows).expect("csv");
+    }
+    let _ = series::K;
+}

@@ -1,0 +1,36 @@
+//! Fig. 4: how the number of non-zero dimensions influences GPU
+//! performance.
+//!
+//! For each of the six published table sizes, every dimension-count
+//! variant (the rows of Tables I–VI) is swept over partition settings
+//! GPU-DIM3..9. The paper's findings to reproduce: the best setting sits
+//! at 5–7 partitioned dimensions, and variants with more non-zero
+//! dimensions usually run faster than same-size variants with fewer.
+
+use pcmax_bench::series::{evaluate_table, DIM_RANGE};
+use pcmax_bench::shapes::paper_rows;
+use pcmax_bench::fmt;
+
+fn main() {
+    let sizes = [3456usize, 8640, 12960, 20736, 362880, 403200];
+    for size in sizes {
+        println!();
+        println!("# Fig. 4 panel: DP-table size {size} — modeled GPU time (ms) vs partition dims");
+        let mut header: Vec<String> = vec!["#dims".into(), "shape".into()];
+        header.extend(DIM_RANGE.map(|d| format!("GPU-DIM{d}")));
+        header.push("best".into());
+        let mut rows = Vec::new();
+        for row in paper_rows().iter().filter(|r| r.table_size == size) {
+            let s = evaluate_table(&row.extents, false);
+            let (best_dim, _) = s.best_gpu();
+            let mut cells = vec![row.extents.len().to_string(), fmt::tuple(&row.extents)];
+            cells.extend(s.gpu_ms.iter().map(|&(_, v)| fmt::ms(v)));
+            cells.push(format!("DIM{best_dim}"));
+            rows.push(cells);
+            eprint!(".");
+        }
+        eprintln!();
+        fmt::print_table(&header, &rows);
+        fmt::write_csv(&format!("fig4_{size}"), &header, &rows).expect("csv");
+    }
+}

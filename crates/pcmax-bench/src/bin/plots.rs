@@ -1,0 +1,115 @@
+//! Renders the paper's figures as SVGs from the harness CSVs.
+//!
+//! Run `fig3` and `fig4` first (they write `results/*.csv`), then:
+//!
+//! ```console
+//! $ cargo run --release -p pcmax-bench --bin plots
+//! ```
+//!
+//! Produces `results/fig3{a,b,c}.svg` and `results/fig4_<size>.svg`.
+
+use pcmax_bench::plot::{line_chart, Series};
+use std::fs;
+use std::path::Path;
+
+/// Parses a harness CSV: header row, then data rows.
+fn read_csv(path: &Path) -> Result<(Vec<String>, Vec<Vec<String>>), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines
+        .next()
+        .ok_or("empty csv")?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let rows = lines
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Ok((header, rows))
+}
+
+fn fig3_svg(group: char) -> Result<(), String> {
+    let path = Path::new("results").join(format!("fig3{group}.csv"));
+    let (header, rows) = read_csv(&path)?;
+    // Columns: size, shape, OMP16, OMP28, GPU-DIM3..9, [winner].
+    let series_cols: Vec<usize> = (2..header.len())
+        .filter(|&c| header[c] != "winner" && header[c] != "shape")
+        .collect();
+    let mut series = Vec::new();
+    for &c in &series_cols {
+        let mut points = Vec::new();
+        for row in &rows {
+            let x: f64 = row[0].parse().map_err(|_| "bad size")?;
+            if let Ok(y) = row[c].parse::<f64>() {
+                points.push((x, y));
+            }
+        }
+        series.push(Series {
+            name: header[c].clone(),
+            points,
+        });
+    }
+    let svg = line_chart(
+        &format!("Fig. 3({group}): modeled running time vs DP-table size"),
+        "DP-table size (cells)",
+        "modeled time (ms)",
+        &series,
+    );
+    let out = Path::new("results").join(format!("fig3{group}.svg"));
+    fs::write(&out, svg).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
+fn fig4_svg(size: usize) -> Result<(), String> {
+    let path = Path::new("results").join(format!("fig4_{size}.csv"));
+    let (header, rows) = read_csv(&path)?;
+    // Columns: #dims, shape, GPU-DIM3..9, best. One series per row.
+    let dim_cols: Vec<usize> = (0..header.len())
+        .filter(|&c| header[c].starts_with("GPU-DIM"))
+        .collect();
+    let mut series = Vec::new();
+    for row in &rows {
+        let mut points = Vec::new();
+        for &c in &dim_cols {
+            let dim: f64 = header[c]
+                .trim_start_matches("GPU-DIM")
+                .parse()
+                .map_err(|_| "bad dim")?;
+            if let Ok(y) = row[c].parse::<f64>() {
+                points.push((dim, y));
+            }
+        }
+        series.push(Series {
+            name: format!("{} non-zero dims", row[0]),
+            points,
+        });
+    }
+    let svg = line_chart(
+        &format!("Fig. 4 panel: table size {size}"),
+        "partitioned dimensions (GPU-DIMx)",
+        "modeled time (ms)",
+        &series,
+    );
+    let out = Path::new("results").join(format!("fig4_{size}.svg"));
+    fs::write(&out, svg).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
+fn main() {
+    let mut rendered = 0;
+    for g in ['a', 'b', 'c'] {
+        match fig3_svg(g) {
+            Ok(()) => rendered += 1,
+            Err(e) => eprintln!("skipping fig3{g}: {e} (run the fig3 binary first)"),
+        }
+    }
+    for size in [3456usize, 8640, 12960, 20736, 362880, 403200] {
+        match fig4_svg(size) {
+            Ok(()) => rendered += 1,
+            Err(e) => eprintln!("skipping fig4_{size}: {e} (run the fig4 binary first)"),
+        }
+    }
+    println!("{rendered} figures rendered under results/");
+}

@@ -1,0 +1,48 @@
+//! Table VII: quarter split vs bisection — iterations and runtime.
+//!
+//! Five instances of growing scale are solved twice: by the simulated
+//! GPU PTAS (Algorithm 3: quarter split, 4 processes × 4 streams,
+//! data-partitioned DP) and by the modeled OpenMP bisection PTAS
+//! (Algorithm 1 on the 28-core cost model). The paper's shapes to
+//! reproduce: the GPU needs fewer iterations everywhere, and its runtime
+//! advantage appears only on the larger configurations.
+
+use pcmax_bench::fmt;
+use pcmax_gpu::synth::instance_with_scale;
+use pcmax_gpu::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig};
+
+fn main() {
+    let header: Vec<String> = [
+        "max table",
+        "#itr GPU",
+        "runtime GPU (ms)",
+        "#itr OpenMP",
+        "runtime OpenMP (ms)",
+        "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut rows = Vec::new();
+    for scale in 0..5 {
+        let inst = instance_with_scale(1000 + scale as u64, scale);
+        let gpu = solve_gpu(&inst, &GpuPtasConfig::default());
+        let omp = modeled_openmp_bisection(&inst, 0.3, 28);
+        assert_eq!(gpu.target, omp.target, "searches must agree");
+        rows.push(vec![
+            gpu.max_table_size.max(omp.max_table_size).to_string(),
+            gpu.iterations.to_string(),
+            fmt::ms(gpu.modeled_ms),
+            omp.iterations.to_string(),
+            fmt::ms(omp.modeled_ms),
+            format!("{:.2}x", omp.modeled_ms / gpu.modeled_ms),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("# Table VII: runtime and number of iterations performed");
+    println!("#   GPU = quarter split on the simulator; OpenMP = bisection on the 28-core model");
+    fmt::print_table(&header, &rows);
+    fmt::write_csv("table_vii", &header, &rows).expect("csv");
+}

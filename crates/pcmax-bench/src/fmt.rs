@@ -1,0 +1,80 @@
+//! Plain-text table printing and CSV output for the harness binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Prints an aligned text table: a header row and data rows.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(out, "{}", line.join("  ")).expect("stdout");
+    };
+    emit(header);
+    for row in rows {
+        emit(row);
+    }
+}
+
+/// Writes the same table as CSV under `results/<name>.csv`.
+pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = fs::File::create(&path)?;
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(out, "{}", row.join(","))?;
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Milliseconds with adaptive precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a vector like the paper: `(3, 4, 3, 3, 4)`.
+pub fn tuple(v: &[usize]) -> String {
+    let inner: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("({})", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_precision() {
+        assert_eq!(ms(12345.6), "12346");
+        assert_eq!(ms(3.71828), "3.72");
+        assert_eq!(ms(0.001234), "0.0012");
+    }
+
+    #[test]
+    fn tuple_format() {
+        assert_eq!(tuple(&[3, 4, 3]), "(3,4,3)");
+        assert_eq!(tuple(&[]), "()");
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness: regenerates every figure and table of the paper.
+//!
+//! Binaries (run with `--release`; each prints the paper-format rows and
+//! writes a CSV next to the repository under `results/`):
+//!
+//! * `fig3 [--group a|b|c|all] [--naive]` — average modeled running time
+//!   vs DP-table size, series OMP16/OMP28/GPU-DIM3..9 (Fig. 3);
+//! * `fig4` — modeled GPU time vs number of partitioned dimensions, one
+//!   series per non-zero-dimension variant of six table sizes (Fig. 4);
+//! * `tables_i_vi` — block dimensional sizes for the published table
+//!   shapes, checked against the paper's values (Tables I–VI);
+//! * `table_vii` — quarter-split vs bisection: iteration counts and
+//!   modeled runtimes on five instances (Table VII).
+//!
+//! The library half holds what the binaries share: shape selection
+//! ([`shapes`]), per-table series evaluation ([`series`]), and plain-text
+//! / CSV output ([`fmt`]).
+
+pub mod fmt;
+pub mod plot;
+pub mod series;
+pub mod shapes;

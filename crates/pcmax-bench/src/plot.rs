@@ -1,0 +1,247 @@
+//! Minimal SVG line charts — enough to draw the paper's figures from the
+//! harness CSVs without pulling in a plotting dependency.
+//!
+//! Log-log axes (both table sizes and modeled times span orders of
+//! magnitude, like the paper's Fig. 3), one polyline per series, a simple
+//! legend, and tick labels in scientific-ish notation.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points (must be positive for the log axes).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Brand-neutral categorical palette (10 distinguishable hues).
+const PALETTE: [&str; 10] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+    "#9c6b4e", "#9498a0",
+];
+
+fn log_pos(v: f64, lo: f64, hi: f64, px_lo: f64, px_hi: f64) -> f64 {
+    let t = (v.ln() - lo.ln()) / (hi.ln() - lo.ln());
+    px_lo + t * (px_hi - px_lo)
+}
+
+/// Renders a log-log line chart as a standalone SVG document.
+///
+/// # Panics
+///
+/// Panics if a series contains a non-positive coordinate (log axes).
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    const W: f64 = 760.0;
+    const H: f64 = 480.0;
+    const ML: f64 = 70.0; // margins
+    const MR: f64 = 150.0;
+    const MT: f64 = 40.0;
+    const MB: f64 = 55.0;
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    assert!(
+        all.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log axes need positive data"
+    );
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, 0.0f64);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, 0.0f64);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    // Pad the y range a little; degenerate ranges get a factor of 2.
+    if y_lo == y_hi {
+        y_lo /= 2.0;
+        y_hi *= 2.0;
+    }
+    if x_lo == x_hi {
+        x_lo /= 2.0;
+        x_hi *= 2.0;
+    }
+
+    let px = |x: f64| log_pos(x, x_lo, x_hi, ML, W - MR);
+    let py = |y: f64| log_pos(y, y_lo, y_hi, H - MB, MT);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+        (ML + W - MR) / 2.0,
+        xml_escape(title)
+    );
+
+    // Axes box.
+    let _ = write!(
+        svg,
+        r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#888"/>"##,
+        W - ML - MR,
+        H - MT - MB
+    );
+
+    // Decade ticks.
+    let mut decade = 10f64.powf(x_lo.log10().floor());
+    while decade <= x_hi * 1.0001 {
+        if decade >= x_lo * 0.9999 {
+            let x = px(decade);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                H - MB
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">1e{}</text>"#,
+                H - MB + 16.0,
+                decade.log10().round() as i64
+            );
+        }
+        decade *= 10.0;
+    }
+    let mut decade = 10f64.powf(y_lo.log10().floor());
+    while decade <= y_hi * 1.0001 {
+        if decade >= y_lo * 0.9999 {
+            let y = py(decade);
+            let _ = write!(
+                svg,
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                W - MR
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">1e{}</text>"#,
+                ML - 6.0,
+                y + 4.0,
+                decade.log10().round() as i64
+            );
+        }
+        decade *= 10.0;
+    }
+
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 12.0,
+        xml_escape(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0,
+        xml_escape(y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            pts.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend entry.
+        let ly = MT + 14.0 + i as f64 * 16.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            W - MR + 10.0,
+            W - MR + 30.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            W - MR + 36.0,
+            ly + 4.0,
+            xml_escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                name: "OMP28".into(),
+                points: vec![(100.0, 0.1), (1000.0, 5.0), (10000.0, 300.0)],
+            },
+            Series {
+                name: "GPU-DIM6".into(),
+                points: vec![(100.0, 2.0), (1000.0, 12.0), (10000.0, 90.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_contains_series_and_structure() {
+        let svg = line_chart("Fig 3 & more", "table size", "ms", &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("OMP28"));
+        assert!(svg.contains("GPU-DIM6"));
+        assert!(svg.contains("Fig 3 &amp; more"), "title escaped");
+        // 6 data markers.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn log_positions_are_monotone() {
+        let svg = line_chart("t", "x", "y", &sample());
+        // Cheap sanity: decade gridlines for x = 1e2..1e4 appear.
+        assert!(svg.contains(">1e2<"));
+        assert!(svg.contains(">1e4<"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_values() {
+        line_chart(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                name: "bad".into(),
+                points: vec![(0.0, 1.0)],
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn rejects_empty() {
+        line_chart("t", "x", "y", &[]);
+    }
+}

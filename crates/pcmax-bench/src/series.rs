@@ -1,0 +1,101 @@
+//! Per-table evaluation: one analysis, every execution model.
+
+use exec_model::CpuModel;
+use gpu_sim::DeviceSpec;
+use pcmax_gpu::naive::simulate_naive;
+use pcmax_gpu::synth::problem_with_extents;
+use pcmax_gpu::{simulate_partitioned, PartitionOptions, TableAnalysis};
+
+/// The PTAS precision of the paper's evaluation (ε = 0.3 → k = 4).
+pub const K: u64 = 4;
+
+/// The GPU-DIM sweep of the paper.
+pub const DIM_RANGE: std::ops::RangeInclusive<usize> = 3..=9;
+
+/// Modeled times of one table under every execution variant, ms.
+pub struct TableSeries {
+    pub extents: Vec<usize>,
+    pub size: usize,
+    pub ndim: usize,
+    pub omp16_ms: f64,
+    pub omp28_ms: f64,
+    /// `(dim_limit, modeled ms)` for GPU-DIM3..9.
+    pub gpu_ms: Vec<(usize, f64)>,
+    /// Naive direct-port time (only when requested).
+    pub naive_ms: Option<f64>,
+}
+
+impl TableSeries {
+    /// Best GPU time across the DIM sweep.
+    pub fn best_gpu(&self) -> (usize, f64) {
+        self.gpu_ms
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty sweep")
+    }
+}
+
+/// Evaluates one table shape under OMP16/OMP28 and the GPU-DIM sweep.
+/// The (expensive) dependency analysis is performed once and shared.
+pub fn evaluate_table(extents: &[usize], with_naive: bool) -> TableSeries {
+    let problem = problem_with_extents(extents, K);
+    let analysis = TableAnalysis::analyze(&problem);
+    let workload = analysis.workload();
+    let spec = DeviceSpec::k40();
+
+    let omp16_ms = CpuModel::xeon_e5_2697v3(16).estimate_dp(&workload).millis();
+    let omp28_ms = CpuModel::xeon_e5_2697v3(28).estimate_dp(&workload).millis();
+    let gpu_ms = DIM_RANGE
+        .map(|dim| {
+            let run = simulate_partitioned(
+                &problem,
+                &analysis,
+                &spec,
+                &PartitionOptions::with_dim_limit(dim),
+            );
+            (dim, run.report.millis())
+        })
+        .collect();
+    let naive_ms = with_naive.then(|| simulate_naive(&problem, &analysis, &spec).millis());
+
+    TableSeries {
+        extents: extents.to_vec(),
+        size: problem.table_size(),
+        ndim: extents.len(),
+        omp16_ms,
+        omp28_ms,
+        gpu_ms,
+        naive_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_complete_and_positive() {
+        let s = evaluate_table(&[6, 4, 6, 6, 4], false);
+        assert_eq!(s.size, 3456);
+        assert_eq!(s.gpu_ms.len(), 7);
+        assert!(s.omp16_ms > 0.0 && s.omp28_ms > 0.0);
+        assert!(s.gpu_ms.iter().all(|&(_, ms)| ms > 0.0));
+        assert!(s.omp28_ms <= s.omp16_ms);
+    }
+
+    #[test]
+    fn best_gpu_picks_minimum() {
+        let s = evaluate_table(&[4, 4, 3, 3], false);
+        let (dim, ms) = s.best_gpu();
+        assert!(s.gpu_ms.iter().all(|&(_, other)| ms <= other));
+        assert!(DIM_RANGE.contains(&dim));
+    }
+
+    #[test]
+    fn naive_optional() {
+        let s = evaluate_table(&[4, 3, 3], true);
+        assert!(s.naive_ms.unwrap() > 0.0);
+        assert!(evaluate_table(&[4, 3, 3], false).naive_ms.is_none());
+    }
+}

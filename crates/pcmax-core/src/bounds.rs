@@ -1,0 +1,57 @@
+//! Lower and upper bounds on the optimal makespan.
+//!
+//! These are the bisection-interval endpoints of the PTAS (Algorithm 1,
+//! lines 2–3):
+//!
+//! * `LB = max(⌈Σ tⱼ / m⌉, max tⱼ)` — no schedule can beat the average
+//!   load or the longest job;
+//! * `UB = ⌈Σ tⱼ / m⌉ + max tⱼ` — list scheduling never exceeds this, so a
+//!   schedule of makespan ≤ UB always exists.
+
+use crate::instance::Instance;
+
+/// `LB = max(⌈Σ tⱼ / m⌉, max tⱼ)`.
+pub fn lower_bound(inst: &Instance) -> u64 {
+    inst.area_bound().max(inst.max_time())
+}
+
+/// `UB = ⌈Σ tⱼ / m⌉ + max tⱼ`.
+pub fn upper_bound(inst: &Instance) -> u64 {
+    inst.area_bound() + inst.max_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force_makespan;
+    use crate::heuristics::list_schedule;
+
+    #[test]
+    fn bounds_bracket_optimum_small() {
+        let inst = Instance::new(vec![7, 3, 3, 2, 2, 2, 2], 3);
+        let opt = brute_force_makespan(&inst);
+        assert!(lower_bound(&inst) <= opt);
+        assert!(opt <= upper_bound(&inst));
+    }
+
+    #[test]
+    fn single_machine_bounds_are_total() {
+        let inst = Instance::new(vec![5, 5, 5], 1);
+        assert_eq!(lower_bound(&inst), 15);
+        assert!(upper_bound(&inst) >= 15);
+    }
+
+    #[test]
+    fn long_job_dominates_lower_bound() {
+        let inst = Instance::new(vec![100, 1, 1], 3);
+        assert_eq!(lower_bound(&inst), 100);
+    }
+
+    #[test]
+    fn list_schedule_respects_upper_bound() {
+        // Graham: list scheduling ≤ avg + max, so UB is always achievable.
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1], 3);
+        let s = list_schedule(&inst);
+        assert!(s.makespan(&inst) <= upper_bound(&inst));
+    }
+}

@@ -1,0 +1,112 @@
+//! Instance representation for `P||Cmax`.
+
+use serde::{Deserialize, Serialize};
+
+/// An instance of `P||Cmax`: `n` jobs with positive integer processing
+/// times to be scheduled on `m` parallel identical machines.
+///
+/// Processing times are `u64`, matching the paper's assumption that "all
+/// jobs' processing times are positive integers".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    times: Vec<u64>,
+    machines: usize,
+}
+
+impl Instance {
+    /// Builds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no jobs, no machines, or any processing time is
+    /// zero (zero-length jobs are trivially schedulable and break the
+    /// rounding arithmetic of the PTAS, as in the paper).
+    pub fn new(times: Vec<u64>, machines: usize) -> Self {
+        assert!(!times.is_empty(), "instance needs at least one job");
+        assert!(machines > 0, "instance needs at least one machine");
+        assert!(
+            times.iter().all(|&t| t > 0),
+            "processing times must be positive"
+        );
+        Self { times, machines }
+    }
+
+    /// Number of jobs, `n`.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Number of machines, `m`.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Processing times `t_1, …, t_n`.
+    #[inline]
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Processing time of job `j`.
+    #[inline]
+    pub fn time(&self, job: usize) -> u64 {
+        self.times[job]
+    }
+
+    /// Total work `Σ t_j`.
+    pub fn total_work(&self) -> u64 {
+        self.times.iter().sum()
+    }
+
+    /// Largest processing time.
+    pub fn max_time(&self) -> u64 {
+        *self.times.iter().max().expect("non-empty")
+    }
+
+    /// Average machine load `⌈Σ t_j / m⌉` (the area bound).
+    pub fn area_bound(&self) -> u64 {
+        self.total_work().div_ceil(self.machines as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let inst = Instance::new(vec![3, 1, 4, 1, 5], 2);
+        assert_eq!(inst.num_jobs(), 5);
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.total_work(), 14);
+        assert_eq!(inst.max_time(), 5);
+        assert_eq!(inst.area_bound(), 7);
+        assert_eq!(inst.time(2), 4);
+    }
+
+    #[test]
+    fn area_bound_rounds_up() {
+        let inst = Instance::new(vec![1, 1, 1], 2);
+        assert_eq!(inst.area_bound(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn rejects_empty() {
+        Instance::new(vec![], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_zero_machines() {
+        Instance::new(vec![1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_time() {
+        Instance::new(vec![1, 0], 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Instance and schedule (de)serialisation.
+//!
+//! The on-disk instance format is deliberately trivial — the first
+//! whitespace-separated integer is the machine count, the rest are
+//! processing times — so instances can be produced by a shell one-liner
+//! and diffed by eye:
+//!
+//! ```text
+//! 4
+//! 17 42 99 3 3 56
+//! ```
+//!
+//! Schedules serialise as `machines` then one `job machine` pair per
+//! line. Both formats reject trailing garbage and report the offending
+//! token.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Parses an instance from its text form.
+pub fn parse_instance(text: &str) -> Result<Instance, String> {
+    let mut nums = text.split_whitespace();
+    let machines: usize = match nums.next() {
+        None => return Err("empty instance text".into()),
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| format!("bad machine count `{tok}`"))?,
+    };
+    if machines == 0 {
+        return Err("machine count must be positive".into());
+    }
+    let mut times = Vec::new();
+    for tok in nums {
+        let t: u64 = tok.parse().map_err(|_| format!("bad job time `{tok}`"))?;
+        if t == 0 {
+            return Err("job times must be positive".into());
+        }
+        times.push(t);
+    }
+    if times.is_empty() {
+        return Err("instance has no jobs".into());
+    }
+    Ok(Instance::new(times, machines))
+}
+
+/// Renders an instance to its text form.
+pub fn format_instance(inst: &Instance) -> String {
+    let mut out = String::with_capacity(inst.num_jobs() * 4 + 8);
+    let _ = writeln!(out, "{}", inst.machines());
+    for (i, t) in inst.times().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Loads an instance from a file.
+pub fn load_instance(path: impl AsRef<Path>) -> Result<Instance, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse_instance(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Saves an instance to a file.
+pub fn save_instance(inst: &Instance, path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    std::fs::write(path, format_instance(inst))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Renders a schedule: machine count, then one `job machine` pair per
+/// line, in job order.
+pub fn format_schedule(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", schedule.machines());
+    for (job, &m) in schedule.assignment().iter().enumerate() {
+        let _ = writeln!(out, "{job} {m}");
+    }
+    out
+}
+
+/// Parses a schedule from its text form.
+pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
+    let mut nums = text.split_whitespace();
+    let machines: usize = match nums.next() {
+        None => return Err("empty schedule text".into()),
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| format!("bad machine count `{tok}`"))?,
+    };
+    let mut pairs = Vec::new();
+    while let Some(job_tok) = nums.next() {
+        let machine_tok = nums
+            .next()
+            .ok_or_else(|| format!("dangling job id `{job_tok}`"))?;
+        let job: usize = job_tok
+            .parse()
+            .map_err(|_| format!("bad job id `{job_tok}`"))?;
+        let m: usize = machine_tok
+            .parse()
+            .map_err(|_| format!("bad machine `{machine_tok}`"))?;
+        pairs.push((job, m));
+    }
+    let n = pairs.len();
+    let mut assignment = vec![usize::MAX; n];
+    for (job, m) in pairs {
+        if job >= n {
+            return Err(format!("job id {job} out of range for {n} jobs"));
+        }
+        if assignment[job] != usize::MAX {
+            return Err(format!("job {job} assigned twice"));
+        }
+        if m >= machines {
+            return Err(format!("machine {m} out of range"));
+        }
+        assignment[job] = m;
+    }
+    if assignment.contains(&usize::MAX) {
+        return Err("schedule does not cover every job".into());
+    }
+    Ok(Schedule::new(assignment, machines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = uniform(9, 25, 4, 1, 60);
+        let text = format_instance(&inst);
+        assert_eq!(parse_instance(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn instance_parses_arbitrary_whitespace() {
+        let inst = parse_instance("3\n 5 6\t7\n8").unwrap();
+        assert_eq!(inst.machines(), 3);
+        assert_eq!(inst.times(), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn instance_rejects_garbage() {
+        assert!(parse_instance("").is_err());
+        assert!(parse_instance("2").is_err()); // no jobs
+        assert!(parse_instance("0 5 5").is_err()); // zero machines
+        assert!(parse_instance("2 5 x").is_err()); // bad token
+        assert!(parse_instance("2 5 0").is_err()); // zero time
+        assert!(parse_instance("-1 5").is_err()); // negative count
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let s = Schedule::new(vec![0, 2, 1, 1, 0], 3);
+        let text = format_schedule(&s);
+        assert_eq!(parse_schedule(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn schedule_rejects_inconsistencies() {
+        assert!(parse_schedule("").is_err());
+        assert!(parse_schedule("2\n0 0\n0 1").is_err()); // job twice
+        assert!(parse_schedule("2\n0 5").is_err()); // machine range
+        assert!(parse_schedule("2\n5 0").is_err()); // job range
+        assert!(parse_schedule("2\n0").is_err()); // dangling
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = uniform(4, 10, 2, 1, 20);
+        let dir = std::env::temp_dir().join("pcmax-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.inst");
+        save_instance(&inst, &path).unwrap();
+        assert_eq!(load_instance(&path).unwrap(), inst);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports_path() {
+        let err = load_instance("/nonexistent/nowhere.inst").unwrap_err();
+        assert!(err.contains("nowhere.inst"));
+    }
+}

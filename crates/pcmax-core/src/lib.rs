@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Problem substrate for `P||Cmax`: scheduling `n` jobs with integer
+//! processing times on `m` parallel identical machines to minimise the
+//! makespan (the maximum machine load).
+//!
+//! This crate holds everything that is *about the problem* rather than
+//! about the PTAS: instance representation and random generators
+//! ([`Instance`], [`gen`]), schedules and their validation ([`Schedule`]),
+//! the standard lower/upper bounds the PTAS bisects between ([`bounds`]),
+//! classic polynomial heuristics used as baselines ([`heuristics`]), and
+//! exact solvers small enough to act as test oracles ([`exact`]).
+
+pub mod bounds;
+pub mod exact;
+pub mod gen;
+pub mod heuristics;
+pub mod io;
+pub mod instance;
+pub mod schedule;
+
+pub use bounds::{lower_bound, upper_bound};
+pub use instance::Instance;
+pub use schedule::Schedule;

@@ -1,0 +1,165 @@
+//! Schedules (job → machine assignments) and their evaluation.
+
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A complete assignment of jobs to machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `machine_of[j]` is the machine executing job `j`.
+    machine_of: Vec<usize>,
+    machines: usize,
+}
+
+impl Schedule {
+    /// Builds a schedule from an explicit assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any machine index is out of range.
+    pub fn new(machine_of: Vec<usize>, machines: usize) -> Self {
+        assert!(
+            machine_of.iter().all(|&m| m < machines),
+            "machine index out of range"
+        );
+        Self {
+            machine_of,
+            machines,
+        }
+    }
+
+    /// Number of jobs covered by the schedule.
+    #[inline]
+    pub fn num_jobs(&self) -> usize {
+        self.machine_of.len()
+    }
+
+    #[inline]
+    /// Number of machines the schedule targets.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Machine executing job `j`.
+    #[inline]
+    pub fn machine_of(&self, job: usize) -> usize {
+        self.machine_of[job]
+    }
+
+    /// The assignment vector.
+    #[inline]
+    pub fn assignment(&self) -> &[usize] {
+        &self.machine_of
+    }
+
+    /// Per-machine loads under `inst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover exactly the jobs of `inst`.
+    pub fn loads(&self, inst: &Instance) -> Vec<u64> {
+        assert_eq!(
+            self.machine_of.len(),
+            inst.num_jobs(),
+            "schedule covers {} jobs, instance has {}",
+            self.machine_of.len(),
+            inst.num_jobs()
+        );
+        assert_eq!(self.machines, inst.machines(), "machine count mismatch");
+        let mut loads = vec![0u64; self.machines];
+        for (job, &m) in self.machine_of.iter().enumerate() {
+            loads[m] += inst.time(job);
+        }
+        loads
+    }
+
+    /// Makespan: the maximum machine load.
+    pub fn makespan(&self, inst: &Instance) -> u64 {
+        self.loads(inst).into_iter().max().unwrap_or(0)
+    }
+
+    /// Verifies the schedule is structurally valid for `inst`: every job
+    /// assigned exactly once to an in-range machine. Returns the makespan.
+    pub fn validate(&self, inst: &Instance) -> Result<u64, String> {
+        if self.machine_of.len() != inst.num_jobs() {
+            return Err(format!(
+                "schedule covers {} jobs, instance has {}",
+                self.machine_of.len(),
+                inst.num_jobs()
+            ));
+        }
+        if self.machines != inst.machines() {
+            return Err(format!(
+                "schedule has {} machines, instance has {}",
+                self.machines,
+                inst.machines()
+            ));
+        }
+        if let Some((job, &m)) = self
+            .machine_of
+            .iter()
+            .enumerate()
+            .find(|(_, &m)| m >= self.machines)
+        {
+            return Err(format!("job {job} assigned to invalid machine {m}"));
+        }
+        Ok(self.makespan(inst))
+    }
+
+    /// Jobs on each machine, as index lists (useful for reporting).
+    pub fn machine_jobs(&self) -> Vec<Vec<usize>> {
+        let mut per = vec![Vec::new(); self.machines];
+        for (job, &m) in self.machine_of.iter().enumerate() {
+            per[m].push(job);
+        }
+        per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::new(vec![3, 1, 4, 1, 5], 2)
+    }
+
+    #[test]
+    fn loads_and_makespan() {
+        let s = Schedule::new(vec![0, 0, 1, 1, 0], 2);
+        assert_eq!(s.loads(&inst()), vec![9, 5]);
+        assert_eq!(s.makespan(&inst()), 9);
+    }
+
+    #[test]
+    fn validate_accepts_good_schedule() {
+        let s = Schedule::new(vec![0, 1, 0, 1, 1], 2);
+        assert_eq!(s.validate(&inst()).unwrap(), 7);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_job_count() {
+        let s = Schedule::new(vec![0, 1], 2);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_machine_count_mismatch() {
+        let s = Schedule::new(vec![0, 1, 0, 1, 1], 3);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn machine_jobs_partitions_jobs() {
+        let s = Schedule::new(vec![0, 1, 0, 1, 1], 2);
+        let per = s.machine_jobs();
+        assert_eq!(per[0], vec![0, 2]);
+        assert_eq!(per[1], vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constructor_rejects_bad_machine() {
+        Schedule::new(vec![0, 2], 2);
+    }
+}

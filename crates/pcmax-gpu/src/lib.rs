@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The paper's GPU algorithm, executed on the `gpu-sim` simulator.
+//!
+//! This crate is the bridge between the *algorithmic* crates
+//! (`pcmax-ptas`, `ndtable`) and the *device* crate (`gpu-sim`): it turns
+//! a DP table into the exact kernel streams the paper's Algorithms 3–5
+//! would launch on a K40, with real per-warp coalescing analysis against
+//! the row-major or block-partitioned memory layout.
+//!
+//! * [`analysis`] — per-cell dependency analysis of a [`pcmax_ptas::DpProblem`]:
+//!   candidate counts (`FindValidSub` fan-out) and the dependency cells
+//!   (`SetOPT` lookups), computed once and reused across partitionings;
+//! * [`synth`] — synthetic DP problems with prescribed table extents, used
+//!   to reproduce the paper's figure/table workloads exactly;
+//! * [`naive`] — the straw-man direct port of the OpenMP code (Algorithm 2
+//!   one-thread-per-table-cell, whole-table searches, row-major strided
+//!   reads) that §III reports as ~100× slower than OpenMP;
+//! * [`partitioned`] — the contribution: the quarter-split + data-
+//!   partitioned execution (Algorithms 4 and 5) with block-major layout,
+//!   block-level wavefronts over four streams, dynamic-parallelism
+//!   children, and block-scoped searches;
+//! * [`gpu_ptas`] — the end-to-end GPU PTAS (Algorithm 3): four interval
+//!   segments probed concurrently per round, 4 processes × 4 streams, plus
+//!   the OpenMP-modeled bisection counterpart for Table VII.
+
+pub mod analysis;
+pub mod gpu_ptas;
+pub mod naive;
+pub mod partitioned;
+pub mod synth;
+
+pub use analysis::TableAnalysis;
+pub use gpu_ptas::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig, GpuPtasOutcome, OmpOutcome};
+pub use partitioned::{simulate_partitioned, PartitionOptions, PartitionedRun};

@@ -1,0 +1,116 @@
+//! The straw-man: a direct GPU translation of the OpenMP code.
+//!
+//! §III of the paper: "a direct GPU translation of the OpenMP
+//! implementation is about a hundred times slower than the OpenMP
+//! implementation". The translation keeps every pathology of Algorithm 2
+//! when dropped onto a GPU:
+//!
+//! * one kernel per *global* anti-diagonal level launching `σ` threads —
+//!   every table cell gets a thread which first checks `dᵢ = l`
+//!   (line 12), so almost all threads are idle ballast;
+//! * each active thread screens its candidate sub-configurations
+//!   *sequentially* (no nested parallelism);
+//! * each dependency value is located by scanning the whole row-major
+//!   table (lines 18–19); the scan's scattered 4-byte reads miss the
+//!   coalescer completely, so we charge one transaction per scanned cell;
+//! * a device-wide synchronisation between levels.
+
+use crate::analysis::TableAnalysis;
+use gpu_sim::{DeviceSpec, GpuSim, KernelDesc, SimReport, WarpDesc};
+use pcmax_ptas::DpProblem;
+
+/// Simulates the naive port of `problem` on `spec`. Uses the default
+/// stream only (the translation has no stream awareness).
+pub fn simulate_naive(
+    problem: &DpProblem,
+    analysis: &TableAnalysis,
+    spec: &DeviceSpec,
+) -> SimReport {
+    let sigma = problem.table_size() as u64;
+    let ndim = problem.shape().ndim() as u64;
+    let mut sim = GpuSim::new(spec.clone(), 1);
+
+    for (l, cells) in analysis.levels().iter().enumerate() {
+        let mut kernel = KernelDesc::new(format!("NaiveLevel[{l}]"), Vec::new());
+        // Active cells, chunked into warps in flat order.
+        for chunk in cells.chunks(spec.warp_size) {
+            let mut compute = 0u64;
+            let mut transactions = 0u64;
+            let mut accesses = 0u64;
+            for &flat in chunk {
+                // Sequential screening of every candidate (weight test is
+                // ndim adds/compares), then a whole-table scan per
+                // dependency; scattered 4-byte reads ⇒ one transaction
+                // per scanned cell.
+                let scan_cells = (sigma / 2).max(1);
+                let ops = analysis.candidates(flat) * ndim;
+                let deps = analysis.deps(flat).len() as u64;
+                compute = compute.max(ops);
+                transactions += deps * scan_cells;
+                accesses += deps * scan_cells;
+            }
+            kernel.warps.push(WarpDesc {
+                active_threads: chunk.len(),
+                compute_cycles: compute,
+                transactions,
+                accesses,
+            });
+        }
+        // Idle ballast: the σ − |level| threads that fail the dᵢ = l test.
+        let idle = sigma - cells.len() as u64;
+        kernel.add_group(
+            idle.div_ceil(spec.warp_size as u64),
+            WarpDesc {
+                active_threads: spec.warp_size,
+                compute_cycles: 4,
+                transactions: 0,
+                accesses: 0,
+            },
+        );
+        sim.launch(0, kernel.with_sync_points(1));
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioned::{simulate_partitioned, PartitionOptions};
+    use crate::synth::problem_with_extents;
+
+    #[test]
+    fn naive_runs_and_reports_kernels_per_level() {
+        let p = problem_with_extents(&[4, 4, 3], 4);
+        let a = TableAnalysis::analyze(&p);
+        let r = simulate_naive(&p, &a, &DeviceSpec::k40());
+        assert_eq!(r.kernels.len(), p.shape().max_level() + 1);
+        assert!(r.total_ns > 0.0);
+    }
+
+    #[test]
+    fn naive_is_much_slower_than_partitioned_and_gap_widens() {
+        // The §III claim: the direct port is far slower, and its
+        // whole-table scans make the gap grow with table size.
+        let spec = DeviceSpec::k40();
+        let ratio = |extents: &[usize]| {
+            let p = problem_with_extents(extents, 4);
+            let a = TableAnalysis::analyze(&p);
+            let naive = simulate_naive(&p, &a, &spec);
+            let part = simulate_partitioned(&p, &a, &spec, &PartitionOptions::default());
+            naive.total_ns / part.report.total_ns
+        };
+        let small = ratio(&[6, 4, 6, 6, 4]); // σ = 3456
+        let large = ratio(&[5, 3, 6, 3, 4, 4, 2]); // σ = 8640
+        assert!(small > 5.0, "σ=3456 ratio {small}");
+        assert!(large > small, "gap must widen: {large} vs {small}");
+    }
+
+    #[test]
+    fn naive_bus_utilisation_is_terrible() {
+        let p = problem_with_extents(&[4, 4, 4, 4], 4);
+        let a = TableAnalysis::analyze(&p);
+        let r = simulate_naive(&p, &a, &DeviceSpec::k40());
+        // One transaction per access: utilisation pinned at 1/32.
+        assert!(r.bus_utilisation() <= 1.0 / 32.0 + 1e-9);
+    }
+}

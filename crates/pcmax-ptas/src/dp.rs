@@ -1,0 +1,618 @@
+//! The higher-dimensional dynamic program `OPT(N)` and its three engines.
+//!
+//! `OPT(v)` is the minimum number of machines that schedule the job
+//! multiset described by `v` (vᵢ jobs of rounded size `sizeᵢ`) with every
+//! machine load ≤ `cap`. Recurrence (paper Eq. 1):
+//!
+//! ```text
+//! OPT(0) = 0
+//! OPT(v) = 1 + min { OPT(v − s) : s ∈ C(v) }   (s ≠ 0, s ≤ v, Σ sᵢ·sizeᵢ ≤ cap)
+//! ```
+//!
+//! Three engines fill the same table and must agree cell-for-cell:
+//!
+//! * [`DpEngine::Sequential`] — a plain row-major sweep (row-major order
+//!   is a topological order of the recurrence);
+//! * [`DpEngine::AntiDiagonal`] — the Ghalami–Grosu parallel sweep
+//!   (Algorithm 2): levels `ℓ = Σ vᵢ` in sequence, all cells of a level
+//!   through rayon;
+//! * [`DpEngine::Blocked`] — the paper's data-partitioning scheme on the
+//!   CPU: the table is cut by the Algorithm-4 divisor, stored block-major,
+//!   and swept by *block-levels* (blocks of one level in parallel, cells
+//!   inside a block by in-block anti-diagonals). This is the same
+//!   traversal the simulated GPU executes, so its cell values double as
+//!   the reference output for `pcmax-gpu`.
+
+use crate::config::for_each_config;
+use crate::rounding::Rounding;
+use ndtable::partition::DivisorRule;
+use ndtable::{BlockLevels, BlockedLayout, Divisor, LevelBuckets, Shape};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no feasible packing" (some single job exceeds `cap`).
+pub const INFEASIBLE: u32 = u32::MAX;
+
+/// A DP instance: `countsᵢ` jobs of rounded size `sizesᵢ`, machine
+/// capacity `cap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpProblem {
+    counts: Vec<usize>,
+    sizes: Vec<u64>,
+    cap: u64,
+    shape: Shape,
+}
+
+/// Which engine fills the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DpEngine {
+    /// Row-major sequential sweep.
+    Sequential,
+    /// Anti-diagonal wavefront, cells of a level in parallel (Alg. 2).
+    AntiDiagonal,
+    /// Data-partitioned block-major sweep (Alg. 4/5 traversal) with the
+    /// given `dim` parameter (how many dimensions the divisor may split).
+    Blocked {
+        /// Maximum number of dimensions the divisor may split.
+        dim_limit: usize,
+    },
+}
+
+/// Statistics of one DP run — the quantities the execution models charge.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpStats {
+    /// Cells in the table, `σ`.
+    pub table_size: usize,
+    /// Anti-diagonal levels swept (`n′ + 1` for unblocked engines).
+    pub num_levels: usize,
+    /// Total configurations enumerated across all cells (the DP's inner-
+    /// loop trip count).
+    pub configs_enumerated: u64,
+    /// Number of blocks (1 unless `Blocked`).
+    pub num_blocks: usize,
+    /// Number of block-levels (1 unless `Blocked`).
+    pub num_block_levels: usize,
+}
+
+/// The filled table plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpSolution {
+    /// Cell values in row-major order (regardless of engine).
+    pub values: Vec<u32>,
+    /// `OPT(N)` — the value at the far corner.
+    pub opt: u32,
+    /// Engine statistics for this run.
+    pub stats: DpStats,
+}
+
+impl DpProblem {
+    /// Builds a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` and `sizes` differ in length or any size is 0.
+    pub fn new(counts: Vec<usize>, sizes: Vec<u64>, cap: u64) -> Self {
+        assert_eq!(counts.len(), sizes.len(), "counts/sizes arity mismatch");
+        assert!(sizes.iter().all(|&s| s > 0), "class sizes must be positive");
+        let shape = if counts.is_empty() {
+            Shape::new(&[1])
+        } else {
+            Shape::for_counts(&counts)
+        };
+        Self {
+            counts,
+            sizes,
+            cap,
+            shape,
+        }
+    }
+
+    /// Builds the DP problem a [`Rounding`] induces (capacity = target).
+    pub fn from_rounding(r: &Rounding) -> Self {
+        Self::new(r.counts(), r.sizes(), r.target)
+    }
+
+    #[inline]
+    /// Class counts `N`.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    #[inline]
+    /// Rounded class sizes.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    #[inline]
+    /// Machine capacity (the target makespan `T`).
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Table shape (extent `nᵢ+1` per class; a 1-extent placeholder when
+    /// there are no classes).
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Table size `σ`.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.shape.size()
+    }
+
+    /// Computes one cell given read access to all dependency cells.
+    ///
+    /// `read(flat)` must return the final value of any cell with a smaller
+    /// anti-diagonal level. Returns the cell value and the number of
+    /// configurations enumerated.
+    #[inline]
+    fn compute_cell(&self, v: &[usize], vflat: usize, read: impl Fn(usize) -> u32) -> (u32, u64) {
+        if v.iter().all(|&x| x == 0) {
+            return (0, 0);
+        }
+        let mut best = INFEASIBLE;
+        let mut enumerated = 0u64;
+        for_each_config(v, &self.sizes, self.shape.strides(), self.cap, &mut |_s,
+                                                                              _w,
+                                                                              delta| {
+            enumerated += 1;
+            if delta == 0 {
+                return; // the zero configuration schedules nothing
+            }
+            let val = read(vflat - delta);
+            if val < best {
+                best = val;
+            }
+        });
+        let value = if best == INFEASIBLE { INFEASIBLE } else { best + 1 };
+        (value, enumerated)
+    }
+
+    /// Solves with the chosen engine.
+    pub fn solve(&self, engine: DpEngine) -> DpSolution {
+        match engine {
+            DpEngine::Sequential => self.solve_sequential(),
+            DpEngine::AntiDiagonal => self.solve_antidiagonal(),
+            DpEngine::Blocked { dim_limit } => self.solve_blocked(dim_limit),
+        }
+    }
+
+    /// Row-major sequential sweep.
+    pub fn solve_sequential(&self) -> DpSolution {
+        let sigma = self.shape.size();
+        let mut values = vec![0u32; sigma];
+        let mut configs = 0u64;
+        let mut v = vec![0usize; self.shape.ndim()];
+        for flat in 0..sigma {
+            self.shape.unflatten_into(flat, &mut v);
+            let (val, c) = self.compute_cell(&v, flat, |i| values[i]);
+            values[flat] = val;
+            configs += c;
+        }
+        self.finish(values, configs, 1, 1)
+    }
+
+    /// Anti-diagonal wavefront with rayon (Algorithm 2).
+    pub fn solve_antidiagonal(&self) -> DpSolution {
+        let sigma = self.shape.size();
+        let levels = LevelBuckets::new(&self.shape);
+        let mut values = vec![0u32; sigma];
+        let mut configs = 0u64;
+        for (_, cells) in levels.iter() {
+            // All reads hit strictly smaller levels, so `values` can be
+            // shared immutably; writes are applied after the level.
+            let results: Vec<(usize, u32, u64)> = cells
+                .par_iter()
+                .map_init(
+                    || vec![0usize; self.shape.ndim()],
+                    |v, &flat| {
+                        self.shape.unflatten_into(flat, v);
+                        let (val, c) = self.compute_cell(v, flat, |i| values[i]);
+                        (flat, val, c)
+                    },
+                )
+                .collect();
+            for (flat, val, c) in results {
+                values[flat] = val;
+                configs += c;
+            }
+        }
+        self.finish(values, configs, 1, 1)
+    }
+
+    /// Data-partitioned block-major sweep (the Algorithm 4/5 traversal).
+    pub fn solve_blocked(&self, dim_limit: usize) -> DpSolution {
+        let divisor = Divisor::compute(&self.shape, dim_limit, DivisorRule::TableConsistent);
+        self.solve_blocked_with(&divisor)
+    }
+
+    /// Blocked sweep with an explicit divisor (exposed for ablations).
+    pub fn solve_blocked_with(&self, divisor: &Divisor) -> DpSolution {
+        let layout = BlockedLayout::new(self.shape.clone(), divisor.clone());
+        let block_levels = BlockLevels::new(&layout);
+        let in_block_levels = LevelBuckets::new(layout.block_shape());
+        let cells_per_block = layout.cells_per_block();
+        let ndim = self.shape.ndim();
+
+        // Values live in *blocked* order during the sweep.
+        let mut vals = vec![0u32; self.shape.size()];
+        let mut configs = 0u64;
+
+        for (_, blocks) in block_levels.iter() {
+            // Each block computes into a scratch buffer: reads of its own
+            // cells come from scratch (same block, earlier in-block level),
+            // reads of other blocks hit `vals` (strictly lower block-level,
+            // already complete).
+            let results: Vec<(usize, Vec<u32>, u64)> = blocks
+                .par_iter()
+                .map(|&bf| {
+                    let region = layout.block_region(bf);
+                    let mut scratch = vec![0u32; cells_per_block];
+                    let mut base = vec![0usize; ndim];
+                    layout.block_base(bf, &mut base);
+                    let mut local_configs = 0u64;
+                    let mut v = vec![0usize; ndim];
+                    let mut inb = vec![0usize; ndim];
+                    let mut dep = vec![0usize; ndim];
+                    for (_, in_cells) in in_block_levels.iter() {
+                        for &in_flat in in_cells {
+                            layout.block_shape().unflatten_into(in_flat, &mut inb);
+                            for i in 0..ndim {
+                                v[i] = base[i] + inb[i];
+                            }
+                            let (val, c) = self.compute_cell_blocked(
+                                &v,
+                                &layout,
+                                &region,
+                                &scratch,
+                                &vals,
+                                &mut dep,
+                            );
+                            scratch[in_flat] = val;
+                            local_configs += c;
+                        }
+                    }
+                    (region.start, scratch, local_configs)
+                })
+                .collect();
+            for (start, scratch, c) in results {
+                vals[start..start + cells_per_block].copy_from_slice(&scratch);
+                configs += c;
+            }
+        }
+
+        let values = layout.scatter_back(&vals);
+        self.finish(
+            values,
+            configs,
+            layout.num_blocks(),
+            block_levels.num_levels(),
+        )
+    }
+
+    /// Cell computation in the blocked layout: every dependency is located
+    /// via the blocked offset (the paper's block-scoped search, Alg. 5
+    /// lines 25–28).
+    fn compute_cell_blocked(
+        &self,
+        v: &[usize],
+        layout: &BlockedLayout,
+        region: &std::ops::Range<usize>,
+        scratch: &[u32],
+        vals: &[u32],
+        dep: &mut [usize],
+    ) -> (u32, u64) {
+        if v.iter().all(|&x| x == 0) {
+            return (0, 0);
+        }
+        let mut best = INFEASIBLE;
+        let mut enumerated = 0u64;
+        let zero_strides = vec![0usize; v.len()];
+        for_each_config(v, &self.sizes, &zero_strides, self.cap, &mut |s, _w, _| {
+            enumerated += 1;
+            if s.iter().all(|&x| x == 0) {
+                return;
+            }
+            for i in 0..v.len() {
+                dep[i] = v[i] - s[i];
+            }
+            let off = layout.blocked_offset(dep);
+            let val = if region.contains(&off) {
+                scratch[off - region.start]
+            } else {
+                vals[off]
+            };
+            if val < best {
+                best = val;
+            }
+        });
+        let value = if best == INFEASIBLE { INFEASIBLE } else { best + 1 };
+        (value, enumerated)
+    }
+
+    fn finish(
+        &self,
+        values: Vec<u32>,
+        configs: u64,
+        num_blocks: usize,
+        num_block_levels: usize,
+    ) -> DpSolution {
+        let opt = *values.last().expect("table non-empty");
+        let stats = DpStats {
+            table_size: values.len(),
+            num_levels: self.shape.max_level() + 1,
+            configs_enumerated: configs,
+            num_blocks,
+            num_block_levels,
+        };
+        DpSolution { values, opt, stats }
+    }
+
+    /// Walks the filled table back from `N` to extract one machine
+    /// configuration per used machine. Returns `None` if `OPT(N)` is
+    /// [`INFEASIBLE`].
+    ///
+    /// The returned configurations sum to `counts` componentwise and each
+    /// has weight ≤ `cap`.
+    pub fn extract_configs(&self, values: &[u32]) -> Option<Vec<Vec<usize>>> {
+        assert_eq!(values.len(), self.shape.size());
+        if *values.last().unwrap() == INFEASIBLE {
+            return None;
+        }
+        let mut machines = Vec::new();
+        let mut v = self.counts.clone();
+        if v.is_empty() {
+            return Some(machines);
+        }
+        let mut vflat = self.shape.flatten(&v);
+        while v.iter().any(|&x| x > 0) {
+            let target = values[vflat] - 1;
+            let s = self
+                .find_predecessor(&v, vflat, values, target)
+                .expect("filled table always has a predecessor chain");
+            for i in 0..v.len() {
+                v[i] -= s[i];
+                vflat -= s[i] * self.shape.strides()[i];
+            }
+            machines.push(s);
+        }
+        Some(machines)
+    }
+
+    /// First configuration `s` of `v` with `OPT(v − s) == target`,
+    /// searched depth-first with early exit.
+    fn find_predecessor(
+        &self,
+        v: &[usize],
+        vflat: usize,
+        values: &[u32],
+        target: u32,
+    ) -> Option<Vec<usize>> {
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            dim: usize,
+            v: &[usize],
+            sizes: &[u64],
+            strides: &[usize],
+            cap: u64,
+            weight: u64,
+            delta: usize,
+            s: &mut Vec<usize>,
+            vflat: usize,
+            values: &[u32],
+            target: u32,
+        ) -> bool {
+            if dim == v.len() {
+                return delta != 0 && values[vflat - delta] == target;
+            }
+            let size = sizes[dim];
+            let max_count = v[dim].min(((cap - weight) / size) as usize);
+            for count in 0..=max_count {
+                s[dim] = count;
+                if rec(
+                    dim + 1,
+                    v,
+                    sizes,
+                    strides,
+                    cap,
+                    weight + count as u64 * size,
+                    delta + count * strides[dim],
+                    s,
+                    vflat,
+                    values,
+                    target,
+                ) {
+                    return true;
+                }
+            }
+            s[dim] = 0;
+            false
+        }
+        let mut s = vec![0usize; v.len()];
+        rec(
+            0,
+            v,
+            &self.sizes,
+            self.shape.strides(),
+            self.cap,
+            0,
+            0,
+            &mut s,
+            vflat,
+            values,
+            target,
+        )
+        .then_some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::exact::min_bins;
+
+    /// Expands (counts, sizes) into the explicit item multiset.
+    fn items(counts: &[usize], sizes: &[u64]) -> Vec<u64> {
+        counts
+            .iter()
+            .zip(sizes)
+            .flat_map(|(&c, &s)| std::iter::repeat_n(s, c))
+            .collect()
+    }
+
+    fn all_engines() -> Vec<DpEngine> {
+        vec![
+            DpEngine::Sequential,
+            DpEngine::AntiDiagonal,
+            DpEngine::Blocked { dim_limit: 3 },
+            DpEngine::Blocked { dim_limit: 9 },
+        ]
+    }
+
+    #[test]
+    fn origin_is_zero_machines() {
+        let p = DpProblem::new(vec![2, 1], vec![5, 7], 10);
+        let sol = p.solve_sequential();
+        assert_eq!(sol.values[0], 0);
+    }
+
+    #[test]
+    fn matches_exact_bin_packing_oracle() {
+        let cases: Vec<(Vec<usize>, Vec<u64>, u64)> = vec![
+            (vec![4], vec![5], 10),
+            (vec![2, 3], vec![4, 6], 12),
+            (vec![1, 1, 1], vec![3, 5, 7], 10),
+            (vec![2, 2, 2], vec![2, 3, 4], 9),
+            (vec![3, 1, 2], vec![5, 6, 2], 11),
+        ];
+        for (counts, sizes, cap) in cases {
+            let p = DpProblem::new(counts.clone(), sizes.clone(), cap);
+            let expect = min_bins(&items(&counts, &sizes), cap).unwrap() as u32;
+            for engine in all_engines() {
+                let sol = p.solve(engine);
+                assert_eq!(
+                    sol.opt, expect,
+                    "engine {engine:?} on counts {counts:?} sizes {sizes:?} cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_cell_for_cell() {
+        let p = DpProblem::new(vec![3, 2, 2, 1], vec![3, 5, 7, 9], 14);
+        let reference = p.solve_sequential();
+        for engine in all_engines() {
+            let sol = p.solve(engine);
+            assert_eq!(sol.values, reference.values, "engine {engine:?}");
+            assert_eq!(sol.opt, reference.opt);
+        }
+    }
+
+    #[test]
+    fn every_cell_matches_oracle_small() {
+        let p = DpProblem::new(vec![2, 2], vec![4, 7], 11);
+        let sol = p.solve_sequential();
+        let shape = p.shape().clone();
+        for flat in 0..shape.size() {
+            let v = shape.unflatten(flat);
+            let expect = min_bins(&items(&v, p.sizes()), p.cap()).unwrap() as u32;
+            assert_eq!(sol.values[flat], expect, "cell {v:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_item_exceeds_cap() {
+        let p = DpProblem::new(vec![1, 1], vec![5, 20], 10);
+        for engine in all_engines() {
+            let sol = p.solve(engine);
+            assert_eq!(sol.opt, INFEASIBLE, "engine {engine:?}");
+            // Cells not involving the oversized class remain feasible.
+            assert_eq!(sol.values[p.shape().flatten(&[1, 0])], 1);
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_zero() {
+        let p = DpProblem::new(vec![], vec![], 10);
+        for engine in all_engines() {
+            let sol = p.solve(engine);
+            assert_eq!(sol.opt, 0);
+            assert_eq!(sol.values, vec![0]);
+        }
+        assert_eq!(p.extract_configs(&[0]).unwrap(), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn monotone_in_counts() {
+        let sizes = vec![4u64, 6];
+        let cap = 10;
+        let base = DpProblem::new(vec![2, 2], sizes.clone(), cap)
+            .solve_sequential()
+            .opt;
+        let more = DpProblem::new(vec![3, 2], sizes, cap).solve_sequential().opt;
+        assert!(more >= base);
+    }
+
+    #[test]
+    fn extract_configs_reconstructs_a_valid_packing() {
+        let p = DpProblem::new(vec![3, 2, 1], vec![4, 6, 9], 13);
+        let sol = p.solve_antidiagonal();
+        let machines = p.extract_configs(&sol.values).unwrap();
+        assert_eq!(machines.len() as u32, sol.opt);
+        // Configurations sum to N and each fits in cap.
+        let mut total = vec![0usize; 3];
+        for m in &machines {
+            let w: u64 = m
+                .iter()
+                .zip(p.sizes())
+                .map(|(&c, &s)| c as u64 * s)
+                .sum();
+            assert!(w <= p.cap(), "machine {m:?} overloaded: {w}");
+            for i in 0..3 {
+                total[i] += m[i];
+            }
+        }
+        assert_eq!(total, p.counts());
+    }
+
+    #[test]
+    fn extract_configs_none_when_infeasible() {
+        let p = DpProblem::new(vec![1], vec![20], 10);
+        let sol = p.solve_sequential();
+        assert!(p.extract_configs(&sol.values).is_none());
+    }
+
+    #[test]
+    fn blocked_stats_report_partitioning() {
+        let p = DpProblem::new(vec![5, 5, 5], vec![3, 4, 5], 20);
+        let sol = p.solve_blocked(3);
+        // Extents (6,6,6) → divisor (2,2,2): 8 blocks, 4 block-levels.
+        assert_eq!(sol.stats.num_blocks, 8);
+        assert_eq!(sol.stats.num_block_levels, 4);
+        let seq = p.solve_sequential();
+        assert_eq!(seq.stats.num_blocks, 1);
+        assert_eq!(sol.values, seq.values);
+    }
+
+    #[test]
+    fn stats_count_configs() {
+        let p = DpProblem::new(vec![2, 2], vec![4, 6], 10);
+        let sol = p.solve_sequential();
+        assert!(sol.stats.configs_enumerated > 0);
+        assert_eq!(sol.stats.table_size, 9);
+        assert_eq!(sol.stats.num_levels, 5);
+    }
+
+    #[test]
+    fn single_class_is_ceiling_division() {
+        // 7 jobs of size 3, cap 10 → 3 per machine → ⌈7/3⌉ = 3 machines.
+        let p = DpProblem::new(vec![7], vec![3], 10);
+        for engine in all_engines() {
+            assert_eq!(p.solve(engine).opt, 3);
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Target-makespan search: classic bisection (Algorithm 1) and the
+//! paper's quarter split (Algorithm 3).
+//!
+//! Both searches drive the same *dual-approximation probe*: for a target
+//! `T`, round the jobs and ask the DP whether the rounded long jobs pack
+//! into `m` machines of capacity `T`. An infeasible probe proves
+//! `OPT > T` (rounding only shrinks loads), so at convergence the final
+//! target satisfies `T* ≤ OPT`, which is what the `(1+ε)` guarantee needs.
+//!
+//! The quarter split probes four targets per round — the segment midpoints
+//! of `[LB, UB]` cut into four — and shrinks the interval to at most a
+//! quarter (often an eighth) per round instead of a half. On the paper's
+//! GPU the four probes run concurrently via Hyper-Q; on the CPU engines
+//! they are still counted as one *round* so iteration counts match
+//! Table VII's accounting.
+
+use crate::dp::{DpEngine, DpProblem, DpStats};
+use crate::rounding::{Rounding, RoundingOutcome};
+use pcmax_core::{bounds, Instance};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pure interval arithmetic of the two searches, shared with the GPU
+/// driver in `pcmax-gpu` (which needs to step rounds itself to simulate
+/// the four concurrent probes of each quarter-split round).
+pub mod interval {
+    /// Bisection probe target.
+    pub fn bisection_target(lb: u64, ub: u64) -> u64 {
+        (lb + ub) / 2
+    }
+
+    /// Bisection interval update.
+    pub fn bisection_update(lb: u64, ub: u64, target: u64, feasible: bool) -> (u64, u64) {
+        if feasible {
+            (lb, target)
+        } else {
+            (target + 1, ub)
+        }
+    }
+
+    /// `n`-ary split probe targets: midpoints of the `segments` equal
+    /// segments of `[lb, ub]`, deduplicated (they collapse on narrow
+    /// intervals). The paper's quarter split is `segments = 4`.
+    pub fn nary_targets(lb: u64, ub: u64, segments: usize) -> Vec<u64> {
+        assert!(segments >= 1);
+        let s = segments as u64;
+        let width = ub - lb;
+        let bounds: Vec<u64> = (0..=s).map(|p| lb + p * width / s).collect();
+        let mut targets: Vec<u64> = (0..segments)
+            .map(|p| (bounds[p] + bounds[p + 1]) / 2)
+            .collect();
+        targets.dedup();
+        targets
+    }
+
+    /// `n`-ary interval update from `(target, feasible)` pairs in
+    /// ascending target order (Alg. 3 lines 13–25 generalised): the first
+    /// feasible probe becomes the new UB; the last infeasible probe below
+    /// it pushes the LB.
+    pub fn nary_update(lb: u64, ub: u64, probes: &[(u64, bool)]) -> (u64, u64) {
+        debug_assert!(probes.windows(2).all(|w| w[0].0 < w[1].0));
+        match probes.iter().position(|&(_, f)| f) {
+            Some(0) => (lb, probes[0].0),
+            Some(j) => (probes[j - 1].0 + 1, probes[j].0),
+            None => (probes.last().expect("at least one probe").0 + 1, ub),
+        }
+    }
+
+    /// The paper's quarter-split targets (`segments = 4`).
+    pub fn quarter_targets(lb: u64, ub: u64) -> Vec<u64> {
+        nary_targets(lb, ub, 4)
+    }
+
+    /// The paper's quarter-split update.
+    pub fn quarter_update(lb: u64, ub: u64, probes: &[(u64, bool)]) -> (u64, u64) {
+        nary_update(lb, ub, probes)
+    }
+}
+
+/// One DP probe at a target makespan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Target makespan `T`.
+    pub target: u64,
+    /// Whether the rounded long jobs packed into `m` machines.
+    pub feasible: bool,
+    /// `OPT(N)` for this probe (`None` when a job exceeded `T`).
+    pub opt: Option<u32>,
+    /// DP table size `σ` (1 when no long jobs / infeasible-by-length).
+    pub table_size: usize,
+    /// Non-zero dimensionality of the DP table.
+    pub ndim: usize,
+    /// Whether this probe was answered from the memo cache (the repeated
+    /// configurations the paper notes in §III.A).
+    pub cached: bool,
+    /// DP statistics (zeroed for cached/degenerate probes).
+    pub dp_stats: DpStats,
+}
+
+/// One search round: a single probe for bisection, up to four for the
+/// quarter split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Interval lower bound at the start of the round.
+    pub lb: u64,
+    /// Interval upper bound at the start of the round.
+    pub ub: u64,
+    /// The probes of this round, ascending by target.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// Result of a completed search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The converged target `T* = LB = UB` (always probe-feasible).
+    pub target: u64,
+    /// Number of rounds (the paper's "#itr").
+    pub iterations: usize,
+    /// Number of DP solves actually executed (cache misses).
+    pub dp_runs: usize,
+    /// Probes answered from the memo cache.
+    pub cache_hits: usize,
+    /// Per-round telemetry.
+    pub records: Vec<IterationRecord>,
+}
+
+/// Probes a single target: rounding + DP feasibility against `m` machines.
+pub fn probe(inst: &Instance, target: u64, k: u64, m: usize, engine: DpEngine) -> ProbeRecord {
+    match Rounding::compute(inst, target, k) {
+        RoundingOutcome::Infeasible { .. } => ProbeRecord {
+            target,
+            feasible: false,
+            opt: None,
+            table_size: 1,
+            ndim: 0,
+            cached: false,
+            dp_stats: DpStats::default(),
+        },
+        RoundingOutcome::Rounded(r) => {
+            let problem = DpProblem::from_rounding(&r);
+            let sol = problem.solve(engine);
+            ProbeRecord {
+                target,
+                feasible: sol.opt != crate::dp::INFEASIBLE && sol.opt as usize <= m,
+                opt: Some(sol.opt),
+                table_size: problem.table_size(),
+                ndim: r.ndim(),
+                cached: false,
+                dp_stats: sol.stats,
+            }
+        }
+    }
+}
+
+/// Shared memoised prober: identical targets across rounds are answered
+/// once (the paper observes "some scheduling configurations appear
+/// multiple times … which implies repeated calculations").
+struct Prober<'a> {
+    inst: &'a Instance,
+    k: u64,
+    m: usize,
+    engine: DpEngine,
+    memo: BTreeMap<u64, ProbeRecord>,
+    dp_runs: usize,
+    cache_hits: usize,
+}
+
+impl<'a> Prober<'a> {
+    fn new(inst: &'a Instance, k: u64, m: usize, engine: DpEngine) -> Self {
+        Self {
+            inst,
+            k,
+            m,
+            engine,
+            memo: BTreeMap::new(),
+            dp_runs: 0,
+            cache_hits: 0,
+        }
+    }
+
+    fn probe(&mut self, target: u64) -> ProbeRecord {
+        if let Some(hit) = self.memo.get(&target) {
+            self.cache_hits += 1;
+            let mut rec = hit.clone();
+            rec.cached = true;
+            return rec;
+        }
+        let rec = probe(self.inst, target, self.k, self.m, self.engine);
+        self.dp_runs += 1;
+        self.memo.insert(target, rec.clone());
+        rec
+    }
+}
+
+/// Classic bisection (Algorithm 1 lines 5–14).
+pub fn bisection(inst: &Instance, k: u64, engine: DpEngine) -> SearchResult {
+    let m = inst.machines();
+    let mut lb = bounds::lower_bound(inst);
+    let mut ub = bounds::upper_bound(inst);
+    let mut prober = Prober::new(inst, k, m, engine);
+    let mut records = Vec::new();
+    while lb < ub {
+        let t = interval::bisection_target(lb, ub);
+        let rec = prober.probe(t);
+        let feasible = rec.feasible;
+        records.push(IterationRecord {
+            lb,
+            ub,
+            probes: vec![rec],
+        });
+        (lb, ub) = interval::bisection_update(lb, ub, t, feasible);
+    }
+    finish(lb, &mut prober, records)
+}
+
+/// The paper's quarter split (Algorithm 3): four probes per round at the
+/// midpoints of the four equal segments of `[LB, UB]`.
+pub fn quarter(inst: &Instance, k: u64, engine: DpEngine) -> SearchResult {
+    nary(inst, k, engine, 4)
+}
+
+/// Generalised `n`-ary split: `segments` probes per round. `segments = 1`
+/// degenerates to bisection, `segments = 4` is the paper's quarter split;
+/// larger values trade more concurrent probes for fewer rounds (the
+/// "why four processes?" ablation).
+pub fn nary(inst: &Instance, k: u64, engine: DpEngine, segments: usize) -> SearchResult {
+    nary_impl(inst, k, engine, segments, false)
+}
+
+/// Like [`nary`], but the probes of each round run *concurrently* on the
+/// rayon pool — the CPU analogue of the paper's four Hyper-Q processes.
+/// Produces bit-identical results to the serial form (probes are pure
+/// and the memo is merged deterministically after each round).
+pub fn nary_parallel(inst: &Instance, k: u64, engine: DpEngine, segments: usize) -> SearchResult {
+    nary_impl(inst, k, engine, segments, true)
+}
+
+fn nary_impl(
+    inst: &Instance,
+    k: u64,
+    engine: DpEngine,
+    segments: usize,
+    parallel: bool,
+) -> SearchResult {
+    use rayon::prelude::*;
+    let m = inst.machines();
+    let mut lb = bounds::lower_bound(inst);
+    let mut ub = bounds::upper_bound(inst);
+    let mut prober = Prober::new(inst, k, m, engine);
+    let mut records = Vec::new();
+    while lb < ub {
+        let targets = interval::nary_targets(lb, ub, segments);
+        let probes: Vec<ProbeRecord> = if parallel {
+            // Split into cache hits (answered from the memo) and fresh
+            // targets (probed concurrently; `probe` is pure).
+            let fresh: Vec<u64> = targets
+                .iter()
+                .copied()
+                .filter(|t| !prober.memo.contains_key(t))
+                .collect();
+            let computed: Vec<ProbeRecord> = fresh
+                .par_iter()
+                .map(|&t| probe(inst, t, k, m, engine))
+                .collect();
+            for rec in computed {
+                prober.dp_runs += 1;
+                prober.memo.insert(rec.target, rec);
+            }
+            targets
+                .iter()
+                .map(|&t| {
+                    // Every target is memoised now; count the ones that
+                    // were already there as cache hits.
+                    if fresh.contains(&t) {
+                        prober.memo[&t].clone()
+                    } else {
+                        prober.cache_hits += 1;
+                        let mut rec = prober.memo[&t].clone();
+                        rec.cached = true;
+                        rec
+                    }
+                })
+                .collect()
+        } else {
+            targets.iter().map(|&t| prober.probe(t)).collect()
+        };
+        let outcomes: Vec<(u64, bool)> = probes.iter().map(|p| (p.target, p.feasible)).collect();
+        records.push(IterationRecord { lb, ub, probes });
+        (lb, ub) = interval::nary_update(lb, ub, &outcomes);
+    }
+    finish(lb, &mut prober, records)
+}
+
+fn finish(target: u64, prober: &mut Prober<'_>, records: Vec<IterationRecord>) -> SearchResult {
+    // The converged target is feasible by the search invariant; make sure
+    // it is in the memo so callers can rebuild its DP cheaply.
+    let final_probe = prober.probe(target);
+    debug_assert!(
+        final_probe.feasible,
+        "search converged on an infeasible target {target}"
+    );
+    SearchResult {
+        target,
+        iterations: records.len(),
+        dp_runs: prober.dp_runs,
+        cache_hits: prober.cache_hits,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::exact::brute_force_makespan;
+    use pcmax_core::gen::uniform;
+
+    const ENGINE: DpEngine = DpEngine::Sequential;
+
+    #[test]
+    fn bisection_and_quarter_agree_on_target() {
+        for seed in 0..6 {
+            let inst = uniform(seed, 12, 3, 5, 40);
+            let b = bisection(&inst, 4, ENGINE);
+            let q = quarter(&inst, 4, ENGINE);
+            assert_eq!(b.target, q.target, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quarter_needs_no_more_rounds_than_bisection() {
+        for seed in 0..6 {
+            let inst = uniform(100 + seed, 14, 4, 5, 60);
+            let b = bisection(&inst, 4, ENGINE);
+            let q = quarter(&inst, 4, ENGINE);
+            assert!(
+                q.iterations <= b.iterations,
+                "seed {seed}: quarter {} vs bisection {}",
+                q.iterations,
+                b.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn target_never_exceeds_true_optimum_bound() {
+        // T* ≤ OPT: infeasible probes prove OPT > T, and T*−1 (or the
+        // initial LB) is covered by one of them.
+        for seed in 0..5 {
+            let inst = uniform(200 + seed, 9, 3, 3, 25);
+            let opt = brute_force_makespan(&inst);
+            let b = bisection(&inst, 4, ENGINE);
+            assert!(b.target <= opt, "seed {seed}: T*={} opt={opt}", b.target);
+            assert!(b.target >= pcmax_core::lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn upper_bound_probe_is_always_feasible() {
+        for seed in 0..5 {
+            let inst = uniform(300 + seed, 20, 4, 1, 50);
+            let ub = pcmax_core::upper_bound(&inst);
+            assert!(probe(&inst, ub, 4, inst.machines(), ENGINE).feasible);
+        }
+    }
+
+    #[test]
+    fn probe_below_longest_job_is_infeasible() {
+        let inst = uniform(9, 10, 2, 10, 30);
+        let rec = probe(&inst, inst.max_time() - 1, 4, 2, ENGINE);
+        assert!(!rec.feasible);
+        assert_eq!(rec.opt, None);
+    }
+
+    #[test]
+    fn cache_avoids_duplicate_dp_runs() {
+        let inst = uniform(17, 15, 3, 5, 45);
+        let q = quarter(&inst, 4, ENGINE);
+        let total_probes: usize = q.records.iter().map(|r| r.probes.len()).sum();
+        // +1 for the final convergence probe inside `finish`.
+        assert_eq!(q.dp_runs + q.cache_hits, total_probes + 1);
+    }
+
+    #[test]
+    fn single_machine_converges_to_total_work() {
+        let inst = uniform(3, 8, 1, 2, 9);
+        let b = bisection(&inst, 4, ENGINE);
+        assert_eq!(b.target, inst.total_work());
+    }
+
+    #[test]
+    fn single_job_converges_to_its_length() {
+        // One job on two machines: OPT = t; LB = t is feasible so both
+        // searches walk the interval [t, t + t] down to t.
+        let inst = Instance::new(vec![10], 2);
+        let b = bisection(&inst, 4, ENGINE);
+        let q = quarter(&inst, 4, ENGINE);
+        assert_eq!(b.target, 10);
+        assert_eq!(q.target, 10);
+        assert!(q.iterations <= b.iterations);
+    }
+
+    #[test]
+    fn parallel_nary_matches_serial_exactly() {
+        for seed in 0..4 {
+            let inst = uniform(900 + seed, 20, 4, 5, 80);
+            for segments in [2usize, 4, 8] {
+                let serial = nary(&inst, 4, ENGINE, segments);
+                let parallel = nary_parallel(&inst, 4, ENGINE, segments);
+                assert_eq!(serial.target, parallel.target);
+                assert_eq!(serial.iterations, parallel.iterations);
+                assert_eq!(serial.dp_runs, parallel.dp_runs);
+                assert_eq!(serial.records.len(), parallel.records.len());
+                for (a, b) in serial.records.iter().zip(&parallel.records) {
+                    assert_eq!(a.lb, b.lb);
+                    assert_eq!(a.ub, b.ub);
+                    let ta: Vec<u64> = a.probes.iter().map(|p| p.target).collect();
+                    let tb: Vec<u64> = b.probes.iter().map(|p| p.target).collect();
+                    assert_eq!(ta, tb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nary_one_segment_equals_bisection() {
+        for seed in 0..4 {
+            let inst = uniform(700 + seed, 15, 4, 5, 50);
+            let b = bisection(&inst, 4, ENGINE);
+            let n1 = nary(&inst, 4, ENGINE, 1);
+            assert_eq!(b.target, n1.target);
+            assert_eq!(b.iterations, n1.iterations);
+        }
+    }
+
+    #[test]
+    fn more_segments_never_more_rounds() {
+        for seed in 0..4 {
+            let inst = uniform(800 + seed, 18, 4, 10, 90);
+            let mut prev_rounds = usize::MAX;
+            for segments in [1usize, 2, 4, 8, 16] {
+                let r = nary(&inst, 4, ENGINE, segments);
+                assert_eq!(r.target, bisection(&inst, 4, ENGINE).target);
+                assert!(
+                    r.iterations <= prev_rounds,
+                    "seed {seed}, {segments} segments: {} rounds after {prev_rounds}",
+                    r.iterations
+                );
+                prev_rounds = r.iterations;
+            }
+        }
+    }
+
+    #[test]
+    fn records_track_shrinking_interval() {
+        let inst = uniform(23, 18, 4, 10, 80);
+        let b = bisection(&inst, 4, ENGINE);
+        for w in b.records.windows(2) {
+            let prev = w[0].ub - w[0].lb;
+            let next = w[1].ub - w[1].lb;
+            assert!(next < prev, "interval must shrink");
+        }
+        let q = quarter(&inst, 4, ENGINE);
+        for w in q.records.windows(2) {
+            let prev = w[0].ub - w[0].lb;
+            let next = w[1].ub - w[1].lb;
+            // Quarter split shrinks at least 2× per round (usually 4–8×).
+            assert!(next <= prev / 2, "quarter shrinks by ≥ half");
+        }
+    }
+}

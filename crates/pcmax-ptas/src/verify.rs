@@ -1,0 +1,86 @@
+//! Verification helpers: schedule validity and approximation-quality
+//! checks, shared by tests, examples, and the benchmark harness.
+
+use crate::ptas::PtasResult;
+use pcmax_core::{lower_bound, Instance};
+
+/// The worst-case multiplicative guarantee of the PTAS for a given `ε`:
+/// `1 + 1/k + 1/k²` with `k = ⌈1/ε⌉` (long-job rounding slack), which is
+/// ≤ `1 + ε + ε²`. Short-job placement never worsens the bound while the
+/// target is ≥ the area bound.
+pub fn guarantee_factor(epsilon: f64) -> f64 {
+    let k = (1.0 / epsilon).ceil();
+    1.0 + 1.0 / k + 1.0 / (k * k)
+}
+
+/// Checks a PTAS result end-to-end against its instance:
+///
+/// * schedule is structurally valid (every job exactly once);
+/// * reported makespan matches the schedule;
+/// * makespan is within `guarantee_factor(ε)` of the instance lower bound
+///   *or* of `reference_opt` when the caller knows the true optimum.
+///
+/// Returns a human-readable error on the first violation.
+pub fn check_result(
+    inst: &Instance,
+    res: &PtasResult,
+    epsilon: f64,
+    reference_opt: Option<u64>,
+) -> Result<(), String> {
+    let ms = res.schedule.validate(inst)?;
+    if ms != res.makespan {
+        return Err(format!(
+            "reported makespan {} but schedule realises {ms}",
+            res.makespan
+        ));
+    }
+    let baseline = reference_opt.unwrap_or_else(|| lower_bound(inst));
+    // +1 absorbs integer rounding of the bound itself.
+    let bound = (guarantee_factor(epsilon) * baseline as f64).ceil() as u64 + 1;
+    if reference_opt.is_some() && ms > bound {
+        return Err(format!(
+            "makespan {ms} exceeds (1+ε) bound {bound} (opt {baseline})"
+        ));
+    }
+    if res.machines_used > inst.machines() {
+        return Err(format!(
+            "DP used {} machines, instance has {}",
+            res.machines_used,
+            inst.machines()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptas::Ptas;
+    use pcmax_core::exact::brute_force_makespan;
+    use pcmax_core::gen::uniform;
+
+    #[test]
+    fn guarantee_factor_values() {
+        assert!((guarantee_factor(0.3) - (1.0 + 0.25 + 0.0625)).abs() < 1e-12);
+        assert!((guarantee_factor(1.0) - 3.0).abs() < 1e-12);
+        assert!(guarantee_factor(0.1) < 1.111);
+    }
+
+    #[test]
+    fn check_result_accepts_honest_runs() {
+        for seed in 0..5 {
+            let inst = uniform(seed, 10, 3, 2, 20);
+            let res = Ptas::new(0.3).solve(&inst);
+            let opt = brute_force_makespan(&inst);
+            check_result(&inst, &res, 0.3, Some(opt)).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_result_rejects_wrong_makespan_claim() {
+        let inst = uniform(1, 10, 3, 2, 20);
+        let mut res = Ptas::new(0.3).solve(&inst);
+        res.makespan += 1;
+        assert!(check_result(&inst, &res, 0.3, None).is_err());
+    }
+}

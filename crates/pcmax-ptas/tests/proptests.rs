@@ -1,0 +1,117 @@
+//! Property-based tests: DP-engine agreement, oracle equality, and the
+//! end-to-end PTAS guarantee on brute-forceable instances.
+
+use pcmax_core::exact::{brute_force_makespan, min_bins};
+use pcmax_core::Instance;
+use pcmax_ptas::config::{count_configs, dominated_box_size};
+use pcmax_ptas::{DpEngine, DpProblem, Ptas, SearchStrategy};
+use proptest::prelude::*;
+
+/// Small DP problems: ≤ 4 classes, counts ≤ 3, sizes ≤ 12, cap sized so
+/// unit configurations always fit.
+fn small_dp() -> impl Strategy<Value = DpProblem> {
+    (1usize..=4)
+        .prop_flat_map(|d| {
+            (
+                prop::collection::vec(0usize..=3, d),
+                prop::collection::vec(1u64..=12, d),
+            )
+        })
+        .prop_map(|(counts, sizes)| {
+            let max = *sizes.iter().max().unwrap();
+            let cap = max + 6;
+            DpProblem::new(counts, sizes, cap)
+        })
+}
+
+/// Instances small enough for branch-and-bound.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=4, 1usize..=10).prop_flat_map(|(m, n)| {
+        prop::collection::vec(1u64..=25, n.max(1)).prop_map(move |times| Instance::new(times, m))
+    })
+}
+
+fn expand(counts: &[usize], sizes: &[u64]) -> Vec<u64> {
+    counts
+        .iter()
+        .zip(sizes)
+        .flat_map(|(&c, &s)| std::iter::repeat_n(s, c))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_engines_agree(p in small_dp(), dim_limit in 1usize..=9) {
+        let seq = p.solve(DpEngine::Sequential);
+        let par = p.solve(DpEngine::AntiDiagonal);
+        let blk = p.solve(DpEngine::Blocked { dim_limit });
+        prop_assert_eq!(&seq.values, &par.values);
+        prop_assert_eq!(&seq.values, &blk.values);
+        prop_assert_eq!(seq.opt, blk.opt);
+    }
+
+    #[test]
+    fn dp_matches_bin_packing_oracle(p in small_dp()) {
+        let sol = p.solve(DpEngine::Sequential);
+        let items = expand(p.counts(), p.sizes());
+        match min_bins(&items, p.cap()) {
+            Some(bins) => prop_assert_eq!(sol.opt, bins as u32),
+            None => prop_assert_eq!(sol.opt, pcmax_ptas::INFEASIBLE),
+        }
+    }
+
+    #[test]
+    fn dp_extraction_is_a_valid_packing(p in small_dp()) {
+        let sol = p.solve(DpEngine::Sequential);
+        if sol.opt == pcmax_ptas::INFEASIBLE {
+            prop_assert!(p.extract_configs(&sol.values).is_none());
+            return Ok(());
+        }
+        let machines = p.extract_configs(&sol.values).unwrap();
+        prop_assert_eq!(machines.len() as u32, sol.opt);
+        let mut totals = vec![0usize; p.counts().len()];
+        for cfg in &machines {
+            let w: u64 = cfg.iter().zip(p.sizes()).map(|(&c, &s)| c as u64 * s).sum();
+            prop_assert!(w <= p.cap());
+            for (t, &c) in totals.iter_mut().zip(cfg) {
+                *t += c;
+            }
+        }
+        prop_assert_eq!(totals.as_slice(), p.counts());
+    }
+
+    #[test]
+    fn config_count_bounded_by_dominated_box(bound in prop::collection::vec(0usize..=4, 1..=4),
+                                             cap in 1u64..40) {
+        let sizes: Vec<u64> = (0..bound.len() as u64).map(|i| i + 2).collect();
+        let c = count_configs(&bound, &sizes, cap);
+        prop_assert!(c >= 1); // zero config always fits
+        prop_assert!(c <= dominated_box_size(&bound));
+    }
+
+    #[test]
+    fn ptas_schedules_are_valid_and_guaranteed(inst in small_instance(),
+                                               quarter in any::<bool>()) {
+        let eps = 0.3;
+        let strategy = if quarter { SearchStrategy::QuarterSplit } else { SearchStrategy::Bisection };
+        let res = Ptas::new(eps).with_strategy(strategy).solve(&inst);
+        let ms = res.schedule.validate(&inst).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(ms, res.makespan);
+        let opt = brute_force_makespan(&inst);
+        let factor = pcmax_ptas::verify::guarantee_factor(eps);
+        let bound = (factor * opt as f64).ceil() as u64 + 1;
+        prop_assert!(ms <= bound, "makespan {} vs opt {} bound {}", ms, opt, bound);
+        // The converged target never exceeds the true optimum.
+        prop_assert!(res.target <= opt);
+    }
+
+    #[test]
+    fn search_strategies_converge_identically(inst in small_instance()) {
+        let b = Ptas::new(0.3).solve(&inst);
+        let q = Ptas::new(0.3).with_strategy(SearchStrategy::QuarterSplit).solve(&inst);
+        prop_assert_eq!(b.target, q.target);
+        prop_assert!(q.search.iterations <= b.search.iterations);
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's future work, working today: the data-partitioning scheme
+//! applied to the multi-dimensional 0/1 knapsack.
+//!
+//! Solves a 3-resource knapsack with all three engines, reconstructs the
+//! chosen items, and contrasts the simulated-GPU behaviour of the flat
+//! vs block-partitioned layouts — showing that for this (regular-stride)
+//! DP the partitioning's win is *memory residency*, not bandwidth.
+//!
+//! Run with: `cargo run --release --example knapsack`
+
+use mdknap::dp::{solve, solve_with_selection, KnapEngine};
+use mdknap::gpu::{simulate_knapsack, KnapLayout};
+use pcmax::sim::DeviceSpec;
+use std::time::Instant;
+
+fn main() {
+    // 26 items, 3 resource dimensions (CPU, memory, bandwidth, say).
+    let problem = mdknap::gen::uncorrelated(11, 26, 3, 9);
+    println!(
+        "knapsack: {} items, capacities {:?}, DP table σ = {}",
+        problem.num_items(),
+        problem.capacities(),
+        problem.table_size()
+    );
+
+    for (name, engine) in [
+        ("in-place reverse sweep", KnapEngine::InPlace),
+        ("rayon layered        ", KnapEngine::Layered),
+        ("blocked DIM3         ", KnapEngine::Blocked { dim_limit: 3 }),
+    ] {
+        let t0 = Instant::now();
+        let sol = solve(&problem, engine);
+        println!("{name}: best profit {:>5}  ({:?})", sol.best, t0.elapsed());
+    }
+
+    let (sol, selection) = solve_with_selection(&problem);
+    let mut used = vec![0usize; problem.ndim()];
+    for &j in &selection {
+        for (u, &w) in used.iter_mut().zip(&problem.items()[j].weights) {
+            *u += w;
+        }
+    }
+    println!(
+        "\noptimal selection: {} of {} items, profit {}, usage {:?} of {:?}",
+        selection.len(),
+        problem.num_items(),
+        sol.best,
+        used,
+        problem.capacities()
+    );
+
+    // Simulated-GPU contrast: bandwidth vs memory residency.
+    let spec = DeviceSpec::k40();
+    let flat = simulate_knapsack(&problem, &spec, KnapLayout::RowMajor);
+    let blocked = simulate_knapsack(&problem, &spec, KnapLayout::Blocked { dim_limit: 3 });
+    println!("\nsimulated K40 (per-item layers):");
+    println!(
+        "  row-major : {:>9.3} ms, bus utilisation {:>5.1}%, resident {:>8} B",
+        flat.report.millis(),
+        100.0 * flat.report.bus_utilisation(),
+        flat.peak_resident_bytes
+    );
+    println!(
+        "  blocked   : {:>9.3} ms, bus utilisation {:>5.1}%, resident {:>8} B ({}x smaller)",
+        blocked.report.millis(),
+        100.0 * blocked.report.bus_utilisation(),
+        blocked.peak_resident_bytes,
+        flat.peak_resident_bytes / blocked.peak_resident_bytes.max(1)
+    );
+    println!(
+        "\nthe regular stride keeps row-major coalesced; partitioning pays off in\n\
+         working-set size — the memory-capacity motivation of the paper's §V."
+    );
+}

@@ -1,0 +1,73 @@
+//! Scenario: dispatching render jobs to a render farm.
+//!
+//! A render farm receives a nightly batch of frame-render jobs with
+//! heterogeneous durations (a bimodal mix: most frames are cheap, hero
+//! shots are 10× longer) and must finish the batch as early as possible
+//! on a fixed pool of workers — exactly `P||Cmax`. This example shows
+//! where the PTAS earns its keep over LPT: adversarial long-job mixes,
+//! and how ε trades schedule quality against DP-table size (= solve
+//! effort).
+//!
+//! Run with: `cargo run --release --example render_farm`
+
+use pcmax::heuristics::lpt;
+use pcmax::prelude::*;
+use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
+
+fn main() {
+    // 48 renders: ~35% hero shots (long), the rest cheap frames.
+    let inst = pcmax::gen::bimodal(2024, 48, 6, 2, 400, 35);
+    let lb = lower_bound(&inst);
+    println!(
+        "render batch: {} jobs on {} workers (lower bound {lb})",
+        inst.num_jobs(),
+        inst.machines()
+    );
+
+    let lpt_ms = lpt(&inst).makespan(&inst);
+    println!("\nLPT finishes the batch at t = {lpt_ms}");
+
+    println!("\n  ε     k   makespan  vs LB   T*      DP rounds  largest table");
+    for eps in [1.0, 0.5, 0.3, 0.2] {
+        let ptas = Ptas::new(eps);
+        let res = ptas.solve(&inst);
+        res.schedule.validate(&inst).expect("valid");
+        let biggest = res
+            .search
+            .records
+            .iter()
+            .flat_map(|r| r.probes.iter())
+            .map(|p| p.table_size)
+            .max()
+            .unwrap_or(1);
+        println!(
+            "  {eps:<4}  {:>2}  {:>7}  {:.3}  {:>5}  {:>9}  {biggest:>13}",
+            ptas.k(),
+            res.makespan,
+            res.makespan as f64 / lb as f64,
+            res.target,
+            res.search.iterations,
+        );
+    }
+
+    // Peek inside one rounding: what the DP actually sees at the final ε.
+    let res = Ptas::new(0.3).solve(&inst);
+    if let RoundingOutcome::Rounded(r) = Rounding::compute(&inst, res.target, 4) {
+        println!(
+            "\nat T* = {}: {} short jobs, {} long jobs in {} size classes (table σ = {})",
+            res.target,
+            r.short_jobs.len(),
+            r.num_long(),
+            r.ndim(),
+            r.table_size()
+        );
+        for c in &r.classes {
+            println!(
+                "  class: rounded {:>4} (multiple {:>2}) × {} jobs",
+                c.size,
+                c.multiple,
+                c.jobs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! `pcmax` — command-line interface to the scheduler.
+//!
+//! ```console
+//! $ pcmax gen --seed 1 --jobs 50 --machines 8 --lo 10 --hi 100 -o batch.inst
+//! $ pcmax solve batch.inst --epsilon 0.3 --strategy quarter
+//! $ pcmax compare batch.inst
+//! $ pcmax simulate batch.inst --dim 6
+//! ```
+//!
+//! Instance file format: first line is the machine count, the remaining
+//! whitespace-separated integers are processing times.
+
+use pcmax::gpu::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig};
+use pcmax::heuristics::{list_schedule, local_search, lpt, multifit};
+use pcmax::prelude::*;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "solve" => cmd_solve(rest),
+        "compare" => cmd_compare(rest),
+        "simulate" => cmd_simulate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pcmax — PTAS scheduler for P||Cmax
+
+USAGE:
+  pcmax gen --seed N --jobs N --machines N --lo N --hi N
+            [--family uniform|bimodal|nonuniform|nearequal] [-o FILE]
+  pcmax solve FILE    [--epsilon F] [--engine seq|par|blockedN]
+                      [--strategy bisection|quarter] [--verbose]
+  pcmax compare FILE
+  pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]";
+
+/// Fetches the value following a `--flag`.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value `{v}` for {name}")),
+    }
+}
+
+fn load_instance(path: &str) -> Result<Instance, String> {
+    pcmax::core::io::load_instance(path)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let seed: u64 = flag_parse(args, "--seed", 0)?;
+    let jobs: usize = flag_parse(args, "--jobs", 50)?;
+    let machines: usize = flag_parse(args, "--machines", 8)?;
+    let lo: u64 = flag_parse(args, "--lo", 1)?;
+    let hi: u64 = flag_parse(args, "--hi", 100)?;
+    let family = flag(args, "--family").unwrap_or("uniform");
+    let inst = match family {
+        "uniform" => pcmax::gen::uniform(seed, jobs, machines, lo, hi),
+        "bimodal" => pcmax::gen::bimodal(seed, jobs, machines, lo, hi, 30),
+        "nonuniform" => pcmax::gen::non_uniform(seed, jobs, machines, lo, hi),
+        "nearequal" => pcmax::gen::near_equal(seed, jobs, machines, hi, hi / 10 + 1),
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    let out = pcmax::core::io::format_instance(&inst);
+    match flag(args, "-o") {
+        Some(path) => {
+            fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} jobs on {} machines to {path}",
+                inst.num_jobs(),
+                inst.machines()
+            );
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+fn parse_engine(s: &str) -> Result<DpEngine, String> {
+    match s {
+        "seq" => Ok(DpEngine::Sequential),
+        "par" => Ok(DpEngine::AntiDiagonal),
+        other => match other.strip_prefix("blocked") {
+            Some(n) => Ok(DpEngine::Blocked {
+                dim_limit: n.parse().map_err(|_| format!("bad engine `{other}`"))?,
+            }),
+            None => Err(format!("unknown engine `{other}` (seq|par|blockedN)")),
+        },
+    }
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("solve needs an instance file")?;
+    let inst = load_instance(path)?;
+    let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
+    let engine = parse_engine(flag(args, "--engine").unwrap_or("par"))?;
+    let strategy = match flag(args, "--strategy").unwrap_or("bisection") {
+        "bisection" => SearchStrategy::Bisection,
+        "quarter" => SearchStrategy::QuarterSplit,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let res = Ptas::new(epsilon)
+        .with_engine(engine)
+        .with_strategy(strategy)
+        .solve(&inst);
+    let makespan = res.schedule.validate(&inst)?;
+    println!(
+        "makespan {makespan} (lower bound {}, target T* = {}, {} rounds, {} DP solves, {} cache hits)",
+        lower_bound(&inst),
+        res.target,
+        res.search.iterations,
+        res.search.dp_runs,
+        res.search.cache_hits
+    );
+    if verbose {
+        for (i, rec) in res.search.records.iter().enumerate() {
+            let probes: Vec<String> = rec
+                .probes
+                .iter()
+                .map(|p| {
+                    format!(
+                        "T={} σ={} {}",
+                        p.target,
+                        p.table_size,
+                        if p.feasible { "feasible" } else { "infeasible" }
+                    )
+                })
+                .collect();
+            println!("  round {:>2} [{}, {}]: {}", i + 1, rec.lb, rec.ub, probes.join("; "));
+        }
+        let mut loads = res.schedule.loads(&inst);
+        loads.sort_unstable();
+        println!("  loads: {loads:?}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("compare needs an instance file")?;
+    let inst = load_instance(path)?;
+    let lb = lower_bound(&inst);
+    println!(
+        "{} jobs on {} machines; lower bound {lb}",
+        inst.num_jobs(),
+        inst.machines()
+    );
+    println!("{:<16} {:>9} {:>8}", "algorithm", "makespan", "vs LB");
+    let report = |name: &str, ms: u64| {
+        println!("{name:<16} {ms:>9} {:>8.4}", ms as f64 / lb as f64);
+    };
+    report("list", list_schedule(&inst).makespan(&inst));
+    let lpt_s = lpt(&inst);
+    report("LPT", lpt_s.makespan(&inst));
+    report("LPT+local", local_search(&inst, &lpt_s, 100_000).makespan(&inst));
+    report("MULTIFIT", multifit(&inst, 10).makespan(&inst));
+    for eps in [0.5, 0.3, 0.2] {
+        let res = Ptas::new(eps).solve(&inst);
+        res.schedule.validate(&inst)?;
+        report(&format!("PTAS eps={eps}"), res.makespan);
+        let polished = local_search(&inst, &res.schedule, 100_000);
+        report(&format!("PTAS eps={eps}+LS"), polished.makespan(&inst));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("simulate needs an instance file")?;
+    let inst = load_instance(path)?;
+    let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
+    let dim: usize = flag_parse(args, "--dim", 6)?;
+    let cfg = GpuPtasConfig {
+        epsilon,
+        dim_limit: dim,
+        ..GpuPtasConfig::default()
+    };
+    let gpu = solve_gpu(&inst, &cfg);
+    let omp = modeled_openmp_bisection(&inst, epsilon, 28);
+    println!("target T* = {} (both searches agree)", gpu.target);
+    println!(
+        "GPU quarter split (DIM{dim}): {:>3} rounds, {:>12.3} modeled ms",
+        gpu.iterations, gpu.modeled_ms
+    );
+    println!(
+        "OpenMP-28 bisection        : {:>3} iterations, {:>12.3} modeled ms",
+        omp.iterations, omp.modeled_ms
+    );
+    println!(
+        "largest DP table σ = {}; GPU speedup {:.2}x",
+        gpu.max_table_size.max(omp.max_table_size),
+        omp.modeled_ms / gpu.modeled_ms
+    );
+    // Optional Chrome trace of the largest probe's kernel timeline.
+    if let Some(trace_path) = flag(args, "--trace") {
+        use pcmax::gpu::{simulate_partitioned, PartitionOptions, TableAnalysis};
+        use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
+        let biggest = gpu
+            .rounds
+            .iter()
+            .flat_map(|r| r.targets.iter().zip(&r.table_sizes))
+            .max_by_key(|&(_, &sz)| sz)
+            .map(|(&t, _)| t)
+            .ok_or("no probes to trace")?;
+        if let RoundingOutcome::Rounded(r) = Rounding::compute(&inst, biggest, 4) {
+            let problem = pcmax::DpProblem::from_rounding(&r);
+            let analysis = TableAnalysis::analyze(&problem);
+            let run = simulate_partitioned(
+                &problem,
+                &analysis,
+                &cfg.spec,
+                &PartitionOptions::with_dim_limit(dim),
+            );
+            pcmax::sim::trace::write_chrome_trace(&run.report, trace_path)
+                .map_err(|e| format!("writing {trace_path}: {e}"))?;
+            eprintln!(
+                "wrote Chrome trace of σ = {} ({} kernels) to {trace_path} — open in chrome://tracing or ui.perfetto.dev",
+                problem.table_size(),
+                run.kernels
+            );
+        }
+    }
+    Ok(())
+}

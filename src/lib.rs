@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # pcmax — a PTAS for makespan scheduling with parallel
+//! higher-dimensional dynamic programming
+//!
+//! Reproduction of *"A GPU Parallel Approximation Algorithm for
+//! Scheduling Parallel Identical Machines to Minimize Makespan"*
+//! (Li, Ghalami, Schwiebert, Grosu — IPDPS Workshops 2018), as a Rust
+//! workspace. This crate is the facade: it re-exports the public API of
+//! every member crate and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pcmax::prelude::*;
+//!
+//! // 40 jobs with uniform processing times on 6 machines.
+//! let inst = pcmax::gen::uniform(42, 40, 6, 10, 100);
+//!
+//! // ε = 0.3 — the paper's setting (k = 4, ≤ 16 DP dimensions).
+//! let result = Ptas::new(0.3).solve(&inst);
+//! let makespan = result.schedule.validate(&inst).expect("valid schedule");
+//! assert_eq!(makespan, result.makespan);
+//!
+//! // Compare with LPT.
+//! let lpt = pcmax::heuristics::lpt(&inst).makespan(&inst);
+//! assert!(result.makespan <= lpt + inst.max_time());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`pcmax_core`] | instances, schedules, bounds, heuristics, exact oracles |
+//! | [`ndtable`] | higher-dimensional tables, anti-diagonals, block partitioning |
+//! | [`pcmax_ptas`] | rounding, configuration enumeration, the 3 DP engines, searches, the PTAS |
+//! | [`exec_model`] | counted-work descriptors and the multicore cost model |
+//! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
+//! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
+
+pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, Schedule};
+pub use pcmax_core::{exact, gen, heuristics};
+
+pub use pcmax_ptas::{self as ptas, DpEngine, DpProblem, DpSolution, Ptas, PtasResult,
+    SearchStrategy, INFEASIBLE};
+
+pub use exec_model::{self as model, CpuModel, DpWorkload, ModelTime};
+pub use gpu_sim::{self as sim, DeviceSpec, GpuSim, KernelDesc, SimReport};
+pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, Shape};
+pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use crate::{
+        lower_bound, upper_bound, DpEngine, Instance, Ptas, PtasResult, Schedule, SearchStrategy,
+    };
+}

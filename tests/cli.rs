@@ -1,0 +1,157 @@
+//! End-to-end tests of the `pcmax` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pcmax() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pcmax"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pcmax-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+#[test]
+fn gen_then_solve_roundtrip() {
+    let inst = temp_path("roundtrip.inst");
+    let out = pcmax()
+        .args([
+            "gen", "--seed", "5", "--jobs", "30", "--machines", "6", "--lo", "10", "--hi", "80",
+            "-o",
+        ])
+        .arg(&inst)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = pcmax()
+        .arg("solve")
+        .arg(&inst)
+        .args(["--epsilon", "0.3", "--strategy", "quarter"])
+        .output()
+        .expect("run solve");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stdout.contains("target T*"), "{stdout}");
+}
+
+#[test]
+fn gen_to_stdout_is_parseable() {
+    let out = pcmax()
+        .args(["gen", "--seed", "3", "--jobs", "12", "--machines", "3"])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let inst = pcmax::core::io::parse_instance(&text).expect("parseable");
+    assert_eq!(inst.num_jobs(), 12);
+    assert_eq!(inst.machines(), 3);
+}
+
+#[test]
+fn compare_lists_all_algorithms() {
+    let inst = temp_path("compare.inst");
+    assert!(pcmax()
+        .args(["gen", "--seed", "8", "--jobs", "24", "--machines", "4", "-o"])
+        .arg(&inst)
+        .status()
+        .expect("gen")
+        .success());
+    let out = pcmax().arg("compare").arg(&inst).output().expect("compare");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["list", "LPT", "LPT+local", "MULTIFIT", "PTAS eps=0.3"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn solve_verbose_shows_rounds() {
+    let inst = temp_path("verbose.inst");
+    assert!(pcmax()
+        .args(["gen", "--seed", "2", "--jobs", "20", "--machines", "5", "-o"])
+        .arg(&inst)
+        .status()
+        .expect("gen")
+        .success());
+    let out = pcmax()
+        .arg("solve")
+        .arg(&inst)
+        .arg("--verbose")
+        .output()
+        .expect("solve");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round  1"), "{stdout}");
+    assert!(stdout.contains("loads:"), "{stdout}");
+}
+
+#[test]
+fn simulate_writes_trace() {
+    let inst = temp_path("sim.inst");
+    let trace = temp_path("sim-trace.json");
+    assert!(pcmax()
+        .args(["gen", "--seed", "9", "--jobs", "20", "--machines", "6", "-o"])
+        .arg(&inst)
+        .status()
+        .expect("gen")
+        .success());
+    let out = pcmax()
+        .arg("simulate")
+        .arg(&inst)
+        .args(["--dim", "4", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(json.contains("traceEvents"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = pcmax().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing file.
+    let out = pcmax().args(["solve", "/nonexistent.inst"]).output().expect("run");
+    assert!(!out.status.success());
+
+    // Corrupt instance.
+    let bad = temp_path("bad.inst");
+    std::fs::write(&bad, "3\n5 x 7\n").expect("write");
+    let out = pcmax().arg("solve").arg(&bad).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad job time"));
+
+    // Bad flag value.
+    let inst = temp_path("flags.inst");
+    std::fs::write(&inst, "2\n5 6 7\n").expect("write");
+    let out = pcmax()
+        .arg("solve")
+        .arg(&inst)
+        .args(["--epsilon", "pi"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    // Unknown engine.
+    let out = pcmax()
+        .arg("solve")
+        .arg(&inst)
+        .args(["--engine", "quantum"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pcmax().arg("--help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: the DP engines, the table analysis, the
+//! blocked layout, and both execution models must tell one consistent
+//! story about the same table.
+
+use pcmax::gpu::synth::problem_with_extents;
+use pcmax::gpu::{simulate_partitioned, PartitionOptions, TableAnalysis};
+use pcmax::model::CpuModel;
+use pcmax::sim::DeviceSpec;
+use pcmax::table::{BlockedLayout, Divisor, Shape};
+use pcmax::{DpEngine, DpProblem};
+
+#[test]
+fn analysis_deps_match_what_the_dp_actually_reads() {
+    // Re-derive each cell's minimum from the analysis dependency list and
+    // check it reproduces the DP values exactly.
+    let p = problem_with_extents(&[4, 5, 3, 4], 4);
+    let sol = p.solve(DpEngine::Sequential);
+    let analysis = TableAnalysis::analyze(&p);
+    for flat in 1..p.table_size() {
+        let deps = analysis.deps(flat);
+        let min = deps.iter().map(|&d| sol.values[d as usize]).min();
+        let expect = min.map_or(pcmax::INFEASIBLE, |m| m + 1);
+        assert_eq!(sol.values[flat], expect, "cell {flat}");
+    }
+}
+
+#[test]
+fn blocked_engine_traverses_the_same_layout_the_simulator_charges() {
+    let p = problem_with_extents(&[6, 4, 6, 4], 4);
+    let analysis = TableAnalysis::analyze(&p);
+    let dim = 4;
+    // CPU blocked engine and simulated run built from the same divisor.
+    let blocked = p.solve(DpEngine::Blocked { dim_limit: dim });
+    let run = simulate_partitioned(
+        &p,
+        &analysis,
+        &DeviceSpec::k40(),
+        &PartitionOptions::with_dim_limit(dim),
+    );
+    assert_eq!(blocked.stats.num_blocks, run.num_blocks);
+    assert_eq!(blocked.stats.num_block_levels, run.num_block_levels);
+    // Values agree with the reference engine.
+    assert_eq!(blocked.values, p.solve(DpEngine::Sequential).values);
+}
+
+#[test]
+fn simulator_access_counts_equal_analysis_dep_counts() {
+    // Every dependency is exactly one global read in the partitioned
+    // kernels (plus one own-cell access per cell).
+    let p = problem_with_extents(&[4, 4, 4, 4], 4);
+    let analysis = TableAnalysis::analyze(&p);
+    let run = simulate_partitioned(
+        &p,
+        &analysis,
+        &DeviceSpec::k40(),
+        &PartitionOptions::with_dim_limit(4),
+    );
+    let expected = analysis.total_deps() + p.table_size() as u64;
+    assert_eq!(run.report.total_accesses, expected);
+}
+
+#[test]
+fn cpu_model_scales_with_table_size() {
+    let small = TableAnalysis::analyze(&problem_with_extents(&[4, 4, 4], 4)).workload();
+    let large = TableAnalysis::analyze(&problem_with_extents(&[6, 6, 6, 4], 4)).workload();
+    let model = CpuModel::xeon_e5_2697v3(16);
+    // The whole-table search makes the *work* superlinear in σ (the
+    // per-level barrier is size-independent, so compare work components).
+    let work = |w| {
+        let t = model.estimate_dp(w);
+        t.compute_ns + t.search_ns
+    };
+    let t_small = work(&small);
+    let t_large = work(&large);
+    let size_ratio = (large.table_size as f64) / (small.table_size as f64);
+    assert!(t_large / t_small > size_ratio, "search cost must be superlinear");
+}
+
+#[test]
+fn dim_sweep_is_u_shaped_on_a_high_dimensional_table() {
+    // DIM3 pays block-scan cost, DIM9 pays launch overhead; some middle
+    // dim must beat both ends (Fig. 4's shape).
+    let p = problem_with_extents(&[3, 3, 3, 2, 3, 4, 2, 5, 2], 4); // 12960, 9 dims
+    let analysis = TableAnalysis::analyze(&p);
+    let spec = DeviceSpec::k40();
+    let times: Vec<f64> = (3..=9)
+        .map(|dim| {
+            simulate_partitioned(&p, &analysis, &spec, &PartitionOptions::with_dim_limit(dim))
+                .report
+                .total_ns
+        })
+        .collect();
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(best < times[0], "some dim must beat DIM3");
+    assert!(best < *times.last().unwrap(), "some dim must beat DIM9");
+}
+
+#[test]
+fn divisor_partitions_compose_with_any_paper_shape() {
+    for row in pcmax_bench::shapes::paper_rows() {
+        let shape = Shape::new(&row.extents);
+        for dim in 3..=9 {
+            let d = Divisor::compute(&shape, dim, Default::default());
+            let layout = BlockedLayout::new(shape.clone(), d);
+            assert_eq!(
+                layout.num_blocks() * layout.cells_per_block(),
+                row.table_size
+            );
+        }
+    }
+}
+
+#[test]
+fn infeasible_table_flows_through_every_layer() {
+    // A class larger than the capacity: DP infeasible, analysis still
+    // well-formed, extraction refuses.
+    let p = DpProblem::new(vec![2, 1], vec![5, 99], 10);
+    let sol = p.solve(DpEngine::AntiDiagonal);
+    assert_eq!(sol.opt, pcmax::INFEASIBLE);
+    assert!(p.extract_configs(&sol.values).is_none());
+    let analysis = TableAnalysis::analyze(&p);
+    // The oversized class contributes no dependencies along its axis.
+    let corner = p.table_size() - 1;
+    assert!(analysis
+        .deps(corner)
+        .iter()
+        .all(|&d| (d as usize) < corner));
+}
+
+#[test]
+fn workspace_wide_determinism_of_modeled_times() {
+    let p = problem_with_extents(&[5, 4, 4, 3], 4);
+    let run = || {
+        let analysis = TableAnalysis::analyze(&p);
+        let gpu = simulate_partitioned(
+            &p,
+            &analysis,
+            &DeviceSpec::k40(),
+            &PartitionOptions::default(),
+        )
+        .report
+        .total_ns;
+        let cpu = CpuModel::xeon_e5_2697v3(28)
+            .estimate_dp(&analysis.workload())
+            .total_ns();
+        (gpu, cpu)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dim_ordering_robust_to_scheduler_fidelity() {
+    // The paper's key ordering (some middle DIM beats DIM3 and DIM9)
+    // must not depend on the engine's slot-sharing assumption.
+    use pcmax::sim::SharePolicy;
+    let p = problem_with_extents(&[3, 4, 3, 4, 3, 5, 3, 2], 4); // 12960, 8 dims
+    let analysis = TableAnalysis::analyze(&p);
+    let spec = DeviceSpec::k40();
+    for policy in [SharePolicy::WaterFilling, SharePolicy::EqualShare] {
+        let times: Vec<f64> = (3..=9)
+            .map(|dim| {
+                let opts = PartitionOptions {
+                    policy,
+                    ..PartitionOptions::with_dim_limit(dim)
+                };
+                simulate_partitioned(&p, &analysis, &spec, &opts).report.total_ns
+            })
+            .collect();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(best < times[0], "{policy:?}: middle DIM must beat DIM3");
+        assert!(
+            best < *times.last().unwrap(),
+            "{policy:?}: middle DIM must beat DIM9"
+        );
+    }
+}

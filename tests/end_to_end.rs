@@ -1,0 +1,122 @@
+//! End-to-end integration tests: the full PTAS against exact optima,
+//! across instance families, DP engines, and search strategies.
+
+use pcmax::exact::brute_force_makespan;
+use pcmax::heuristics::{list_schedule, lpt, multifit};
+use pcmax::prelude::*;
+use pcmax::ptas::verify::{check_result, guarantee_factor};
+
+fn small_instances() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for seed in 0..6 {
+        out.push(pcmax::gen::uniform(seed, 10, 3, 2, 30));
+        out.push(pcmax::gen::bimodal(seed, 9, 3, 1, 40, 50));
+        out.push(pcmax::gen::near_equal(seed, 8, 2, 20, 4));
+    }
+    out.push(Instance::new(vec![10, 10, 10, 9, 9, 9], 3));
+    out.push(Instance::new(vec![100, 1, 1, 1, 1], 2));
+    out.push(Instance::new(vec![7], 1));
+    out
+}
+
+#[test]
+fn ptas_beats_guarantee_on_every_small_instance() {
+    for (i, inst) in small_instances().iter().enumerate() {
+        let opt = brute_force_makespan(inst);
+        for eps in [0.5, 0.3] {
+            let res = Ptas::new(eps).solve(inst);
+            check_result(inst, &res, eps, Some(opt))
+                .unwrap_or_else(|e| panic!("instance {i}, eps {eps}: {e}"));
+            let bound = (guarantee_factor(eps) * opt as f64).ceil() as u64 + 1;
+            assert!(
+                res.makespan <= bound,
+                "instance {i}, eps {eps}: {} > {bound} (opt {opt})",
+                res.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_and_strategies_agree_on_target() {
+    for seed in 0..4 {
+        let inst = pcmax::gen::uniform(100 + seed, 18, 4, 5, 60);
+        let mut targets = Vec::new();
+        for engine in [
+            DpEngine::Sequential,
+            DpEngine::AntiDiagonal,
+            DpEngine::Blocked { dim_limit: 5 },
+        ] {
+            for strategy in [SearchStrategy::Bisection, SearchStrategy::QuarterSplit] {
+                let res = Ptas::new(0.3)
+                    .with_engine(engine)
+                    .with_strategy(strategy)
+                    .solve(&inst);
+                res.schedule.validate(&inst).unwrap();
+                targets.push(res.target);
+            }
+        }
+        assert!(
+            targets.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: targets {targets:?}"
+        );
+    }
+}
+
+#[test]
+fn ptas_competitive_with_heuristics_on_long_job_mixes() {
+    // Where the theory says the PTAS should shine: few long jobs per
+    // machine. ε = 0.2 must not lose to LPT by more than the guarantee
+    // gap on any of these.
+    for seed in 0..5 {
+        let inst = pcmax::gen::uniform(200 + seed, 9, 4, 50, 100);
+        let opt = brute_force_makespan(&inst);
+        let ptas_ms = Ptas::new(0.2).solve(&inst).makespan;
+        let lpt_ms = lpt(&inst).makespan(&inst);
+        assert!(ptas_ms as f64 <= guarantee_factor(0.2) * opt as f64 + 1.0);
+        // Sanity: neither is allowed below the optimum.
+        assert!(ptas_ms >= opt && lpt_ms >= opt);
+    }
+}
+
+#[test]
+fn heuristic_chain_is_ordered_by_guarantee_on_average() {
+    // Across 20 instances, total LPT makespan ≤ total list-scheduling
+    // makespan, and MULTIFIT ≤ LPT (their worst-case bounds order them;
+    // on aggregates the order holds too).
+    let mut list_total = 0u64;
+    let mut lpt_total = 0u64;
+    let mut mf_total = 0u64;
+    for seed in 0..20 {
+        let inst = pcmax::gen::uniform(300 + seed, 40, 6, 1, 100);
+        list_total += list_schedule(&inst).makespan(&inst);
+        lpt_total += lpt(&inst).makespan(&inst);
+        mf_total += multifit(&inst, 10).makespan(&inst);
+    }
+    assert!(lpt_total <= list_total);
+    assert!(mf_total <= lpt_total);
+}
+
+#[test]
+fn larger_epsilon_never_undershoots_lower_bound() {
+    for seed in 0..5 {
+        let inst = pcmax::gen::uniform(400 + seed, 30, 5, 1, 80);
+        let lb = lower_bound(&inst);
+        for eps in [1.0, 0.5, 0.3] {
+            let res = Ptas::new(eps).solve(&inst);
+            assert!(res.makespan >= lb);
+            assert!(res.target >= lb);
+            assert!(res.target <= upper_bound(&inst));
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let inst = pcmax::gen::uniform(17, 25, 4, 1, 50);
+    let a = Ptas::new(0.3).solve(&inst);
+    let b = Ptas::new(0.3).solve(&inst);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.target, b.target);
+    assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+}

@@ -1,0 +1,124 @@
+//! Golden tests: hand-computed expected values pinned against every
+//! engine, so regressions in index arithmetic or recurrences surface as
+//! exact-value diffs rather than statistical drift.
+
+use mdknap::dp::{solve as knap_solve, KnapEngine};
+use mdknap::problem::{Item, KnapsackProblem};
+use pcmax::prelude::*;
+use pcmax::DpProblem;
+
+fn engines() -> [DpEngine; 3] {
+    [
+        DpEngine::Sequential,
+        DpEngine::AntiDiagonal,
+        DpEngine::Blocked { dim_limit: 4 },
+    ]
+}
+
+#[test]
+fn golden_1d_dp_table() {
+    // 4 jobs of size 5, capacity 10: two fit per machine.
+    // OPT(j jobs) = ⌈j/2⌉ → [0, 1, 1, 2, 2].
+    let p = DpProblem::new(vec![4], vec![5], 10);
+    for engine in engines() {
+        assert_eq!(p.solve(engine).values, vec![0, 1, 1, 2, 2], "{engine:?}");
+    }
+}
+
+#[test]
+fn golden_2d_dp_table() {
+    // Classes: two jobs of 4, one job of 9; capacity 12.
+    // Hand-computed, row-major over shape (3, 2):
+    //   (0,0)=0 (0,1)=1 (1,0)=1 (1,1)=2 (2,0)=1 (2,1)=2
+    // ((1,1): 4+9=13 > 12 forces two machines; (2,1): {4,4} | {9}.)
+    let p = DpProblem::new(vec![2, 1], vec![4, 9], 12);
+    for engine in engines() {
+        assert_eq!(p.solve(engine).values, vec![0, 1, 1, 2, 1, 2], "{engine:?}");
+    }
+}
+
+#[test]
+fn golden_3d_corner_value() {
+    // One job each of sizes 3, 4, 5 with capacity 7:
+    // {3,4} fit together, 5 alone → OPT = 2.
+    let p = DpProblem::new(vec![1, 1, 1], vec![3, 4, 5], 7);
+    for engine in engines() {
+        let sol = p.solve(engine);
+        assert_eq!(sol.opt, 2, "{engine:?}");
+        // And the all-pairs sub-values: {3,4}=1, {3,5}=2 (3+5>7), {4,5}=2.
+        let shape = p.shape();
+        assert_eq!(sol.values[shape.flatten(&[1, 1, 0])], 1);
+        assert_eq!(sol.values[shape.flatten(&[1, 0, 1])], 2);
+        assert_eq!(sol.values[shape.flatten(&[0, 1, 1])], 2);
+    }
+}
+
+#[test]
+fn golden_knapsack_1d_table() {
+    // Capacity 3; items (profit 3, w 2), (profit 2, w 1), (profit 2, w 2).
+    // values[c]: c=0 → 0, c=1 → 2, c=2 → 3, c=3 → 5 ({w2,w1}).
+    let p = KnapsackProblem::new(
+        vec![3],
+        vec![
+            Item { profit: 3, weights: vec![2] },
+            Item { profit: 2, weights: vec![1] },
+            Item { profit: 2, weights: vec![2] },
+        ],
+    );
+    for engine in [
+        KnapEngine::InPlace,
+        KnapEngine::Layered,
+        KnapEngine::Blocked { dim_limit: 1 },
+    ] {
+        assert_eq!(knap_solve(&p, engine).values, vec![0, 2, 3, 5], "{engine:?}");
+    }
+}
+
+#[test]
+fn golden_ptas_pinned_instance() {
+    // Fixed instance; values verified once by brute force and pinned.
+    // jobs {9,8,7,6,5,4} on 3 machines: OPT = 13 ({9,4},{8,5},{7,6}).
+    let inst = Instance::new(vec![9, 8, 7, 6, 5, 4], 3);
+    assert_eq!(pcmax::exact::brute_force_makespan(&inst), 13);
+    assert_eq!(pcmax::exact::subset_dp_makespan(&inst), 13);
+    let res = Ptas::new(0.2).solve(&inst);
+    assert_eq!(res.target, 13, "ε=0.2 converges to the optimum here");
+    assert!(res.makespan <= 15); // within (1+1/5+1/25)·13 = 16.1
+    // LPT also achieves 13 on this instance.
+    assert_eq!(pcmax::heuristics::lpt(&inst).makespan(&inst), 13);
+}
+
+#[test]
+fn golden_divisor_fig2_example() {
+    // Fig. 2 of the paper: a 6×6×6 table divided by (3,3,3) yields 27
+    // blocks of 2×2×2 in 7 block-levels, with the level populations of a
+    // 3-d simplex cross-section: 1,3,6,7,6,3,1.
+    use pcmax::table::{BlockedLayout, Divisor, Shape};
+    let shape = Shape::new(&[6, 6, 6]);
+    let layout = BlockedLayout::new(shape.clone(), Divisor::from_parts(&shape, &[3, 3, 3]));
+    let levels = ndtable::BlockLevels::new(&layout);
+    let widths: Vec<usize> = (0..levels.num_levels())
+        .map(|l| levels.level(l).len())
+        .collect();
+    assert_eq!(widths, vec![1, 3, 6, 7, 6, 3, 1]);
+}
+
+#[test]
+fn golden_rounding_example() {
+    // T = 100, k = 4 (ε = 0.3): step = ⌊100/16⌋ = 6; short iff t ≤ 25.
+    // Jobs: 20 (short), 26 (→ 24, q=4), 59 (→ 54, q=9), 97 (→ 96, q=16).
+    use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
+    let inst = Instance::new(vec![20, 26, 59, 97], 2);
+    let RoundingOutcome::Rounded(r) = Rounding::compute(&inst, 100, 4) else {
+        panic!("feasible")
+    };
+    assert_eq!(r.step, 6);
+    assert_eq!(r.short_jobs, vec![0]);
+    assert_eq!(r.sizes(), vec![24, 54, 96]);
+    assert_eq!(
+        r.classes.iter().map(|c| c.multiple).collect::<Vec<_>>(),
+        vec![4, 9, 16]
+    );
+    assert_eq!(r.counts(), vec![1, 1, 1]);
+    assert_eq!(r.table_size(), 8);
+}

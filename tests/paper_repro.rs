@@ -1,0 +1,149 @@
+//! Fast reproduction checks of the paper's claims — the smoke-test
+//! versions of what the `pcmax-bench` binaries measure at full scale.
+
+use pcmax::gpu::naive::simulate_naive;
+use pcmax::gpu::synth::{instance_with_scale, problem_with_extents};
+use pcmax::gpu::{
+    modeled_openmp_bisection, simulate_partitioned, solve_gpu, GpuPtasConfig, PartitionOptions,
+    TableAnalysis,
+};
+use pcmax::model::CpuModel;
+use pcmax::sim::DeviceSpec;
+use pcmax::table::{Divisor, Shape};
+use pcmax_bench::shapes::paper_rows;
+
+/// Tables I–VI: the GPU-DIM3 column reproduces exactly for all 18
+/// published rows; the best-DIM column for the 14 internally consistent
+/// rows.
+#[test]
+fn tables_i_vi_reproduce() {
+    for row in paper_rows() {
+        let shape = Shape::new(&row.extents);
+        let d3 = Divisor::compute(&shape, 3, Default::default());
+        assert_eq!(
+            d3.block_sizes(&shape),
+            row.dim3_blocks,
+            "DIM3 for {:?}",
+            row.extents
+        );
+        if !row.published_inconsistent {
+            let db = Divisor::compute(&shape, row.best_dim, Default::default());
+            assert_eq!(
+                db.block_sizes(&shape),
+                row.best_blocks,
+                "DIM{} for {:?}",
+                row.best_dim,
+                row.extents
+            );
+        }
+    }
+}
+
+/// Fig. 3(a) shape: on a small table the modeled OpenMP baseline beats
+/// every GPU-DIM variant.
+#[test]
+fn fig3a_small_tables_favour_openmp() {
+    let p = problem_with_extents(&[6, 4, 6, 6, 4], 4); // σ = 3456
+    let analysis = TableAnalysis::analyze(&p);
+    let omp28 = CpuModel::xeon_e5_2697v3(28)
+        .estimate_dp(&analysis.workload())
+        .millis();
+    for dim in [3, 5, 7, 9] {
+        let gpu = simulate_partitioned(
+            &p,
+            &analysis,
+            &DeviceSpec::k40(),
+            &PartitionOptions::with_dim_limit(dim),
+        )
+        .report
+        .millis();
+        assert!(omp28 < gpu, "σ=3456 DIM{dim}: OMP28 {omp28} vs GPU {gpu}");
+    }
+}
+
+/// Fig. 3(b/c) shape: on a large table the best GPU variant beats
+/// OpenMP, and GPU-DIM3 is the worst GPU variant.
+#[test]
+fn fig3c_large_tables_favour_gpu_and_dim3_is_worst() {
+    let p = problem_with_extents(&[5, 6, 3, 7, 6, 4, 8, 3], 4); // σ = 362880
+    let analysis = TableAnalysis::analyze(&p);
+    let omp28 = CpuModel::xeon_e5_2697v3(28)
+        .estimate_dp(&analysis.workload())
+        .millis();
+    let spec = DeviceSpec::k40();
+    let times: Vec<f64> = (3..=9)
+        .map(|dim| {
+            simulate_partitioned(&p, &analysis, &spec, &PartitionOptions::with_dim_limit(dim))
+                .report
+                .millis()
+        })
+        .collect();
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        best * 5.0 < omp28,
+        "GPU should win by a wide margin: best {best} vs OMP {omp28}"
+    );
+    assert!(
+        times[0] > best * 1.05,
+        "DIM3 must be measurably worst: {times:?}"
+    );
+}
+
+/// §III claim: the direct port is much slower than the partitioned
+/// implementation (the paper quotes ~100× vs OpenMP).
+#[test]
+fn naive_port_is_dramatically_slower() {
+    let p = problem_with_extents(&[3, 16, 15, 18], 4); // σ = 12960
+    let analysis = TableAnalysis::analyze(&p);
+    let spec = DeviceSpec::k40();
+    let naive = simulate_naive(&p, &analysis, &spec).millis();
+    let part = simulate_partitioned(&p, &analysis, &spec, &PartitionOptions::default())
+        .report
+        .millis();
+    let omp = CpuModel::xeon_e5_2697v3(28)
+        .estimate_dp(&analysis.workload())
+        .millis();
+    assert!(naive > 10.0 * part, "naive {naive} vs partitioned {part}");
+    assert!(naive > 10.0 * omp, "naive {naive} vs OpenMP {omp}");
+}
+
+/// Table VII shape: quarter split needs fewer rounds than bisection and
+/// wins on runtime once tables are large.
+#[test]
+fn table_vii_shape() {
+    // Small scale: OpenMP is allowed to win on runtime but not rounds.
+    let small = instance_with_scale(1000, 0);
+    let gpu_small = solve_gpu(&small, &GpuPtasConfig::default());
+    let omp_small = modeled_openmp_bisection(&small, 0.3, 28);
+    assert_eq!(gpu_small.target, omp_small.target);
+    assert!(gpu_small.iterations <= omp_small.iterations);
+
+    // Large scale: GPU wins runtime too.
+    let large = instance_with_scale(1002, 2);
+    let gpu_large = solve_gpu(&large, &GpuPtasConfig::default());
+    let omp_large = modeled_openmp_bisection(&large, 0.3, 28);
+    assert_eq!(gpu_large.target, omp_large.target);
+    assert!(gpu_large.iterations <= omp_large.iterations);
+    assert!(
+        gpu_large.modeled_ms < omp_large.modeled_ms,
+        "GPU {} vs OMP {}",
+        gpu_large.modeled_ms,
+        omp_large.modeled_ms
+    );
+}
+
+/// ε = 0.3 ⇒ k = 4 ⇒ at most 16 dimensions (§IV.A).
+#[test]
+fn paper_epsilon_dimensionality() {
+    use pcmax::prelude::*;
+    let ptas = Ptas::new(0.3);
+    assert_eq!(ptas.k(), 4);
+    // Max distinct rounded multiples: k² − k + 1 = 13 ≤ 16.
+    let inst = pcmax::gen::uniform(5, 60, 4, 1, 1000);
+    let res = ptas.solve(&inst);
+    for rec in &res.search.records {
+        for probe in &rec.probes {
+            assert!(probe.ndim <= 16, "probe ndim {}", probe.ndim);
+        }
+    }
+}
