@@ -11,6 +11,13 @@ use pcmax_bench::shapes::{fig3_shape, fig3_sizes};
 use pcmax_bench::{fmt, series};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig3: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let group = args
         .iter()
@@ -22,10 +29,11 @@ fn main() {
     let groups: Vec<char> = match group {
         "all" => vec!['a', 'b', 'c'],
         g if g.len() == 1 => vec![g.chars().next().unwrap()],
-        other => panic!("bad --group {other}"),
+        other => return Err(format!("bad --group `{other}`; use a, b, c, or all")),
     };
 
     for g in groups {
+        let sizes = fig3_sizes(g)?;
         let (lo, hi) = match g {
             'a' => ("100", "10000"),
             'b' => ("20000", "100000"),
@@ -43,7 +51,7 @@ fn main() {
         header.push("winner".into());
 
         let mut rows = Vec::new();
-        for size in fig3_sizes(g) {
+        for size in sizes {
             let shape = fig3_shape(size);
             let s = evaluate_table(&shape, with_naive);
             let (best_dim, best_gpu) = s.best_gpu();
@@ -68,7 +76,9 @@ fn main() {
         }
         eprintln!();
         fmt::print_table(&header, &rows);
-        fmt::write_csv(&format!("fig3{g}"), &header, &rows).expect("csv");
+        fmt::write_csv(&format!("fig3{g}"), &header, &rows)
+            .map_err(|e| format!("writing fig3{g} csv: {e}"))?;
     }
     let _ = series::K;
+    Ok(())
 }

@@ -211,20 +211,21 @@ pub fn balanced_factorization(size: usize, dims: usize) -> Option<Vec<usize>> {
 }
 
 /// The Fig. 3 size sweep: (group, sizes). Sizes are composite so they
-/// factor into PTAS-like shapes.
-pub fn fig3_sizes(group: char) -> Vec<usize> {
+/// factor into PTAS-like shapes. Unknown groups are an error, not a
+/// panic, so callers (the `fig3` binary) can report them cleanly.
+pub fn fig3_sizes(group: char) -> Result<Vec<usize>, String> {
     match group {
-        'a' => vec![
+        'a' => Ok(vec![
             144, 288, 576, 1152, 1728, 2592, 3456, 4320, 5184, 6912, 8640, 10368,
-        ],
-        'b' => vec![
+        ]),
+        'b' => Ok(vec![
             20736, 25920, 31104, 36288, 41472, 51840, 62208, 72576, 82944, 86400, 93312, 103680,
-        ],
-        'c' => vec![
+        ]),
+        'c' => Ok(vec![
             110592, 145152, 165888, 207360, 248832, 290304, 311040, 362880, 388800, 403200,
             435456, 497664,
-        ],
-        _ => panic!("unknown group {group}; use a, b, or c"),
+        ]),
+        other => Err(format!("unknown group `{other}`; use a, b, or c")),
     }
 }
 
@@ -278,7 +279,7 @@ mod tests {
     #[test]
     fn all_fig3_sizes_factor() {
         for g in ['a', 'b', 'c'] {
-            for size in fig3_sizes(g) {
+            for size in fig3_sizes(g).unwrap() {
                 let shape = fig3_shape(size);
                 assert_eq!(shape.iter().product::<usize>(), size);
                 assert!(
@@ -292,12 +293,23 @@ mod tests {
 
     #[test]
     fn groups_cover_paper_ranges() {
-        assert!(fig3_sizes('a').iter().all(|&s| (100..=10_368).contains(&s)));
+        assert!(fig3_sizes('a')
+            .unwrap()
+            .iter()
+            .all(|&s| (100..=10_368).contains(&s)));
         assert!(fig3_sizes('b')
+            .unwrap()
             .iter()
             .all(|&s| (20_000..=104_000).contains(&s)));
         assert!(fig3_sizes('c')
+            .unwrap()
             .iter()
             .all(|&s| (110_000..=500_000).contains(&s)));
+    }
+
+    #[test]
+    fn unknown_groups_are_errors() {
+        let err = fig3_sizes('z').unwrap_err();
+        assert!(err.contains('z'), "error should name the group: {err}");
     }
 }

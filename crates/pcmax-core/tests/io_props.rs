@@ -1,0 +1,119 @@
+//! Property-based round-trip tests for the text (de)serialisers in
+//! `pcmax_core::io`, plus targeted malformed-input cases.
+
+use pcmax_core::io::{format_instance, format_schedule, parse_instance, parse_schedule};
+use pcmax_core::{Instance, Schedule};
+use proptest::prelude::*;
+
+/// Arbitrary small instances: 1–6 machines, 1–40 jobs, times up to 10⁶.
+fn any_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=6, 1usize..=40).prop_flat_map(|(m, n)| {
+        prop::collection::vec(1u64..=1_000_000, n).prop_map(move |times| Instance::new(times, m))
+    })
+}
+
+/// Arbitrary schedules: every job mapped to a valid machine index.
+fn any_schedule() -> impl Strategy<Value = Schedule> {
+    (1usize..=5, 1usize..=30).prop_flat_map(|(m, n)| {
+        prop::collection::vec(0usize..m, n).prop_map(move |assignment| Schedule::new(assignment, m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn instance_text_roundtrips(inst in any_instance()) {
+        let text = format_instance(&inst);
+        let back = parse_instance(&text).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn instance_survives_whitespace_mangling(inst in any_instance()) {
+        // The format promises whitespace-separated tokens, nothing more:
+        // reflowing every separator must parse to the same instance.
+        let mangled: String = format_instance(&inst)
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join("\n\t ");
+        prop_assert_eq!(parse_instance(&mangled).unwrap(), inst);
+    }
+
+    #[test]
+    fn schedule_text_roundtrips(s in any_schedule()) {
+        let text = format_schedule(&s);
+        let back = parse_schedule(&text).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn schedule_parses_pairs_in_any_order(s in any_schedule(), salt in 0u64..1000) {
+        // The pair-per-line format carries explicit job ids, so line
+        // order must not matter. Rotate the pairs by a salted offset.
+        let text = format_schedule(&s);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let pairs = &mut lines[1..];
+        if !pairs.is_empty() {
+            let mid = (salt as usize) % pairs.len();
+            pairs.rotate_left(mid);
+        }
+        let reordered = lines.join("\n");
+        prop_assert_eq!(parse_schedule(&reordered).unwrap(), s);
+    }
+
+    #[test]
+    fn instance_rejects_trailing_garbage(inst in any_instance(), pick in 0usize..5) {
+        let tail = ["x", "12x", "-3", "3.5", "time"][pick];
+        let text = format!("{} {tail}", format_instance(&inst).trim_end());
+        prop_assert!(parse_instance(&text).is_err());
+    }
+}
+
+#[test]
+fn malformed_instances_are_rejected_with_context() {
+    for (text, needle) in [
+        ("", "empty"),
+        ("   \n\t  ", "empty"),
+        ("4", "no jobs"),
+        ("0 7 7", "positive"),
+        ("two 7 7", "two"),
+        ("3 7 zero", "zero"),
+        ("3 7 0", "positive"),
+        ("3 7 -2", "-2"),
+        ("3 7 1.5", "1.5"),
+        ("18446744073709551616 7", "18446744073709551616"), // usize overflow
+    ] {
+        let err = parse_instance(text).unwrap_err();
+        assert!(
+            err.contains(needle),
+            "`{text}` should fail mentioning `{needle}`, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_schedules_are_rejected_with_context() {
+    for (text, needle) in [
+        ("", "empty"),
+        ("x\n0 0", "x"),
+        ("2\n0 0\n0 1", "twice"),
+        ("2\n0 2", "out of range"),
+        ("2\n1 0", "out of range"), // job 1 of a 1-job schedule
+        ("2\n0", "dangling"),
+        ("2\n0 0\n2 1", "out of range"),
+    ] {
+        let err = parse_schedule(text).unwrap_err();
+        assert!(
+            err.contains(needle),
+            "`{text}` should fail mentioning `{needle}`, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn gap_in_job_ids_is_rejected() {
+    // Two pairs covering jobs {0, 2}: job 2 is out of range for n = 2,
+    // so the hole is reported rather than silently mis-assigned.
+    assert!(parse_schedule("3\n0 0\n2 1").is_err());
+}

@@ -43,6 +43,51 @@ pub struct DpProblem {
     shape: Shape,
 }
 
+/// Canonical identity of a DP problem, for memoising results *across*
+/// instances and targets.
+///
+/// Two problems share a key iff their tables are cell-for-cell identical.
+/// Beyond the obvious `(counts, sizes, cap)` triple, the key divides the
+/// sizes by their common gcd `g` and replaces `cap` with `⌊cap/g⌋`: every
+/// configuration weight `Σ sᵢ·sizeᵢ` is a multiple of `g`, so
+/// `Σ sᵢ·sizeᵢ ≤ cap ⟺ Σ sᵢ·(sizeᵢ/g) ≤ ⌊cap/g⌋` and the normalised
+/// problem enumerates exactly the same configurations. Scaled copies of
+/// an instance probed at proportionally scaled targets therefore collapse
+/// to one key — the cross-request reuse a solver service exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DpKey {
+    counts: Vec<usize>,
+    sizes: Vec<u64>,
+    cap: u64,
+}
+
+impl DpKey {
+    /// The class-count vector of the canonical problem.
+    #[inline]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The gcd-normalised class sizes.
+    #[inline]
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// The normalised capacity.
+    #[inline]
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Which engine fills the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DpEngine {
@@ -141,6 +186,16 @@ impl DpProblem {
     #[inline]
     pub fn table_size(&self) -> usize {
         self.shape.size()
+    }
+
+    /// The canonical memoisation key of this problem (see [`DpKey`]).
+    pub fn canonical_key(&self) -> DpKey {
+        let g = self.sizes.iter().fold(0u64, |acc, &s| gcd(acc, s)).max(1);
+        DpKey {
+            counts: self.counts.clone(),
+            sizes: self.sizes.iter().map(|&s| s / g).collect(),
+            cap: self.cap / g,
+        }
     }
 
     /// Computes one cell given read access to all dependency cells.
@@ -605,6 +660,53 @@ mod tests {
         assert!(sol.stats.configs_enumerated > 0);
         assert_eq!(sol.stats.table_size, 9);
         assert_eq!(sol.stats.num_levels, 5);
+    }
+
+    #[test]
+    fn canonical_key_collapses_scaled_problems() {
+        let base = DpProblem::new(vec![3, 2], vec![4, 6], 13);
+        let scaled = DpProblem::new(vec![3, 2], vec![20, 30], 69);
+        // 69/5 = 13 (floor): every config weight is a multiple of 5, so
+        // the scaled problem enumerates exactly the base configurations.
+        assert_eq!(base.canonical_key(), scaled.canonical_key());
+        assert_eq!(
+            base.solve_sequential().values,
+            scaled.solve_sequential().values
+        );
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_geometry() {
+        let a = DpProblem::new(vec![3, 2], vec![4, 6], 13);
+        assert_ne!(
+            a.canonical_key(),
+            DpProblem::new(vec![2, 3], vec![4, 6], 13).canonical_key()
+        );
+        assert_ne!(
+            a.canonical_key(),
+            DpProblem::new(vec![3, 2], vec![4, 6], 11).canonical_key()
+        );
+        // Caps 12 and 13 admit the same configs (all weights are even),
+        // so they deliberately share a key: ⌊12/2⌋ = ⌊13/2⌋ = 6.
+        assert_eq!(
+            a.canonical_key(),
+            DpProblem::new(vec![3, 2], vec![4, 6], 12).canonical_key()
+        );
+        assert_ne!(
+            a.canonical_key(),
+            DpProblem::new(vec![3, 2], vec![4, 7], 13).canonical_key()
+        );
+    }
+
+    #[test]
+    fn canonical_key_handles_empty_and_unit_gcd() {
+        let empty = DpProblem::new(vec![], vec![], 10);
+        assert_eq!(empty.canonical_key().cap(), 10);
+        let coprime = DpProblem::new(vec![2, 2], vec![3, 5], 11);
+        let key = coprime.canonical_key();
+        assert_eq!(key.sizes(), &[3, 5]);
+        assert_eq!(key.cap(), 11);
+        assert_eq!(key.counts(), &[2, 2]);
     }
 
     #[test]

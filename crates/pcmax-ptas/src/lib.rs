@@ -34,6 +34,6 @@ pub mod rounding;
 pub mod search;
 pub mod verify;
 
-pub use dp::{DpEngine, DpProblem, DpSolution, INFEASIBLE};
-pub use ptas::{Ptas, PtasResult, SearchStrategy};
+pub use dp::{DpEngine, DpKey, DpProblem, DpSolution, INFEASIBLE};
+pub use ptas::{assemble_schedule, Ptas, PtasResult, SearchStrategy};
 pub use rounding::{Rounding, RoundingOutcome};

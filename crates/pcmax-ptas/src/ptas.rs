@@ -142,62 +142,82 @@ impl Ptas {
     /// jobs, walk-back into machine configurations, then greedy
     /// list-scheduling of the short jobs on top.
     fn build_schedule(&self, inst: &Instance, target: u64, k: u64) -> (Schedule, usize) {
-        let m = inst.machines();
         let rounding = match Rounding::compute(inst, target, k) {
             RoundingOutcome::Rounded(r) => r,
             RoundingOutcome::Infeasible { longest } => {
                 unreachable!("target {target} below longest job {longest}")
             }
         };
-        let mut assignment = vec![usize::MAX; inst.num_jobs()];
-
         // Long jobs: one machine per extracted configuration.
         let problem = DpProblem::from_rounding(&rounding);
         let sol = problem.solve(self.engine);
         let machine_configs = problem
             .extract_configs(&sol.values)
             .expect("search only converges on feasible targets");
-        assert!(
-            machine_configs.len() <= m,
-            "DP used {} machines but instance has {m}",
-            machine_configs.len()
-        );
-        // Jobs of each class handed out in order.
-        let mut class_cursor: Vec<std::slice::Iter<'_, usize>> =
-            rounding.classes.iter().map(|c| c.jobs.iter()).collect();
-        for (machine, config) in machine_configs.iter().enumerate() {
-            for (class, &count) in config.iter().enumerate() {
-                for _ in 0..count {
-                    let &job = class_cursor[class]
-                        .next()
-                        .expect("configurations sum to class counts");
-                    assignment[job] = machine;
-                }
-            }
-        }
-        debug_assert!(class_cursor.iter_mut().all(|it| it.next().is_none()));
-
-        // Short jobs: greedy least-loaded over *actual* loads.
-        let mut loads = vec![0u64; m];
-        for (job, &mach) in assignment.iter().enumerate() {
-            if mach != usize::MAX {
-                loads[mach] += inst.time(job);
-            }
-        }
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = loads
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| Reverse((l, i)))
-            .collect();
-        for &job in &rounding.short_jobs {
-            let Reverse((load, mach)) = heap.pop().expect("m > 0");
-            assignment[job] = mach;
-            heap.push(Reverse((load + inst.time(job), mach)));
-        }
-
-        debug_assert!(assignment.iter().all(|&a| a != usize::MAX));
-        (Schedule::new(assignment, m), machine_configs.len())
+        let schedule = assemble_schedule(inst, &rounding, &machine_configs);
+        (schedule, machine_configs.len())
     }
+}
+
+/// Turns a rounding plus the DP's machine configurations into a full
+/// [`Schedule`]: jobs of each class are handed out to configurations in
+/// order, then short jobs are list-scheduled greedily onto the
+/// least-loaded machines (actual loads, not rounded ones).
+///
+/// `machine_configs[i][c]` is how many class-`c` long jobs machine `i`
+/// runs; entries must sum to the class counts of `rounding`, with
+/// `machine_configs.len() ≤ inst.machines()`. This is the shared tail of
+/// [`Ptas::solve`], public so callers that obtain configurations some
+/// other way — e.g. a memo cache of DP solutions — can still build
+/// schedules.
+pub fn assemble_schedule(
+    inst: &Instance,
+    rounding: &Rounding,
+    machine_configs: &[Vec<usize>],
+) -> Schedule {
+    let m = inst.machines();
+    assert!(
+        machine_configs.len() <= m,
+        "DP used {} machines but instance has {m}",
+        machine_configs.len()
+    );
+    let mut assignment = vec![usize::MAX; inst.num_jobs()];
+
+    // Jobs of each class handed out in order.
+    let mut class_cursor: Vec<std::slice::Iter<'_, usize>> =
+        rounding.classes.iter().map(|c| c.jobs.iter()).collect();
+    for (machine, config) in machine_configs.iter().enumerate() {
+        for (class, &count) in config.iter().enumerate() {
+            for _ in 0..count {
+                let &job = class_cursor[class]
+                    .next()
+                    .expect("configurations sum to class counts");
+                assignment[job] = machine;
+            }
+        }
+    }
+    debug_assert!(class_cursor.iter_mut().all(|it| it.next().is_none()));
+
+    // Short jobs: greedy least-loaded over *actual* loads.
+    let mut loads = vec![0u64; m];
+    for (job, &mach) in assignment.iter().enumerate() {
+        if mach != usize::MAX {
+            loads[mach] += inst.time(job);
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Reverse((l, i)))
+        .collect();
+    for &job in &rounding.short_jobs {
+        let Reverse((load, mach)) = heap.pop().expect("m > 0");
+        assignment[job] = mach;
+        heap.push(Reverse((load + inst.time(job), mach)));
+    }
+
+    debug_assert!(assignment.iter().all(|&a| a != usize::MAX));
+    Schedule::new(assignment, m)
 }
 
 #[cfg(test)]

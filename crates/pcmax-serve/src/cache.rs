@@ -1,0 +1,283 @@
+//! Sharded LRU cache for DP solutions.
+//!
+//! Lookups hash the key to one of `shards` independently-locked shards,
+//! so concurrent workers rarely contend on the same mutex. Each shard is
+//! a classic slab-backed LRU: a `HashMap` from key to slot index plus an
+//! intrusive doubly-linked recency list threaded through the slab, giving
+//! O(1) get/insert/evict without per-operation allocation (beyond the
+//! slab growth itself).
+
+use crate::stats::CacheReport;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: slab + index + recency list, guarded by a single mutex.
+struct Shard<K, V> {
+    slab: Vec<Node<K, V>>,
+    index: HashMap<K, usize>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
+    fn new() -> Self {
+        Self {
+            slab: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.index.get(key)?;
+        self.unlink(i);
+        self.link_front(i);
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Inserts, returning `true` if an existing entry was evicted.
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
+        if let Some(&i) = self.index.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.index.len() >= capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = self.index.remove(&self.slab[lru].key);
+            debug_assert_eq!(old, Some(lru));
+            self.free.push(lru);
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        self.link_front(i);
+        evicted
+    }
+}
+
+/// A sharded LRU cache with atomic hit/miss/eviction counters.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of `shards` shards, each holding up to
+    /// `capacity_per_shard` entries.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "cache needs at least one shard");
+        assert!(capacity_per_shard > 0, "shard capacity must be positive");
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let result = self.shard_of(key).lock().expect("cache shard poisoned").get(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's LRU entry when
+    /// the shard is full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self
+            .shard_of(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, self.capacity_per_shard);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn report(&self) -> CacheReport {
+        CacheReport {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_and_insert_roundtrip() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new(4, 8);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        let report = cache.report();
+        assert_eq!((report.hits, report.misses, report.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single shard so the recency order is total.
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 3);
+        for i in 0..3 {
+            cache.insert(i, i * 10);
+        }
+        // Touch 0 so 1 becomes the LRU entry.
+        assert_eq!(cache.get(&0), Some(0));
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), None, "LRU entry should be evicted");
+        assert_eq!(cache.get(&0), Some(0));
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.report().evictions, 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh, not a new entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.report().evictions, 0);
+        assert_eq!(cache.get(&1), Some(11));
+        // 2 is now LRU; capacity pressure evicts it, not 1.
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(11));
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 2);
+        for i in 0..100 {
+            cache.insert(i, i);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.report().evictions, 98);
+        assert_eq!(cache.get(&99), Some(99));
+        assert_eq!(cache.get(&98), Some(98));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(8, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        let key = (t * 1000 + i) % 96;
+                        cache.insert(key, key * 2);
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(v, key * 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 8 * 64);
+    }
+}

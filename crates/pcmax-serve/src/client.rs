@@ -1,0 +1,118 @@
+//! Blocking line-protocol client for the TCP front-end.
+
+use crate::proto::{self, OkReply};
+use crate::service::SolveRequest;
+use crate::stats::EngineUsed;
+use pcmax_core::{Instance, Schedule};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One solved request, client-side.
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// Achieved makespan (as reported by the server).
+    pub makespan: u64,
+    /// Converged target (absent for degraded answers).
+    pub target: Option<u64>,
+    /// Algorithm that produced the schedule.
+    pub engine: EngineUsed,
+    /// Whether the answer was degraded to a heuristic.
+    pub degraded: bool,
+    /// DP cache hits for this request.
+    pub cache_hits: u64,
+    /// DP cache misses for this request.
+    pub cache_misses: u64,
+    /// Queue wait in microseconds.
+    pub queue_wait_us: u64,
+    /// Solve time in microseconds.
+    pub solve_us: u64,
+    /// The schedule, rebuilt from the wire assignment.
+    pub schedule: Schedule,
+}
+
+/// A connected client. One in-flight request at a time (the protocol is
+/// strictly request/response per line).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running [`crate::serve_tcp`] endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(peer),
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Solves `inst` remotely. `Err` carries the server's message for
+    /// rejected requests (overload, invalid) or transport failures.
+    pub fn solve(
+        &mut self,
+        inst: &Instance,
+        epsilon: Option<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<ClientReply, String> {
+        let line = proto::format_solve_request(&SolveRequest {
+            instance: inst.clone(),
+            epsilon,
+            deadline,
+        });
+        let reply_line = self.roundtrip(&line)?;
+        let reply: OkReply = proto::parse_response(&reply_line)?;
+        if reply.assignment.len() != inst.num_jobs() {
+            return Err(format!(
+                "assignment covers {} jobs, instance has {}",
+                reply.assignment.len(),
+                inst.num_jobs()
+            ));
+        }
+        Ok(ClientReply {
+            makespan: reply.makespan,
+            target: reply.target,
+            engine: reply.engine,
+            degraded: reply.degraded,
+            cache_hits: reply.cache_hits,
+            cache_misses: reply.cache_misses,
+            queue_wait_us: reply.queue_wait_us,
+            solve_us: reply.solve_us,
+            schedule: Schedule::new(reply.assignment, inst.machines()),
+        })
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.roundtrip("ping")?.as_str() {
+            "pong" => Ok(()),
+            other => Err(format!("unexpected ping reply `{other}`")),
+        }
+    }
+
+    /// Raw `stats …` line from the server.
+    pub fn stats_line(&mut self) -> Result<String, String> {
+        let line = self.roundtrip("stats")?;
+        if line.starts_with("stats ") {
+            Ok(line)
+        } else {
+            Err(format!("unexpected stats reply `{line}`"))
+        }
+    }
+}

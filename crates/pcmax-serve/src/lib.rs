@@ -1,0 +1,37 @@
+//! Solver-as-a-service for `P||Cmax`.
+//!
+//! This crate wraps the PTAS of [`pcmax_ptas`] in a concurrent service
+//! suitable for answering a stream of scheduling requests:
+//!
+//! * **Admission control** — a bounded queue rejects work at the door
+//!   ([`ServeError::Overloaded`]) instead of letting latency collapse.
+//! * **Deadline degradation** — a request that cannot finish inside its
+//!   deadline still gets a *valid* schedule, produced by the better of
+//!   LPT and MULTIFIT, flagged [`SolveResponse::degraded`].
+//! * **Rounded-instance DP cache** — probes are memoised under the
+//!   canonical key `(class counts, gcd-normalised sizes, capacity)` from
+//!   [`pcmax_ptas::DpProblem::canonical_key`], so repeated or similar
+//!   instances skip the DP entirely; the cache is sharded and LRU-bounded.
+//! * **Batching** — workers drain requests in batches and bucket them by
+//!   the rounding parameter `k`, maximising cache-key locality; buckets
+//!   run on the rayon pool.
+//!
+//! Use [`Service`] in-process, or [`serve_tcp`] + [`Client`] for the
+//! line-protocol TCP front-end (`pcmax serve` on the command line).
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod service;
+pub mod solver;
+pub mod stats;
+pub mod tcp;
+
+pub use cache::ShardedCache;
+pub use client::{Client, ClientReply};
+pub use service::{
+    heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
+};
+pub use solver::{solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
+pub use stats::{CacheReport, EngineUsed, RequestStats, ServiceReport};
+pub use tcp::{serve_tcp, TcpHandle};

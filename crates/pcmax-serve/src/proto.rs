@@ -1,0 +1,372 @@
+//! The line protocol spoken over TCP.
+//!
+//! One request per line, one response line per request — trivially
+//! scriptable with `nc`. Fields are space-separated; `-` marks an absent
+//! optional field.
+//!
+//! Requests:
+//!
+//! ```text
+//! solve <machines> <eps|-> <deadline_ms|-> <t1,t2,...,tn>
+//! stats
+//! ping
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <a1,a2,...,an>
+//! err <message>
+//! pong
+//! stats accepted=<n> completed=<n> degraded=<n> rejected=<n> cache_hits=<n> cache_misses=<n> cache_evictions=<n> cache_entries=<n>
+//! ```
+//!
+//! where `a_j` is the machine index job `j` is assigned to.
+
+use crate::service::{SolveRequest, SolveResponse};
+use crate::stats::{EngineUsed, ServiceReport};
+use pcmax_core::Instance;
+use std::time::Duration;
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Solve an instance.
+    Solve(SolveRequest),
+    /// Snapshot the service counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("solve") => {
+            let machines: usize = words
+                .next()
+                .ok_or("missing machine count")?
+                .parse()
+                .map_err(|e| format!("bad machine count: {e}"))?;
+            if machines == 0 {
+                return Err("machine count must be positive".into());
+            }
+            let epsilon = parse_opt::<f64>(words.next().ok_or("missing epsilon")?)
+                .map_err(|e| format!("bad epsilon: {e}"))?;
+            if let Some(eps) = epsilon {
+                if !(eps > 0.0 && eps <= 1.0) {
+                    return Err(format!("epsilon {eps} outside (0, 1]"));
+                }
+            }
+            let deadline_ms = parse_opt::<u64>(words.next().ok_or("missing deadline")?)
+                .map_err(|e| format!("bad deadline: {e}"))?;
+            let times_field = words.next().ok_or("missing processing times")?;
+            if words.next().is_some() {
+                return Err("trailing fields after processing times".into());
+            }
+            let times = parse_u64_list(times_field).map_err(|e| format!("bad times: {e}"))?;
+            if times.is_empty() {
+                return Err("instance needs at least one job".into());
+            }
+            if times.contains(&0) {
+                return Err("processing times must be positive".into());
+            }
+            Ok(Request::Solve(SolveRequest {
+                instance: Instance::new(times, machines),
+                epsilon,
+                deadline: deadline_ms.map(Duration::from_millis),
+            }))
+        }
+        Some("stats") => Ok(Request::Stats),
+        Some("ping") => Ok(Request::Ping),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("empty request".into()),
+    }
+}
+
+/// Formats a solve request (the client side of [`parse_request`]).
+pub fn format_solve_request(req: &SolveRequest) -> String {
+    format!(
+        "solve {} {} {} {}",
+        req.instance.machines(),
+        req.epsilon.map_or("-".to_string(), |e| e.to_string()),
+        req.deadline
+            .map_or("-".to_string(), |d| d.as_millis().to_string()),
+        join_u64(req.instance.times()),
+    )
+}
+
+/// Formats the `ok …` line for a solved request.
+pub fn format_response(res: &SolveResponse) -> String {
+    format!(
+        "ok {} {} {} {} {} {} {} {} {}",
+        res.makespan,
+        res.target.map_or("-".to_string(), |t| t.to_string()),
+        res.stats.engine,
+        u8::from(res.degraded),
+        res.stats.cache_hits,
+        res.stats.cache_misses,
+        res.stats.queue_wait_us,
+        res.stats.solve_us,
+        res.schedule
+            .assignment()
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    )
+}
+
+/// Formats the `err …` line.
+pub fn format_error(message: &str) -> String {
+    format!("err {message}")
+}
+
+/// Formats the `stats …` line.
+pub fn format_stats(report: &ServiceReport) -> String {
+    format!(
+        "stats accepted={} completed={} degraded={} rejected={} cache_hits={} cache_misses={} cache_evictions={} cache_entries={}",
+        report.accepted,
+        report.completed,
+        report.degraded,
+        report.rejected,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.entries,
+    )
+}
+
+/// A parsed `ok …` line, as the client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OkReply {
+    /// Achieved makespan.
+    pub makespan: u64,
+    /// Converged target (absent for degraded answers).
+    pub target: Option<u64>,
+    /// Algorithm that produced the schedule.
+    pub engine: EngineUsed,
+    /// Whether the answer was degraded.
+    pub degraded: bool,
+    /// DP cache hits for this request.
+    pub cache_hits: u64,
+    /// DP cache misses for this request.
+    pub cache_misses: u64,
+    /// Queue wait in microseconds.
+    pub queue_wait_us: u64,
+    /// Solve time in microseconds.
+    pub solve_us: u64,
+    /// Machine index per job.
+    pub assignment: Vec<usize>,
+}
+
+/// Parses a response line into `Ok(reply)` or the server's `Err` text.
+pub fn parse_response(line: &str) -> Result<OkReply, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("ok") => {
+            let mut field = |name: &str| words.next().ok_or(format!("missing field {name}"));
+            let makespan = field("makespan")?
+                .parse()
+                .map_err(|e| format!("bad makespan: {e}"))?;
+            let target =
+                parse_opt::<u64>(field("target")?).map_err(|e| format!("bad target: {e}"))?;
+            let engine: EngineUsed = field("engine")?.parse()?;
+            let degraded = match field("degraded")? {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad degraded flag `{other}`")),
+            };
+            let cache_hits = field("hits")?.parse().map_err(|e| format!("bad hits: {e}"))?;
+            let cache_misses = field("misses")?
+                .parse()
+                .map_err(|e| format!("bad misses: {e}"))?;
+            let queue_wait_us = field("wait_us")?
+                .parse()
+                .map_err(|e| format!("bad wait_us: {e}"))?;
+            let solve_us = field("solve_us")?
+                .parse()
+                .map_err(|e| format!("bad solve_us: {e}"))?;
+            let assignment = field("assignment")?
+                .split(',')
+                .map(|w| w.parse::<usize>().map_err(|e| format!("bad assignment: {e}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(OkReply {
+                makespan,
+                target,
+                engine,
+                degraded,
+                cache_hits,
+                cache_misses,
+                queue_wait_us,
+                solve_us,
+                assignment,
+            })
+        }
+        Some("err") => {
+            let rest = line.trim_start()[3..].trim_start();
+            Err(if rest.is_empty() {
+                "unspecified server error".to_string()
+            } else {
+                rest.to_string()
+            })
+        }
+        Some(other) => Err(format!("unexpected response `{other}`")),
+        None => Err("empty response".into()),
+    }
+}
+
+fn parse_opt<T: std::str::FromStr>(word: &str) -> Result<Option<T>, T::Err> {
+    if word == "-" {
+        Ok(None)
+    } else {
+        word.parse().map(Some)
+    }
+}
+
+fn parse_u64_list(field: &str) -> Result<Vec<u64>, String> {
+    field
+        .split(',')
+        .map(|w| w.parse::<u64>().map_err(|e| format!("`{w}`: {e}")))
+        .collect()
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RequestStats;
+    use pcmax_core::Schedule;
+
+    #[test]
+    fn solve_request_roundtrips() {
+        let req = SolveRequest {
+            instance: Instance::new(vec![5, 9, 3], 2),
+            epsilon: Some(0.25),
+            deadline: Some(Duration::from_millis(1500)),
+        };
+        let line = format_solve_request(&req);
+        assert_eq!(line, "solve 2 0.25 1500 5,9,3");
+        match parse_request(&line).unwrap() {
+            Request::Solve(parsed) => {
+                assert_eq!(parsed.instance.times(), &[5, 9, 3]);
+                assert_eq!(parsed.instance.machines(), 2);
+                assert_eq!(parsed.epsilon, Some(0.25));
+                assert_eq!(parsed.deadline, Some(Duration::from_millis(1500)));
+            }
+            other => panic!("expected Solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_roundtrip_as_dashes() {
+        let req = SolveRequest {
+            instance: Instance::new(vec![7], 1),
+            epsilon: None,
+            deadline: None,
+        };
+        let line = format_solve_request(&req);
+        assert_eq!(line, "solve 1 - - 7");
+        match parse_request(&line).unwrap() {
+            Request::Solve(parsed) => {
+                assert_eq!(parsed.epsilon, None);
+                assert_eq!(parsed.deadline, None);
+            }
+            other => panic!("expected Solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let schedule = Schedule::new(vec![0, 1, 0], 2);
+        let res = SolveResponse {
+            makespan: 9,
+            target: Some(8),
+            machines_used: Some(2),
+            degraded: false,
+            stats: RequestStats {
+                queue_wait_us: 12,
+                solve_us: 345,
+                cache_hits: 4,
+                cache_misses: 2,
+                degraded: false,
+                engine: EngineUsed::Ptas,
+            },
+            schedule,
+        };
+        let line = format_response(&res);
+        let reply = parse_response(&line).unwrap();
+        assert_eq!(reply.makespan, 9);
+        assert_eq!(reply.target, Some(8));
+        assert_eq!(reply.engine, EngineUsed::Ptas);
+        assert!(!reply.degraded);
+        assert_eq!(reply.cache_hits, 4);
+        assert_eq!(reply.cache_misses, 2);
+        assert_eq!(reply.assignment, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn degraded_response_has_no_target() {
+        let res = SolveResponse {
+            makespan: 11,
+            target: None,
+            machines_used: None,
+            degraded: true,
+            stats: RequestStats {
+                queue_wait_us: 1,
+                solve_us: 2,
+                cache_hits: 0,
+                cache_misses: 0,
+                degraded: true,
+                engine: EngineUsed::Lpt,
+            },
+            schedule: Schedule::new(vec![0], 1),
+        };
+        let reply = parse_response(&format_response(&res)).unwrap();
+        assert_eq!(reply.target, None);
+        assert!(reply.degraded);
+        assert_eq!(reply.engine, EngineUsed::Lpt);
+    }
+
+    #[test]
+    fn err_lines_surface_the_message() {
+        let err = parse_response(&format_error("queue full, request rejected")).unwrap_err();
+        assert_eq!(err, "queue full, request rejected");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "solve",
+            "solve 0 - - 5",
+            "solve 2 - - ",
+            "solve 2 - - 5,0,3",
+            "solve 2 1.5 - 5",
+            "solve 2 - - 5,x",
+            "solve 2 - - 5 extra",
+            "frobnicate",
+        ] {
+            assert!(parse_request(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn stats_line_includes_cache_counters() {
+        let mut report = ServiceReport::default();
+        report.accepted = 5;
+        report.cache.hits = 3;
+        let line = format_stats(&report);
+        assert!(line.starts_with("stats "));
+        assert!(line.contains("accepted=5"));
+        assert!(line.contains("cache_hits=3"));
+    }
+}

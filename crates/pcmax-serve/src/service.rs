@@ -1,0 +1,592 @@
+//! The in-process solver service: bounded admission queue, worker pool,
+//! `(ε, k)`-bucketed batching, and deadline-aware degradation.
+//!
+//! Life of a request: [`Service::submit`] stamps it with its deadline and
+//! tries to enqueue (full queue ⇒ immediate [`ServeError::Overloaded`] —
+//! the service sheds load at the door rather than letting latency grow
+//! unbounded). A worker drains a batch, groups it by the rounding
+//! parameter `k` so consecutive solves share cache keys, and solves each
+//! request through the shared DP cache. A request whose deadline expires
+//! (or whose DP table would blow the cell budget) is *not* an error: it
+//! degrades to the better of LPT and MULTIFIT and the response says so.
+
+use crate::solver::{solve_cached, Degrade, DpCache};
+use crate::stats::{EngineUsed, RequestStats, ServiceReport};
+use pcmax_core::heuristics::{lpt, multifit};
+use pcmax_core::{Instance, Schedule};
+use pcmax_ptas::DpEngine;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` is allowed: requests queue but are never
+    /// drained — useful for deterministic overload tests.
+    pub workers: usize,
+    /// Admission-queue capacity; submits beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Most requests a worker drains in one batch.
+    pub batch_max: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Duration,
+    /// ε applied to requests that don't carry their own.
+    pub default_epsilon: f64,
+    /// DP engine for cache misses.
+    pub engine: DpEngine,
+    /// Shards of the DP cache.
+    pub cache_shards: usize,
+    /// LRU capacity of each shard.
+    pub cache_capacity_per_shard: usize,
+    /// Largest DP table (in cells) a probe may allocate before the
+    /// request degrades to a heuristic.
+    pub max_table_cells: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 256,
+            batch_max: 32,
+            default_deadline: Duration::from_secs(2),
+            default_epsilon: 0.3,
+            engine: DpEngine::AntiDiagonal,
+            cache_shards: 8,
+            cache_capacity_per_shard: 128,
+            max_table_cells: 10_000_000,
+        }
+    }
+}
+
+/// A solve request as the service accepts it.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The instance to schedule.
+    pub instance: Instance,
+    /// Relative error ε in `(0, 1]`; `None` uses the config default.
+    pub epsilon: Option<f64>,
+    /// Time budget from admission; `None` uses the config default.
+    pub deadline: Option<Duration>,
+}
+
+/// A solved (possibly degraded) request.
+#[derive(Debug, Clone)]
+pub struct SolveResponse {
+    /// Valid schedule of all jobs.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: u64,
+    /// Converged target `T*` (PTAS answers only).
+    pub target: Option<u64>,
+    /// Machines the DP used for long jobs (PTAS answers only).
+    pub machines_used: Option<usize>,
+    /// Whether the answer was degraded to a heuristic.
+    pub degraded: bool,
+    /// Per-request cost breakdown.
+    pub stats: RequestStats,
+}
+
+/// Why the service refused or dropped a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full.
+    Overloaded,
+    /// The service is shutting down (or did so before answering).
+    ShuttingDown,
+    /// The request was malformed (bad ε, empty instance, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => f.write_str("queue full, request rejected"),
+            ServeError::ShuttingDown => f.write_str("service shutting down"),
+            ServeError::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One admitted request, queued for a worker.
+struct QueuedJob {
+    instance: Instance,
+    k: u64,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: mpsc::SyncSender<SolveResponse>,
+}
+
+/// Bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`, with batch draining.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                capacity,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admission control: rejects instead of blocking when full.
+    fn try_push(&self, job: QueuedJob) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.jobs.len() >= inner.capacity {
+            return Err(ServeError::Overloaded);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one job is available (or the queue closes),
+    /// then drains up to `max` jobs. `None` means closed *and* drained.
+    fn pop_batch(&self, max: usize) -> Option<Vec<QueuedJob>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.jobs.is_empty() {
+                let take = inner.jobs.len().min(max);
+                return Some(inner.jobs.drain(..take).collect());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue and drops every still-queued job. Dropping a job
+    /// drops its reply sender, which fails the submitter's
+    /// `PendingSolve::recv` with `ShuttingDown` instead of hanging it.
+    fn close(&self) {
+        let dropped: Vec<QueuedJob> = {
+            let mut inner = self.inner.lock().expect("queue poisoned");
+            inner.closed = true;
+            inner.jobs.drain(..).collect()
+        };
+        drop(dropped);
+        self.ready.notify_all();
+    }
+}
+
+/// A pending answer returned by [`Service::submit`].
+#[derive(Debug)]
+pub struct PendingSolve {
+    rx: mpsc::Receiver<SolveResponse>,
+}
+
+impl PendingSolve {
+    /// Blocks until the worker answers. [`ServeError::ShuttingDown`] if
+    /// the service stopped before this request was solved.
+    pub fn recv(self) -> Result<SolveResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// Shared service counters.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    degraded: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Everything a worker thread needs. Workers deliberately do NOT hold
+/// the [`Service`] itself: they own only these leaf Arcs, so dropping
+/// the last user handle to the service runs its `Drop`, closes the
+/// queue, and lets the workers exit — no reference cycle.
+#[derive(Clone)]
+struct WorkerCtx {
+    queue: Arc<Queue>,
+    cache: Arc<DpCache>,
+    counters: Arc<Counters>,
+    engine: DpEngine,
+    batch_max: usize,
+    max_table_cells: usize,
+}
+
+/// The solver service. Create with [`Service::start`]; share via `Arc`.
+pub struct Service {
+    config: ServeConfig,
+    queue: Arc<Queue>,
+    cache: Arc<DpCache>,
+    counters: Arc<Counters>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Validates the config, spins up the worker pool, and returns the
+    /// running service.
+    pub fn start(config: ServeConfig) -> Arc<Self> {
+        assert!(
+            config.default_epsilon > 0.0 && config.default_epsilon <= 1.0,
+            "default_epsilon must be in (0, 1]"
+        );
+        assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(config.batch_max > 0, "batch_max must be positive");
+        let queue = Arc::new(Queue::new(config.queue_capacity));
+        let cache = Arc::new(DpCache::new(
+            config.cache_shards,
+            config.cache_capacity_per_shard,
+        ));
+        let counters = Arc::new(Counters::default());
+        let ctx = WorkerCtx {
+            queue: Arc::clone(&queue),
+            cache: Arc::clone(&cache),
+            counters: Arc::clone(&counters),
+            engine: config.engine,
+            batch_max: config.batch_max,
+            max_table_cells: config.max_table_cells,
+        };
+        let handles: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|i| {
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pcmax-serve-worker-{i}"))
+                    .spawn(move || ctx.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Arc::new(Self {
+            config,
+            queue,
+            cache,
+            counters,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Validates and enqueues a request; returns a handle to await.
+    pub fn submit(&self, req: SolveRequest) -> Result<PendingSolve, ServeError> {
+        let eps = req.epsilon.unwrap_or(self.config.default_epsilon);
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(ServeError::Invalid(format!(
+                "epsilon {eps} outside (0, 1]"
+            )));
+        }
+        let k = (1.0 / eps).ceil() as u64;
+        let now = Instant::now();
+        let deadline = now + req.deadline.unwrap_or(self.config.default_deadline);
+        // Rendezvous of capacity 1: the worker's send never blocks even
+        // if the submitter gave up waiting.
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = QueuedJob {
+            instance: req.instance,
+            k,
+            enqueued: now,
+            deadline,
+            reply: tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingSolve { rx })
+            }
+            Err(e) => {
+                if e == ServeError::Overloaded {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit + await in one call.
+    pub fn solve_blocking(&self, req: SolveRequest) -> Result<SolveResponse, ServeError> {
+        self.submit(req)?.recv()
+    }
+
+    /// Counter snapshot (including the cache's).
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            cache: self.cache.report(),
+        }
+    }
+
+    /// The shared DP cache (exposed for tests and diagnostics).
+    pub fn cache(&self) -> &DpCache {
+        &self.cache
+    }
+
+    /// Closes the queue and joins the workers. Queued-but-unsolved
+    /// requests see [`ServeError::ShuttingDown`] on their handles.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+}
+
+impl WorkerCtx {
+    fn worker_loop(&self) {
+        while let Some(batch) = self.queue.pop_batch(self.batch_max) {
+            // Bucket the batch by k: requests sharing a rounding
+            // parameter also share DP cache keys, so solving them
+            // back-to-back maximises hit locality. Buckets then run on
+            // the rayon pool (each solve may itself be a parallel DP).
+            let mut buckets: BTreeMap<u64, Vec<QueuedJob>> = BTreeMap::new();
+            for job in batch {
+                buckets.entry(job.k).or_default().push(job);
+            }
+            let groups: Vec<Vec<QueuedJob>> = buckets.into_values().collect();
+            groups.into_par_iter().for_each(|group| {
+                for job in group {
+                    self.solve_one(job);
+                }
+            });
+        }
+    }
+
+    fn solve_one(&self, job: QueuedJob) {
+        let picked_up = Instant::now();
+        let queue_wait_us = picked_up.duration_since(job.enqueued).as_micros() as u64;
+        let solve_started = Instant::now();
+        let ptas = if picked_up >= job.deadline {
+            // Expired while queued: skip straight to the heuristic.
+            Err(Degrade::DeadlineExceeded)
+        } else {
+            solve_cached(
+                &job.instance,
+                job.k,
+                self.engine,
+                &self.cache,
+                Some(job.deadline),
+                self.max_table_cells,
+            )
+        };
+        let response = match ptas {
+            Ok(outcome) => {
+                let makespan = outcome.schedule.makespan(&job.instance);
+                SolveResponse {
+                    schedule: outcome.schedule,
+                    makespan,
+                    target: Some(outcome.target),
+                    machines_used: Some(outcome.machines_used),
+                    degraded: false,
+                    stats: RequestStats {
+                        queue_wait_us,
+                        solve_us: solve_started.elapsed().as_micros() as u64,
+                        cache_hits: outcome.cache_hits,
+                        cache_misses: outcome.cache_misses,
+                        degraded: false,
+                        engine: EngineUsed::Ptas,
+                    },
+                }
+            }
+            Err(_why) => {
+                let (schedule, engine) = heuristic_best(&job.instance);
+                let makespan = schedule.makespan(&job.instance);
+                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                SolveResponse {
+                    schedule,
+                    makespan,
+                    target: None,
+                    machines_used: None,
+                    degraded: true,
+                    stats: RequestStats {
+                        queue_wait_us,
+                        solve_us: solve_started.elapsed().as_micros() as u64,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        degraded: true,
+                        engine,
+                    },
+                }
+            }
+        };
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        // The submitter may have dropped its handle; that's fine.
+        let _ = job.reply.try_send(response);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The degradation answer: the better of LPT and MULTIFIT (both are a
+/// few `n log n` passes — cheap enough for an already-late request).
+pub fn heuristic_best(inst: &Instance) -> (Schedule, EngineUsed) {
+    let by_lpt = lpt(inst);
+    let by_multifit = multifit(inst, 10);
+    if by_multifit.makespan(inst) < by_lpt.makespan(inst) {
+        (by_multifit, EngineUsed::Multifit)
+    } else {
+        (by_lpt, EngineUsed::Lpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::gen::uniform;
+
+    fn request(seed: u64) -> SolveRequest {
+        SolveRequest {
+            instance: uniform(seed, 20, 3, 1, 40),
+            epsilon: None,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn solves_and_validates() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let res = service.solve_blocking(request(1)).unwrap();
+        let inst = uniform(1, 20, 3, 1, 40);
+        assert_eq!(res.schedule.validate(&inst).unwrap(), res.makespan);
+        assert!(!res.degraded);
+        assert_eq!(res.stats.engine, EngineUsed::Ptas);
+        assert!(res.target.is_some());
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_instances_hit_the_cache() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let cold = service.solve_blocking(request(2)).unwrap();
+        assert!(cold.stats.cache_misses > 0);
+        let warm = service.solve_blocking(request(2)).unwrap();
+        assert!(warm.stats.cache_hits > 0);
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert_eq!(cold.makespan, warm.makespan);
+        assert!(service.report().cache.hits > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_heuristic() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let res = service
+            .solve_blocking(SolveRequest {
+                instance: uniform(3, 20, 3, 1, 40),
+                epsilon: None,
+                deadline: Some(Duration::ZERO),
+            })
+            .unwrap();
+        assert!(res.degraded);
+        assert!(res.target.is_none());
+        assert!(matches!(
+            res.stats.engine,
+            EngineUsed::Lpt | EngineUsed::Multifit
+        ));
+        let inst = uniform(3, 20, 3, 1, 40);
+        assert_eq!(res.schedule.validate(&inst).unwrap(), res.makespan);
+        assert_eq!(service.report().degraded, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        // No workers: nothing drains, so the second submit must bounce.
+        let service = Service::start(ServeConfig {
+            workers: 0,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let _pending = service.submit(request(4)).unwrap();
+        let err = service.submit(request(5)).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded);
+        assert_eq!(service.report().rejected, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_pending_requests() {
+        let service = Service::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let pending = service.submit(request(6)).unwrap();
+        service.shutdown();
+        assert_eq!(pending.recv().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let service = Service::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let err = service
+            .submit(SolveRequest {
+                instance: uniform(7, 10, 2, 1, 20),
+                epsilon: Some(1.5),
+                deadline: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Invalid(_)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_answers() {
+        let service = Service::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let svc = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    // 4 distinct instances, each requested twice.
+                    let res = svc.solve_blocking(request(i % 4)).unwrap();
+                    let inst = uniform(i % 4, 20, 3, 1, 40);
+                    assert_eq!(res.schedule.validate(&inst).unwrap(), res.makespan);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = service.report();
+        assert_eq!(report.completed, 8);
+        assert!(report.cache.hits > 0, "repeats must hit the cache");
+        service.shutdown();
+    }
+}

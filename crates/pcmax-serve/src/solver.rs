@@ -1,0 +1,296 @@
+//! Cache-backed PTAS solving with deadline checks.
+//!
+//! The service's solve path re-implements the target bisection of
+//! `pcmax_ptas::search` on top of the shared [`ShardedCache`]: every DP
+//! probe first canonicalises its rounded problem to a
+//! [`DpKey`] — `(class counts, gcd-normalised sizes, normalised
+//! capacity)` — and consults the cache. Distinct instances (and distinct
+//! targets of the *same* instance) frequently collapse to the same key,
+//! so a warm service answers most probes without running the DP at all.
+//!
+//! Cached entries are machine-count independent: the DP computes
+//! `OPT(N)`, the minimum number of machines, and feasibility for a
+//! request is just `OPT(N) ≤ m` — so a solution cached for one `m` is
+//! reusable verbatim for any other.
+
+use crate::cache::ShardedCache;
+use pcmax_core::{bounds, Instance, Schedule};
+use pcmax_ptas::dp::INFEASIBLE;
+use pcmax_ptas::ptas::assemble_schedule;
+use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
+use pcmax_ptas::{DpEngine, DpKey, DpProblem};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The DP cache the whole service shares.
+pub type DpCache = ShardedCache<DpKey, CachedDp>;
+
+/// A memoised DP outcome, keyed by [`DpKey`].
+#[derive(Clone)]
+pub struct CachedDp {
+    /// `OPT(N)`: minimum machines for the rounded long jobs
+    /// ([`INFEASIBLE`] when they cannot be packed at all).
+    pub opt: u32,
+    /// Machine configurations realising `opt` (absent when infeasible).
+    /// `Arc`-shared: hits clone the pointer, not the table walk.
+    pub configs: Option<Arc<Vec<Vec<usize>>>>,
+}
+
+/// Why a request could not be answered by the PTAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degrade {
+    /// The per-request deadline expired mid-search.
+    DeadlineExceeded,
+    /// A probe's DP table exceeded the configured cell budget.
+    TableTooLarge {
+        /// Cells the offending probe would have allocated.
+        cells: usize,
+    },
+}
+
+/// A completed cache-backed PTAS solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Valid schedule of all jobs.
+    pub schedule: Schedule,
+    /// Converged target `T*`.
+    pub target: u64,
+    /// Machines the DP used for the long jobs.
+    pub machines_used: usize,
+    /// Probes answered from the shared cache.
+    pub cache_hits: u64,
+    /// Probes that ran the DP.
+    pub cache_misses: u64,
+}
+
+/// One probe's feasibility plus the configs needed to build a schedule.
+struct ProbeOutcome {
+    feasible: bool,
+    configs: Option<Arc<Vec<Vec<usize>>>>,
+}
+
+/// Probes target `t` through the cache. `Err` only for oversized tables.
+fn probe_cached(
+    inst: &Instance,
+    t: u64,
+    k: u64,
+    engine: DpEngine,
+    cache: &DpCache,
+    max_table_cells: usize,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> Result<ProbeOutcome, Degrade> {
+    let rounding = match Rounding::compute(inst, t, k) {
+        // A job longer than `t` cannot be scheduled at all under `t`.
+        RoundingOutcome::Infeasible { .. } => {
+            return Ok(ProbeOutcome {
+                feasible: false,
+                configs: None,
+            })
+        }
+        RoundingOutcome::Rounded(r) => r,
+    };
+    let problem = DpProblem::from_rounding(&rounding);
+    if problem.table_size() > max_table_cells {
+        return Err(Degrade::TableTooLarge {
+            cells: problem.table_size(),
+        });
+    }
+    let m = inst.machines();
+    let key = problem.canonical_key();
+    let entry = match cache.get(&key) {
+        Some(entry) => {
+            *hits += 1;
+            entry
+        }
+        None => {
+            *misses += 1;
+            let sol = problem.solve(engine);
+            let configs = problem.extract_configs(&sol.values).map(Arc::new);
+            let entry = CachedDp {
+                opt: sol.opt,
+                configs,
+            };
+            cache.insert(key, entry.clone());
+            entry
+        }
+    };
+    Ok(ProbeOutcome {
+        feasible: entry.opt != INFEASIBLE && entry.opt as usize <= m,
+        configs: entry.configs.clone(),
+    })
+}
+
+/// Bisects the target makespan with cache-backed probes, then assembles
+/// the schedule for the converged target.
+///
+/// `deadline` is checked before every probe; expiry returns
+/// [`Degrade::DeadlineExceeded`] and the caller falls back to a
+/// heuristic. A `deadline` of `None` never expires.
+pub fn solve_cached(
+    inst: &Instance,
+    k: u64,
+    engine: DpEngine,
+    cache: &DpCache,
+    deadline: Option<Instant>,
+    max_table_cells: usize,
+) -> Result<SolveOutcome, Degrade> {
+    let mut lb = bounds::lower_bound(inst);
+    let mut ub = bounds::upper_bound(inst);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    let expired = |now: Instant| deadline.is_some_and(|d| now >= d);
+
+    // Invariant: `ub` is always probe-feasible (the initial upper bound
+    // is an achieved LPT makespan, and rounding only shrinks loads).
+    while lb < ub {
+        if expired(Instant::now()) {
+            return Err(Degrade::DeadlineExceeded);
+        }
+        let t = (lb + ub) / 2;
+        let outcome = probe_cached(
+            inst, t, k, engine, cache, max_table_cells, &mut hits, &mut misses,
+        )?;
+        if outcome.feasible {
+            ub = t;
+        } else {
+            lb = t + 1;
+        }
+    }
+
+    if expired(Instant::now()) {
+        return Err(Degrade::DeadlineExceeded);
+    }
+    let target = ub;
+    let final_probe = probe_cached(
+        inst, target, k, engine, cache, max_table_cells, &mut hits, &mut misses,
+    )?;
+    let configs = final_probe
+        .configs
+        .expect("converged target is feasible, so configs exist");
+    let rounding = match Rounding::compute(inst, target, k) {
+        RoundingOutcome::Rounded(r) => r,
+        RoundingOutcome::Infeasible { longest } => {
+            unreachable!("converged target {target} below longest job {longest}")
+        }
+    };
+    let schedule = assemble_schedule(inst, &rounding, &configs);
+    Ok(SolveOutcome {
+        schedule,
+        target,
+        machines_used: configs.len(),
+        cache_hits: hits,
+        cache_misses: misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::gen::uniform;
+    use pcmax_ptas::Ptas;
+    use std::time::Duration;
+
+    fn k_of(eps: f64) -> u64 {
+        (1.0 / eps).ceil() as u64
+    }
+
+    #[test]
+    fn matches_the_plain_ptas() {
+        let cache = DpCache::new(4, 64);
+        for seed in 0..4 {
+            let inst = uniform(seed, 24, 3, 1, 50);
+            let cached = solve_cached(
+                &inst,
+                k_of(0.3),
+                DpEngine::Sequential,
+                &cache,
+                None,
+                usize::MAX,
+            )
+            .unwrap();
+            let plain = Ptas::new(0.3)
+                .with_engine(DpEngine::Sequential)
+                .solve(&inst);
+            assert_eq!(cached.target, plain.target, "seed {seed}");
+            let ms = cached.schedule.validate(&inst).unwrap();
+            assert_eq!(ms, cached.schedule.makespan(&inst));
+            // Both schedules honour the same (1+ε) bound; they need not
+            // be identical, but the cached path must not be worse than
+            // the plain PTAS's own guarantee envelope.
+            assert!(ms as f64 <= plain.makespan as f64 * 1.5 + 1.0);
+        }
+    }
+
+    #[test]
+    fn repeat_solves_hit_the_cache() {
+        let cache = DpCache::new(4, 64);
+        let inst = uniform(9, 24, 3, 1, 50);
+        let first = solve_cached(
+            &inst,
+            k_of(0.3),
+            DpEngine::Sequential,
+            &cache,
+            None,
+            usize::MAX,
+        )
+        .unwrap();
+        let second = solve_cached(
+            &inst,
+            k_of(0.3),
+            DpEngine::Sequential,
+            &cache,
+            None,
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(first.target, second.target);
+        assert_eq!(second.cache_misses, 0, "second run must be all hits");
+        assert!(second.cache_hits > 0);
+    }
+
+    #[test]
+    fn cache_reuse_across_machine_counts() {
+        // Same jobs, different m: rounded problems share keys, so the
+        // second solve should run strictly fewer DPs than a cold one.
+        let cache = DpCache::new(4, 64);
+        let times: Vec<u64> = uniform(3, 24, 3, 1, 50).times().to_vec();
+        let a = Instance::new(times.clone(), 3);
+        let b = Instance::new(times, 4);
+        let first = solve_cached(&a, 4, DpEngine::Sequential, &cache, None, usize::MAX).unwrap();
+        let second = solve_cached(&b, 4, DpEngine::Sequential, &cache, None, usize::MAX).unwrap();
+        assert!(first.cache_misses > 0);
+        assert!(
+            second.cache_hits > 0,
+            "shared keys across m must produce hits"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_degrades() {
+        let cache = DpCache::new(4, 64);
+        let inst = uniform(1, 24, 3, 1, 50);
+        let already_past = Instant::now() - Duration::from_millis(1);
+        let err = solve_cached(
+            &inst,
+            4,
+            DpEngine::Sequential,
+            &cache,
+            Some(already_past),
+            usize::MAX,
+        )
+        .unwrap_err();
+        assert_eq!(err, Degrade::DeadlineExceeded);
+    }
+
+    #[test]
+    fn oversized_tables_degrade() {
+        let cache = DpCache::new(4, 64);
+        // Few machines, jobs near the target: everything is long, so the
+        // DP table has many class dimensions and cannot fit in 8 cells.
+        let inst = uniform(2, 12, 6, 50, 100);
+        let err = solve_cached(&inst, 6, DpEngine::Sequential, &cache, None, 8).unwrap_err();
+        assert!(matches!(err, Degrade::TableTooLarge { cells } if cells > 8));
+    }
+}

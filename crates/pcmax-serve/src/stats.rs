@@ -1,0 +1,124 @@
+//! Per-request and service-wide telemetry types.
+//!
+//! Everything here is serde-serialisable so operators can ship it to
+//! dashboards; the line protocol in [`crate::proto`] renders the same
+//! fields in its plain-text form.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which algorithm produced a response's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineUsed {
+    /// The full PTAS: rounded DP + target search.
+    Ptas,
+    /// Longest-processing-time fallback (deadline/size degradation).
+    Lpt,
+    /// MULTIFIT fallback (deadline/size degradation).
+    Multifit,
+}
+
+impl fmt::Display for EngineUsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineUsed::Ptas => "ptas",
+            EngineUsed::Lpt => "lpt",
+            EngineUsed::Multifit => "multifit",
+        })
+    }
+}
+
+impl FromStr for EngineUsed {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ptas" => Ok(EngineUsed::Ptas),
+            "lpt" => Ok(EngineUsed::Lpt),
+            "multifit" => Ok(EngineUsed::Multifit),
+            other => Err(format!("unknown engine `{other}`")),
+        }
+    }
+}
+
+/// What one request cost, end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait_us: u64,
+    /// Time spent solving (search + DP, or the heuristic fallback).
+    pub solve_us: u64,
+    /// DP memo-cache hits during this request's target search.
+    pub cache_hits: u64,
+    /// DP memo-cache misses (actual DP runs) during this request.
+    pub cache_misses: u64,
+    /// Whether the answer was degraded to a heuristic.
+    pub degraded: bool,
+    /// Which algorithm produced the schedule.
+    pub engine: EngineUsed,
+}
+
+/// Aggregate state of the sharded DP cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the DP.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheReport {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Service-wide counters, a point-in-time snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests answered (including degraded answers).
+    pub completed: u64,
+    /// Answers degraded to a heuristic.
+    pub degraded: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// DP cache state.
+    pub cache: CacheReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_roundtrips_through_display() {
+        for e in [EngineUsed::Ptas, EngineUsed::Lpt, EngineUsed::Multifit] {
+            assert_eq!(e.to_string().parse::<EngineUsed>().unwrap(), e);
+        }
+        assert!("gpu".parse::<EngineUsed>().is_err());
+    }
+
+    #[test]
+    fn hit_rate_handles_idle_cache() {
+        assert_eq!(CacheReport::default().hit_rate(), 0.0);
+        let report = CacheReport {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            entries: 4,
+        };
+        assert!((report.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

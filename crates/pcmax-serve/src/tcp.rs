@@ -1,0 +1,95 @@
+//! Thin TCP front-end over [`Service`], speaking [`crate::proto`].
+//!
+//! `std::net` only — one accept thread plus one thread per connection.
+//! The service itself does the queueing and load-shedding, so connection
+//! threads are mostly parked in `recv` waiting for their responses.
+
+use crate::proto::{self, Request};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP front-end. Dropping it does NOT stop the listener; call
+/// [`TcpHandle::shutdown`].
+pub struct TcpHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Already
+    /// established connections finish their in-flight request and then
+    /// fail on the next one (the service behind them keeps running until
+    /// its own shutdown).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// requests against `service` until [`TcpHandle::shutdown`].
+pub fn serve_tcp(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<TcpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("pcmax-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let svc = Arc::clone(&service);
+                // Connection threads are detached: they exit when the
+                // peer closes its end of the stream.
+                let _ = std::thread::Builder::new()
+                    .name("pcmax-serve-conn".into())
+                    .spawn(move || handle_connection(svc, stream));
+            }
+        })?;
+    Ok(TcpHandle {
+        local_addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(service: Arc<Service>, stream: TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(peer);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match proto::parse_request(&line) {
+            Ok(Request::Ping) => "pong".to_string(),
+            Ok(Request::Stats) => proto::format_stats(&service.report()),
+            Ok(Request::Solve(req)) => match service.solve_blocking(req) {
+                Ok(response) => proto::format_response(&response),
+                Err(e) => proto::format_error(&e.to_string()),
+            },
+            Err(e) => proto::format_error(&e),
+        };
+        if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline shim for criterion.
+//!
+//! Mirrors the criterion 0.5 API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_with_input`/`bench_function`,
+//! [`BenchmarkId`], the `criterion_group!`/`criterion_main!` macros — but
+//! replaces the statistical engine with a single wall-clock sample per
+//! benchmark point. In test mode (`cargo test` passes `--test` to
+//! `harness = false` bench targets) each point runs its closure exactly
+//! once, keeping tier-1 runs fast; `cargo bench` (which passes `--bench`)
+//! takes three samples and reports the best.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timing samples to take per benchmark point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One run per point — used under `cargo test`.
+    Smoke,
+    /// A few runs per point, best-of reported — used under `cargo bench`.
+    Measure,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes harness = false bench targets with `--bench` from
+        // `cargo bench` and `--test` from `cargo test`.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single free-standing benchmark point.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_point(self.mode, &id.label, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmark points sharing timing settings.
+///
+/// The timing-budget setters (`warm_up_time`, `measurement_time`,
+/// `sample_size`) are accepted and ignored: the shim always takes a fixed
+/// small number of samples.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` for one parameterised point of the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_point(self.mode, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Times `f` for one unparameterised point of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_point(self.mode, &label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark point, optionally `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion would time many).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_point(mode: Mode, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = match mode {
+        Mode::Smoke => 1,
+        Mode::Measure => 3,
+    };
+    let mut best: Option<Duration> = None;
+    for _ in 0..samples {
+        let mut bencher = Bencher { elapsed: None };
+        f(&mut bencher);
+        if let Some(d) = bencher.elapsed {
+            best = Some(best.map_or(d, |b| b.min(d)));
+        }
+    }
+    match best {
+        Some(d) => println!("bench {label:<50} {:>12.3?}", d),
+        None => println!("bench {label:<50} (no iter call)"),
+    }
+}
+
+/// Bundles benchmark functions under a group name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_points_run_once_in_smoke_mode() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.warm_up_time(Duration::from_millis(1));
+            g.measurement_time(Duration::from_millis(1));
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("point", 4), &4u64, |b, &n| {
+                b.iter(|| {
+                    runs += 1;
+                    n * 2
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_function_accepts_str_ids() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut hit = false;
+        c.bench_function("plain", |b| b.iter(|| hit = true));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(hit);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

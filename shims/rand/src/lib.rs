@@ -1,0 +1,241 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides the slice of the rand 0.8 API this workspace uses: the
+//! [`Rng`]/[`SeedableRng`] traits, integer-range `gen_range`, and a
+//! deterministic [`rngs::SmallRng`] (splitmix64 seeding + xorshift64*
+//! stream). The value stream differs from the real `SmallRng`, so seeds
+//! produce different — but still deterministic and well-spread —
+//! instances. Nothing in the workspace pins exact generated values.
+
+/// Raw 64-bit generator, the base trait of every RNG here.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, deterministic across runs.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with success probability `numerator/denominator`,
+    /// computed exactly in integers.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            numerator <= denominator && denominator > 0,
+            "invalid ratio {numerator}/{denominator}"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that [`Rng::gen_range`] can sample values of type `T` from.
+///
+/// Blanket-implemented over [`SampleUniform`] element types, as in real
+/// rand, so the compiler can infer untyped integer literals in the range
+/// from `gen_range`'s return type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Integer types uniformly sampleable from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`. Panics if empty.
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`. Panics if empty.
+    fn sample_inclusive<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Uniform `u64` in `[lo, hi]` by widening multiply-free modulo. The
+/// modulo bias is ≤ span/2⁶⁴ — irrelevant for test-instance generation.
+fn sample_inclusive_u64<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi);
+    let span = hi.wrapping_sub(lo).wrapping_add(1); // 0 means the full 2⁶⁴ range
+    if span == 0 {
+        rng.next_u64()
+    } else {
+        lo + rng.next_u64() % span
+    }
+}
+
+macro_rules! impl_unsigned_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                sample_inclusive_u64(rng, lo as u64, hi as u64 - 1) as $t
+            }
+            fn sample_inclusive<R: RngCore>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                sample_inclusive_u64(rng, lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + sample_inclusive_u64(rng, 0, span - 1) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + sample_inclusive_u64(rng, 0, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_uniform!(i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator: splitmix64-seeded
+    /// xorshift64*. Not the real rand `SmallRng` stream, but an equally
+    /// well-distributed stand-in.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scrambles low-entropy seeds (0, 1, 2, …) into
+            // well-spread nonzero states, as rand does internally.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            Self {
+                state: if z == 0 { 0x9E3779B97F4A7C15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*: nonzero state cycles through all 2⁶⁴−1 values.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..=1000), b.gen_range(0u64..=1000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..20).map(|_| c.gen_range(0u64..=u64::MAX)).collect();
+        let mut c2 = SmallRng::seed_from_u64(43);
+        let again: Vec<u64> = (0..20).map(|_| c2.gen_range(0u64..=u64::MAX)).collect();
+        assert_eq!(same, again);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&w));
+            let s = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn values_spread_across_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

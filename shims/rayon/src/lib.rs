@@ -1,0 +1,219 @@
+//! Sequential shim for the rayon parallel-iterator API.
+//!
+//! The workspace is written against rayon's `prelude` (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `map_init`, `for_each_init`, …).
+//! This shim satisfies those call sites with plain sequential iterators:
+//! `par_iter()` returns the ordinary borrowing iterator, and the
+//! rayon-only combinators are provided as extension methods on every
+//! `Iterator`. Results are therefore bit-identical to what rayon
+//! produces (every parallel sweep in this workspace is deterministic and
+//! order-independent), just computed on one thread.
+//!
+//! Why a shim: the build environment has no crates.io access, and the
+//! evaluation substrate (`exec-model`, `gpu-sim`) *models* parallel
+//! execution rather than measuring it, so sequential execution loses no
+//! fidelity for the reproduced results.
+
+/// The rayon prelude: parallel-iterator conversion traits plus the
+/// sequential combinator extensions.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+pub mod iter {
+    //! Parallel-iterator traits, implemented sequentially.
+
+    /// Converts an owned collection into a "parallel" iterator — here,
+    /// simply its sequential [`IntoIterator`] form.
+    pub trait IntoParallelIterator {
+        /// Item type produced by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+        type Iter = C::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` — borrowing iteration, mirroring rayon's blanket impl
+    /// over `&C: IntoIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type produced by the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — mutably borrowing iteration.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type produced by the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only combinators (`map_init`, `for_each_init`, …) as
+    /// sequential extension methods on every iterator. The standard
+    /// adapters (`map`, `filter`, `enumerate`, `collect`, …) come from
+    /// [`Iterator`] itself.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// `map` with per-"thread" scratch state; sequentially the state
+        /// is initialised once and threaded through every item.
+        fn map_init<T, R, INIT, F>(self, init: INIT, map_op: F) -> MapInit<Self, T, F>
+        where
+            INIT: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item) -> R,
+        {
+            let mut init = init;
+            MapInit {
+                iter: self,
+                state: init(),
+                f: map_op,
+            }
+        }
+
+        /// `for_each` with per-"thread" scratch state.
+        fn for_each_init<T, INIT, F>(self, init: INIT, for_each_op: F)
+        where
+            INIT: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item),
+        {
+            let mut init = init;
+            let mut state = init();
+            let mut f = for_each_op;
+            for item in self {
+                f(&mut state, item);
+            }
+        }
+
+        /// Sequencing hint; a no-op here.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Sequencing hint; a no-op here.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// Iterator adapter behind [`ParallelIterator::map_init`].
+    pub struct MapInit<I, T, F> {
+        iter: I,
+        state: T,
+        f: F,
+    }
+
+    impl<I, T, R, F> Iterator for MapInit<I, T, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        type Item = R;
+
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.f)(&mut self.state, item))
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.iter.size_hint()
+        }
+    }
+}
+
+/// Runs both closures ("in parallel" — here, in order) and returns both
+/// results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}
+
+/// Number of threads the "pool" uses. Always 1 for the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn map_init_threads_state() {
+        let out: Vec<usize> = (0..4usize)
+            .into_par_iter()
+            .map_init(
+                || vec![0usize; 2],
+                |scratch, x| {
+                    scratch[0] = x;
+                    scratch[0] + 1
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn for_each_init_over_par_iter_mut() {
+        let mut v = vec![0u64; 5];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each_init(|| 10u64, |base, (i, out)| *out = *base + i as u64);
+        assert_eq!(v, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

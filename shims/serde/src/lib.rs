@@ -1,0 +1,47 @@
+//! Offline shim for serde.
+//!
+//! `Serialize` and `Deserialize` are marker traits with blanket impls,
+//! and the derives (re-exported from the sibling `serde_derive` shim) are
+//! no-ops. The workspace keeps its `#[derive(Serialize, Deserialize)]`
+//! annotations — they document which types are wire-visible and become
+//! real implementations the moment the genuine serde crate is restored
+//! in `[workspace.dependencies]` — but no actual wire format exists until
+//! then.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented so trait
+/// bounds written against it compile.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`. Blanket-implemented so
+/// trait bounds written against it compile.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    // The trait and the derive macro share the name `Serialize` (type vs
+    // macro namespace), exactly like real serde with the `derive` feature.
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: u64,
+        y: u64,
+    }
+
+    fn assert_serialize<T: super::Serialize>(_: &T) {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        let p = Point { x: 1, y: 2 };
+        assert_serialize(&p);
+        assert_eq!(p, Point { x: 1, y: 2 });
+    }
+}

@@ -13,8 +13,11 @@
 use pcmax::gpu::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig};
 use pcmax::heuristics::{list_schedule, local_search, lpt, multifit};
 use pcmax::prelude::*;
+use pcmax::serve::{serve_tcp, Client};
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +31,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(rest),
         "compare" => cmd_compare(rest),
         "simulate" => cmd_simulate(rest),
+        "serve" => cmd_serve(rest),
+        "bench-serve" => cmd_bench_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -49,9 +54,19 @@ USAGE:
   pcmax gen --seed N --jobs N --machines N --lo N --hi N
             [--family uniform|bimodal|nonuniform|nearequal] [-o FILE]
   pcmax solve FILE    [--epsilon F] [--engine seq|par|blockedN]
-                      [--strategy bisection|quarter] [--verbose]
+                      [--strategy bisection|quarter|naryN] [--verbose]
   pcmax compare FILE
-  pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]";
+  pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]
+  pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
+                      [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
+  pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
+                      [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
+
+`naryN` probes N targets per search round (nary1 = bisection, nary4 =
+the paper's quarter split). `serve` answers line-protocol requests over
+TCP: `solve <m> <eps|-> <deadline_ms|-> <t1,t2,...>`, `stats`, `ping`.
+`bench-serve` drives an in-process server over loopback and reports
+latency and DP-cache statistics.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -116,16 +131,34 @@ fn parse_engine(s: &str) -> Result<DpEngine, String> {
     }
 }
 
+/// Parses `bisection`, `quarter`, or `naryN` (e.g. `nary8`).
+fn parse_strategy(s: &str) -> Result<SearchStrategy, String> {
+    match s {
+        "bisection" => Ok(SearchStrategy::Bisection),
+        "quarter" => Ok(SearchStrategy::QuarterSplit),
+        other => match other.strip_prefix("nary") {
+            Some(n) => {
+                let segments: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad strategy `{other}` (want naryN, e.g. nary8)"))?;
+                if segments == 0 {
+                    return Err("nary strategy needs at least 1 segment".into());
+                }
+                Ok(SearchStrategy::NarySplit { segments })
+            }
+            None => Err(format!(
+                "unknown strategy `{other}` (bisection|quarter|naryN)"
+            )),
+        },
+    }
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("solve needs an instance file")?;
     let inst = load_instance(path)?;
     let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
     let engine = parse_engine(flag(args, "--engine").unwrap_or("par"))?;
-    let strategy = match flag(args, "--strategy").unwrap_or("bisection") {
-        "bisection" => SearchStrategy::Bisection,
-        "quarter" => SearchStrategy::QuarterSplit,
-        other => return Err(format!("unknown strategy `{other}`")),
-    };
+    let strategy = parse_strategy(flag(args, "--strategy").unwrap_or("bisection"))?;
     let verbose = args.iter().any(|a| a == "--verbose");
 
     let res = Ptas::new(epsilon)
@@ -247,5 +280,122 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String> {
+    let defaults = pcmax::ServeConfig::default();
+    Ok(pcmax::ServeConfig {
+        workers: flag_parse(args, "--workers", defaults.workers)?,
+        queue_capacity: flag_parse(args, "--queue", defaults.queue_capacity)?,
+        default_deadline: Duration::from_millis(flag_parse(
+            args,
+            "--deadline-ms",
+            defaults.default_deadline.as_millis() as u64,
+        )?),
+        default_epsilon: flag_parse(args, "--epsilon", defaults.default_epsilon)?,
+        engine: parse_engine(flag(args, "--engine").unwrap_or("par"))?,
+        ..defaults
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7077");
+    let config = serve_config_from_flags(args)?;
+    let workers = config.workers;
+    let service = pcmax::Service::start(config);
+    let handle = serve_tcp(Arc::clone(&service), addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "pcmax-serve listening on {} ({} workers); protocol: solve <m> <eps|-> <deadline_ms|-> <t1,t2,...> | stats | ping",
+        handle.local_addr(),
+        workers,
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let clients: usize = flag_parse(args, "--clients", 4)?;
+    let requests: usize = flag_parse(args, "--requests", 16)?;
+    let distinct: u64 = flag_parse(args, "--distinct", 4)?;
+    let jobs: usize = flag_parse(args, "--jobs", 30)?;
+    let machines: usize = flag_parse(args, "--machines", 4)?;
+    let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
+    let deadline_ms: u64 = flag_parse(args, "--deadline-ms", 2000)?;
+    if clients == 0 || requests == 0 || distinct == 0 {
+        return Err("--clients, --requests, and --distinct must be positive".into());
+    }
+
+    let config = serve_config_from_flags(args)?;
+    let service = pcmax::Service::start(config);
+    let handle =
+        serve_tcp(Arc::clone(&service), "127.0.0.1:0").map_err(|e| format!("binding: {e}"))?;
+    let addr = handle.local_addr();
+    eprintln!(
+        "bench: {clients} clients x {requests} requests over {distinct} distinct instances ({jobs} jobs, {machines} machines) against {addr}"
+    );
+
+    let worker = move |client_id: usize| -> Result<Vec<(Duration, bool, u64)>, String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut samples = Vec::with_capacity(requests);
+        for r in 0..requests {
+            // Cycle the distinct pool so repeats hit the DP cache.
+            let seed = ((client_id * requests + r) as u64) % distinct;
+            let inst = pcmax::gen::uniform(seed, jobs, machines, 1, 100);
+            let start = Instant::now();
+            let reply = client.solve(
+                &inst,
+                Some(epsilon),
+                Some(Duration::from_millis(deadline_ms)),
+            )?;
+            let elapsed = start.elapsed();
+            reply
+                .schedule
+                .validate(&inst)
+                .map_err(|e| format!("invalid schedule from server: {e}"))?;
+            samples.push((elapsed, reply.degraded, reply.cache_hits));
+        }
+        Ok(samples)
+    };
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| std::thread::spawn(move || worker(c)))
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut degraded = 0usize;
+    for h in handles {
+        for (latency, was_degraded, _) in h.join().map_err(|_| "client thread panicked")?? {
+            latencies.push(latency);
+            degraded += usize::from(was_degraded);
+        }
+    }
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
+    let mean: Duration = latencies.iter().sum::<Duration>() / total as u32;
+    let report = service.report();
+    println!("requests      {total} ({degraded} degraded)");
+    println!(
+        "latency       mean {mean:.1?}  p50 {:.1?}  p90 {:.1?}  max {:.1?}",
+        pct(0.5),
+        pct(0.9),
+        pct(1.0)
+    );
+    println!(
+        "dp cache      {} hits, {} misses, {} evictions, {} resident ({:.1}% hit rate)",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.entries,
+        report.cache.hit_rate() * 100.0
+    );
+    println!(
+        "service       {} accepted, {} completed, {} rejected",
+        report.accepted, report.completed, report.rejected
+    );
+    handle.shutdown();
+    service.shutdown();
     Ok(())
 }

@@ -38,6 +38,7 @@
 //! | [`exec_model`] | counted-work descriptors and the multicore cost model |
 //! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
+//! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
 
 pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, Schedule};
 pub use pcmax_core::{exact, gen, heuristics};
@@ -49,10 +50,14 @@ pub use exec_model::{self as model, CpuModel, DpWorkload, ModelTime};
 pub use gpu_sim::{self as sim, DeviceSpec, GpuSim, KernelDesc, SimReport};
 pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, Shape};
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
+pub use pcmax_serve::{
+    self as serve, Client, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
+};
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use crate::{
         lower_bound, upper_bound, DpEngine, Instance, Ptas, PtasResult, Schedule, SearchStrategy,
     };
+    pub use crate::{ServeConfig, Service, SolveRequest};
 }

@@ -155,3 +155,48 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn nary_strategy_solves_and_bad_variants_fail() {
+    let inst = temp_path("nary.inst");
+    std::fs::write(&inst, "3\n12 7 9 14 5 8 11 6 10 13\n").expect("write");
+
+    let out = pcmax()
+        .arg("solve")
+        .arg(&inst)
+        .args(["--strategy", "nary8"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("makespan"));
+
+    for bad in ["nary0", "naryx", "nary", "splits"] {
+        let out = pcmax()
+            .arg("solve")
+            .arg(&inst)
+            .args(["--strategy", bad])
+            .output()
+            .expect("run");
+        assert!(!out.status.success(), "strategy `{bad}` should be rejected");
+    }
+}
+
+#[test]
+fn bench_serve_reports_cache_hit_rate() {
+    let out = pcmax()
+        .args([
+            "bench-serve",
+            "--clients", "2",
+            "--requests", "4",
+            "--distinct", "2",
+            "--jobs", "20",
+            "--machines", "3",
+        ])
+        .output()
+        .expect("run bench-serve");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("latency"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    assert!(stdout.contains("8 accepted"), "{stdout}");
+}

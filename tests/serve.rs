@@ -1,0 +1,119 @@
+//! End-to-end tests of the solver service over real loopback TCP:
+//! concurrent clients, cache warm-up across repeated instances, and
+//! deadline degradation — all through the wire protocol, not the
+//! in-process API.
+
+use pcmax::core::gen::uniform;
+use pcmax::serve::{serve_tcp, Client};
+use pcmax::{ServeConfig, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_service(config: ServeConfig) -> (Arc<Service>, std::net::SocketAddr, pcmax::serve::TcpHandle) {
+    let service = Service::start(config);
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.local_addr();
+    (service, addr, handle)
+}
+
+#[test]
+fn concurrent_tcp_clients_get_valid_schedules() {
+    let (service, addr, handle) = start_service(ServeConfig::default());
+
+    let threads: Vec<_> = (0..6)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                for r in 0..4 {
+                    // 3 distinct instances across the pool → repeats are
+                    // guaranteed, exercising the shared DP cache.
+                    let seed = (c * 4 + r) % 3;
+                    let inst = uniform(seed, 28, 4, 1, 60);
+                    let reply = client
+                        .solve(&inst, Some(0.3), Some(Duration::from_secs(10)))
+                        .expect("solve");
+                    let makespan = reply.schedule.validate(&inst).expect("valid schedule");
+                    assert_eq!(makespan, reply.makespan, "server-reported makespan");
+                    assert!(!reply.degraded, "10s deadline must not degrade");
+                    assert_eq!(reply.target.is_some(), true, "PTAS answers carry T*");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let report = service.report();
+    assert_eq!(report.completed, 24);
+    assert_eq!(report.rejected, 0);
+    assert!(
+        report.cache.hits > 0,
+        "repeated instances must hit the DP cache: {:?} hits",
+        report.cache.hits
+    );
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn repeat_requests_warm_the_cache() {
+    let (service, addr, handle) = start_service(ServeConfig::default());
+    let inst = uniform(11, 30, 3, 1, 50);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let cold = client.solve(&inst, Some(0.3), None).expect("cold solve");
+    let warm = client.solve(&inst, Some(0.3), None).expect("warm solve");
+    assert_eq!(cold.target, warm.target, "same instance, same T*");
+    assert_eq!(warm.cache_misses, 0, "second solve must be all cache hits");
+    assert!(warm.cache_hits > 0);
+
+    // The stats line exposes the same counters over the wire.
+    let stats = client.stats_line().expect("stats");
+    assert!(stats.contains("completed=2"), "{stats}");
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn expired_deadline_yields_degraded_heuristic_not_error() {
+    let (service, addr, handle) = start_service(ServeConfig::default());
+    let inst = uniform(7, 40, 4, 1, 90);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let reply = client
+        .solve(&inst, Some(0.3), Some(Duration::ZERO))
+        .expect("degraded answers are still ok-replies");
+    assert!(reply.degraded);
+    assert_eq!(reply.target, None, "heuristic answers carry no T*");
+    let makespan = reply.schedule.validate(&inst).expect("heuristic schedule is valid");
+    assert_eq!(makespan, reply.makespan);
+
+    let report = service.report();
+    assert_eq!(report.degraded, 1);
+    assert_eq!(report.completed, 1);
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    let (service, addr, handle) = start_service(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // An invalid epsilon is rejected with an err-line…
+    let inst = uniform(1, 10, 2, 1, 30);
+    let err = client.solve(&inst, Some(7.5), None).unwrap_err();
+    assert!(err.contains("epsilon"), "{err}");
+
+    // …and the same connection keeps working afterwards.
+    let reply = client.solve(&inst, Some(0.3), None).expect("solve after error");
+    reply.schedule.validate(&inst).expect("valid schedule");
+
+    handle.shutdown();
+    service.shutdown();
+}
