@@ -13,6 +13,27 @@ fn small_shape() -> impl Strategy<Value = Shape> {
         .prop_map(|ext| Shape::new(&ext))
 }
 
+/// A uniformly-chosen *explicit* divisor: each dimension independently
+/// picks one of its extent's divisors, driven by a splitmix-style walk of
+/// `seed`. Covers divisor vectors [`Divisor::compute`] would never emit
+/// (e.g. splitting every dimension, or splitting none).
+fn random_divisor(shape: &Shape, seed: u64) -> Divisor {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let per_dim: Vec<usize> = shape
+        .extents()
+        .iter()
+        .map(|&e| {
+            let divs: Vec<usize> = (1..=e).filter(|d| e % d == 0).collect();
+            divs[next() as usize % divs.len()]
+        })
+        .collect();
+    Divisor::from_parts(shape, &per_dim)
+}
+
 proptest! {
     #[test]
     fn flatten_unflatten_roundtrip(shape in small_shape(), seed in any::<usize>()) {
@@ -116,6 +137,43 @@ proptest! {
             if bu != bv {
                 prop_assert!(false, "distinct same-level blocks with dependency");
             }
+        }
+    }
+
+    #[test]
+    fn explicit_divisor_roundtrip_is_identity_both_ways(shape in small_shape(),
+                                                        seed in any::<u64>()) {
+        // Random *explicit* divisors, not just the Algorithm-4 ones: the
+        // bijection must hold for every legal divisor vector.
+        let layout = BlockedLayout::new(shape.clone(), random_divisor(&shape, seed));
+        let data: Vec<u32> = (0..shape.size() as u32).collect();
+
+        // scatter_back ∘ reorganize = id (row-major fixed point)…
+        let blocked = layout.reorganize(&data);
+        prop_assert_eq!(layout.scatter_back(&blocked), data.clone());
+
+        // …and reorganize ∘ scatter_back = id (block-major fixed point).
+        let row_major = layout.scatter_back(&data);
+        prop_assert_eq!(layout.reorganize(&row_major), data);
+    }
+
+    #[test]
+    fn explicit_divisor_permutation_is_bijective(shape in small_shape(),
+                                                 seed in any::<u64>()) {
+        let layout = BlockedLayout::new(shape.clone(), random_divisor(&shape, seed));
+        let perm = layout.permutation();
+        prop_assert_eq!(perm.len(), shape.size());
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            prop_assert!(p < perm.len());
+            prop_assert!(!seen[p], "permutation repeats offset {}", p);
+            seen[p] = true;
+        }
+        // The permutation is exactly the map reorganize applies.
+        let data: Vec<u32> = (0..shape.size() as u32).collect();
+        let blocked = layout.reorganize(&data);
+        for (flat, &p) in perm.iter().enumerate() {
+            prop_assert_eq!(blocked[p], data[flat]);
         }
     }
 

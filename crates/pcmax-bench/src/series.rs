@@ -26,12 +26,14 @@ pub struct TableSeries {
 }
 
 impl TableSeries {
-    /// Best GPU time across the DIM sweep.
+    /// Best GPU time across the DIM sweep. Total order on the times, so a
+    /// NaN from a degenerate model run can never panic the comparator
+    /// (NaN sorts last and is never picked over a finite time).
     pub fn best_gpu(&self) -> (usize, f64) {
         self.gpu_ms
             .iter()
             .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty sweep")
     }
 }
@@ -90,6 +92,31 @@ mod tests {
         let (dim, ms) = s.best_gpu();
         assert!(s.gpu_ms.iter().all(|&(_, other)| ms <= other));
         assert!(DIM_RANGE.contains(&dim));
+    }
+
+    #[test]
+    fn best_gpu_survives_nan_entries() {
+        // A NaN in the sweep (degenerate model output) must not panic and
+        // must never win against a finite time.
+        let s = TableSeries {
+            extents: vec![4, 4],
+            size: 16,
+            ndim: 2,
+            omp16_ms: 1.0,
+            omp28_ms: 1.0,
+            gpu_ms: vec![(3, f64::NAN), (4, 1.5), (5, 2.0)],
+            naive_ms: None,
+        };
+        assert_eq!(s.best_gpu(), (4, 1.5));
+
+        // All-NaN degenerates to *an* entry rather than panicking.
+        let all_nan = TableSeries {
+            gpu_ms: vec![(3, f64::NAN), (4, f64::NAN)],
+            ..s
+        };
+        let (dim, ms) = all_nan.best_gpu();
+        assert!(ms.is_nan());
+        assert!(dim == 3 || dim == 4);
     }
 
     #[test]

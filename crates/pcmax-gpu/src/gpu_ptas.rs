@@ -148,6 +148,16 @@ pub fn solve_gpu(inst: &Instance, cfg: &GpuPtasConfig) -> GpuPtasOutcome {
             }
         }
         let round_ms = sim.run().millis();
+        if pcmax_obs::enabled() {
+            // Lay each round on a search-level track: start at the modeled
+            // time already accumulated, so rounds abut on the time axis.
+            pcmax_obs::timeline::global().record(pcmax_obs::TimelineEvent {
+                track: "gpu.search".to_string(),
+                name: format!("round{} [{lb},{ub}]", rounds.len()),
+                start_us: (modeled_ms * 1_000.0) as u64,
+                dur_us: (round_ms * 1_000.0) as u64,
+            });
+        }
         modeled_ms += round_ms;
         rounds.push(RoundRecord {
             targets: targets.clone(),

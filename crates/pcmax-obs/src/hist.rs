@@ -1,0 +1,294 @@
+//! Log₂-bucketed histograms.
+//!
+//! Values (latencies in µs, batch sizes, cell counts, …) land in bucket
+//! `bitlen(v)`: bucket 0 holds exactly 0, bucket `b ≥ 1` holds
+//! `[2^(b-1), 2^b - 1]`. 65 fixed buckets cover the whole `u64` range, so
+//! recording is two shifts and a handful of relaxed atomic adds — cheap
+//! enough for per-request paths — and quantiles are estimated from the
+//! bucket boundaries (within a factor of 2, plenty for latency SLOs).
+
+use crate::json::JsonWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NUM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: 0 for 0, otherwise its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `b`.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A concurrent log₂ histogram. See the module docs for the bucket
+/// scheme; like [`crate::Counter`], recording is not self-gated.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = (0..NUM_BUCKETS)
+            .filter_map(|b| {
+                let n = self.buckets[b].load(Ordering::Relaxed);
+                (n > 0).then(|| Bucket {
+                    lo: bucket_lo(b),
+                    hi: bucket_hi(b),
+                    count: n,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Clears every bucket and aggregate.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bucket {
+    /// Inclusive lower bound of the bucket's value range.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket's value range.
+    pub hi: u64,
+    /// Values recorded in this bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`Histogram`], safe to ship across threads,
+/// compare in tests, and render to JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by range.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`): the upper bound of the
+    /// bucket containing the rank, clamped to the observed max. Within a
+    /// factor of 2 of the true quantile by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Writes this snapshot as a JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_u64("count", self.count)
+            .field_u64("sum", self.sum)
+            .field_u64("min", self.min)
+            .field_u64("max", self.max)
+            .field_f64("mean", self.mean())
+            .field_u64("p50", self.quantile(0.50))
+            .field_u64("p90", self.quantile(0.90))
+            .field_u64("p99", self.quantile(0.99))
+            .key("buckets")
+            .begin_array();
+        for b in &self.buckets {
+            w.begin_object()
+                .field_u64("lo", b.lo)
+                .field_u64("hi", b.hi)
+                .field_u64("n", b.count)
+                .end_object();
+        }
+        w.end_array().end_object();
+    }
+
+    /// This snapshot as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..64 {
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 5);
+        assert!((s.mean() - 201.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 of 1..=1000 is 500; the bucket estimate may overshoot by at
+        // most 2x and never exceeds the observed max.
+        let p50 = s.quantile(0.5);
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.quantile(0.9), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = Histogram::new();
+        h.record(3);
+        let json = h.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"buckets\":[{\"lo\":2,\"hi\":3,\"n\":1}]"), "{json}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+}

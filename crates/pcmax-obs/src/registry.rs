@@ -1,0 +1,121 @@
+//! A process-wide registry of named counters and histograms.
+//!
+//! Instrumentation sites ask for a metric by name once (cache the `Arc`)
+//! or on each use (a short mutex-guarded map lookup); exporters walk the
+//! registry and emit every metric as JSON. Names are dot-separated by
+//! convention: `serve.queue_wait_us`, `gpu.kernels`.
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Registry of named metrics. Usually accessed through [`global`].
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Writes `{"counters":{...},"histograms":{...}}` into `w`. Keys are
+    /// sorted (BTreeMap order), so output is deterministic.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object().key("counters").begin_object();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            w.field_u64(name, c.get());
+        }
+        w.end_object().key("histograms").begin_object();
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            w.key(name);
+            h.snapshot().write_json(w);
+        }
+        w.end_object().end_object();
+    }
+
+    /// The registry contents as a standalone JSON string.
+    pub fn snapshot_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Resets every registered metric (tests and between-benchmark
+    /// hygiene); registrations themselves are kept.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("x").add(2);
+        r.counter("x").add(3);
+        assert_eq!(r.counter("x").get(), 5);
+        r.histogram("h").record(9);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_json() {
+        let r = Registry::new();
+        r.counter("b.second").inc();
+        r.counter("a.first").add(7);
+        let json = r.snapshot_json();
+        assert!(
+            json.starts_with(r#"{"counters":{"a.first":7,"b.second":1}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""histograms":{}"#), "{json}");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let r = Registry::new();
+        r.counter("c").add(4);
+        r.histogram("h").record(1);
+        r.reset();
+        assert_eq!(r.counter("c").get(), 0);
+        assert_eq!(r.histogram("h").count(), 0);
+    }
+}

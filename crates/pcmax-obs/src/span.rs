@@ -1,0 +1,169 @@
+//! Hierarchical span trees.
+//!
+//! A [`SpanNode`] records one named region of work (its elapsed time in
+//! µs, optional key/value attributes) plus child spans. Trees are built
+//! by the instrumented code itself — e.g. `pcmax trace` assembles one
+//! span per bisection probe, each with a `rounding` and `dp.sweep` child
+//! — then rendered either as an ASCII tree (with each node's share of
+//! the root's wall time) or as JSON.
+
+use crate::json::JsonWriter;
+
+/// One node of a span tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanNode {
+    /// Span name, dot-separated by convention (`search.probe`,
+    /// `dp.sweep`, `dp.level`).
+    pub name: String,
+    /// Wall time attributed to this span, in microseconds.
+    pub elapsed_us: u64,
+    /// Free-form attributes (target value, cell counts, engine name, …).
+    pub attrs: Vec<(String, String)>,
+    /// Child spans, in execution order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf span with a name and elapsed time.
+    pub fn new(name: impl Into<String>, elapsed_us: u64) -> Self {
+        Self {
+            name: name.into(),
+            elapsed_us,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder-style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.attrs.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Appends a child span.
+    pub fn push(&mut self, child: SpanNode) {
+        self.children.push(child);
+    }
+
+    /// Total spans in the tree, including this one.
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::len).sum::<usize>()
+    }
+
+    /// Always false: a span tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Renders the tree as indented ASCII, one span per line:
+    ///
+    /// ```text
+    /// ptas.solve                          1234µs 100.0%
+    /// ├─ search.probe target=13           1100µs  89.1%
+    /// │  ├─ rounding                        10µs   0.8%
+    /// │  └─ dp.sweep engine=Sequential    1080µs  87.5%
+    /// └─ build_schedule                     60µs   4.9%
+    /// ```
+    ///
+    /// Percentages are relative to the root span's elapsed time.
+    pub fn render(&self) -> String {
+        let root_us = self.elapsed_us.max(1);
+        let mut out = String::new();
+        self.render_line(&mut out, "", "", root_us);
+        out
+    }
+
+    fn render_line(&self, out: &mut String, lead: &str, child_lead: &str, root_us: u64) {
+        let mut label = self.name.clone();
+        for (k, v) in &self.attrs {
+            label.push_str(&format!(" {k}={v}"));
+        }
+        let pct = 100.0 * self.elapsed_us as f64 / root_us as f64;
+        out.push_str(&format!(
+            "{lead}{label}  {}µs {pct:.1}%\n",
+            self.elapsed_us
+        ));
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            let last = i + 1 == n;
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            child.render_line(
+                out,
+                &format!("{child_lead}{branch}"),
+                &format!("{child_lead}{cont}"),
+                root_us,
+            );
+        }
+    }
+
+    /// Writes the tree as a JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_str("name", &self.name)
+            .field_u64("elapsed_us", self.elapsed_us);
+        if !self.attrs.is_empty() {
+            w.key("attrs").begin_object();
+            for (k, v) in &self.attrs {
+                w.field_str(k, v);
+            }
+            w.end_object();
+        }
+        w.key("children").begin_array();
+        for child in &self.children {
+            child.write_json(w);
+        }
+        w.end_array().end_object();
+    }
+
+    /// The tree as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanNode {
+        let mut root = SpanNode::new("solve", 1000);
+        let mut probe = SpanNode::new("probe", 800).attr("target", 13);
+        probe.push(SpanNode::new("rounding", 100));
+        probe.push(SpanNode::new("dp", 700).attr("engine", "Sequential"));
+        root.push(probe);
+        root.push(SpanNode::new("build", 150));
+        root
+    }
+
+    #[test]
+    fn render_shows_every_span_with_percentages() {
+        let text = sample().render();
+        assert!(text.contains("solve  1000µs 100.0%"), "{text}");
+        assert!(text.contains("├─ probe target=13  800µs 80.0%"), "{text}");
+        assert!(text.contains("│  └─ dp engine=Sequential  700µs 70.0%"), "{text}");
+        assert!(text.contains("└─ build  150µs 15.0%"), "{text}");
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn len_counts_all_nodes() {
+        assert_eq!(sample().len(), 5);
+    }
+
+    #[test]
+    fn json_nests_children() {
+        let json = sample().to_json();
+        assert!(json.contains(r#""name":"solve""#), "{json}");
+        assert!(json.contains(r#""attrs":{"target":"13"}"#), "{json}");
+        assert!(json.contains(r#""children":[]"#), "{json}");
+    }
+
+    #[test]
+    fn zero_elapsed_root_does_not_divide_by_zero() {
+        let text = SpanNode::new("empty", 0).render();
+        assert!(text.contains("empty  0µs 0.0%"), "{text}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded timeline event logs.
+//!
+//! A [`Timeline`] collects `(track, name, start, duration)` events — the
+//! GPU simulator uses one track per stream so kernel launches can be laid
+//! out on a time axis. The log is bounded: once `cap` events have been
+//! recorded, further events are counted in `dropped` rather than stored,
+//! so a long-running serve process cannot grow without limit.
+
+use crate::json::JsonWriter;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// One interval on a named track.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimelineEvent {
+    /// Track the event belongs to (e.g. `gpu.stream0`).
+    pub track: String,
+    /// Event name (kernel name, phase name).
+    pub name: String,
+    /// Start offset in microseconds (simulated or wall, per producer).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Inner {
+    events: Vec<TimelineEvent>,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe event log.
+pub struct Timeline {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl Timeline {
+    /// An empty timeline holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                dropped: 0,
+            }),
+            cap,
+        }
+    }
+
+    /// Appends an event, or counts it as dropped once the log is full.
+    pub fn record(&self, event: TimelineEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() < self.cap {
+            inner.events.push(event);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Copies out the stored events.
+    pub fn snapshot(&self) -> Vec<TimelineEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Events rejected because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Empties the log and resets the dropped count.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+
+    /// Writes `{"events":[...],"dropped":n}` into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        let inner = self.inner.lock().unwrap();
+        w.begin_object().key("events").begin_array();
+        for e in &inner.events {
+            w.begin_object()
+                .field_str("track", &e.track)
+                .field_str("name", &e.name)
+                .field_u64("start_us", e.start_us)
+                .field_u64("dur_us", e.dur_us)
+                .end_object();
+        }
+        w.end_array().field_u64("dropped", inner.dropped).end_object();
+    }
+
+    /// The timeline as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+/// Capacity of the process-wide timeline: generous for traces and bench
+/// runs, bounded for long-lived servers.
+pub const GLOBAL_TIMELINE_CAP: usize = 65_536;
+
+/// The process-wide timeline the GPU simulator records into.
+pub fn global() -> &'static Timeline {
+    static GLOBAL: OnceLock<Timeline> = OnceLock::new();
+    GLOBAL.get_or_init(|| Timeline::new(GLOBAL_TIMELINE_CAP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, start: u64) -> TimelineEvent {
+        TimelineEvent {
+            track: "t0".into(),
+            name: name.into(),
+            start_us: start,
+            dur_us: 5,
+        }
+    }
+
+    #[test]
+    fn records_until_cap_then_drops() {
+        let tl = Timeline::new(2);
+        tl.record(ev("a", 0));
+        tl.record(ev("b", 5));
+        tl.record(ev("c", 10));
+        assert_eq!(tl.snapshot().len(), 2);
+        assert_eq!(tl.dropped(), 1);
+        tl.clear();
+        assert!(tl.snapshot().is_empty());
+        assert_eq!(tl.dropped(), 0);
+    }
+
+    #[test]
+    fn json_lists_events_and_dropped() {
+        let tl = Timeline::new(8);
+        tl.record(ev("k0", 3));
+        let json = tl.to_json();
+        assert_eq!(
+            json,
+            r#"{"events":[{"track":"t0","name":"k0","start_us":3,"dur_us":5}],"dropped":0}"#
+        );
+    }
+}

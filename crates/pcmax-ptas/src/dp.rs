@@ -117,6 +117,26 @@ pub struct DpStats {
     pub num_blocks: usize,
     /// Number of block-levels (1 unless `Blocked`).
     pub num_block_levels: usize,
+    /// Wall time of the sweep in µs. 0 unless `pcmax_obs` recording is
+    /// enabled, so solutions stay deterministic (and `Eq`) by default.
+    pub elapsed_us: u64,
+    /// Per-level breakdown (anti-diagonal levels for the unblocked
+    /// engines, block-levels for `Blocked`). Empty unless `pcmax_obs`
+    /// recording is enabled.
+    pub levels: Vec<DpLevelStat>,
+}
+
+/// Per-level sweep statistics (only populated while `pcmax_obs`
+/// recording is enabled).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpLevelStat {
+    /// Cells computed in this level.
+    pub cells: u64,
+    /// Configurations enumerated by this level's cells.
+    pub configs: u64,
+    /// Wall time spent sweeping this level, in µs (0 for the sequential
+    /// engine, whose row-major order interleaves levels).
+    pub elapsed_us: u64,
 }
 
 /// The filled table plus metadata.
@@ -237,26 +257,43 @@ impl DpProblem {
 
     /// Row-major sequential sweep.
     pub fn solve_sequential(&self) -> DpSolution {
+        let timer = pcmax_obs::Timer::start();
         let sigma = self.shape.size();
         let mut values = vec![0u32; sigma];
         let mut configs = 0u64;
         let mut v = vec![0usize; self.shape.ndim()];
+        // Row-major order interleaves anti-diagonal levels, so per-level
+        // timing is meaningless here; when recording, cells are still
+        // binned by level (ℓ = Σ vᵢ) for the trace's work attribution.
+        let mut levels = if timer.is_recording() {
+            vec![DpLevelStat::default(); self.shape.max_level() + 1]
+        } else {
+            Vec::new()
+        };
         for flat in 0..sigma {
             self.shape.unflatten_into(flat, &mut v);
             let (val, c) = self.compute_cell(&v, flat, |i| values[i]);
             values[flat] = val;
             configs += c;
+            if !levels.is_empty() {
+                let level: usize = v.iter().sum();
+                levels[level].cells += 1;
+                levels[level].configs += c;
+            }
         }
-        self.finish(values, configs, 1, 1)
+        self.finish(values, configs, 1, 1, timer.elapsed_us(), levels)
     }
 
     /// Anti-diagonal wavefront with rayon (Algorithm 2).
     pub fn solve_antidiagonal(&self) -> DpSolution {
+        let timer = pcmax_obs::Timer::start();
         let sigma = self.shape.size();
         let levels = LevelBuckets::new(&self.shape);
         let mut values = vec![0u32; sigma];
         let mut configs = 0u64;
+        let mut level_stats = Vec::new();
         for (_, cells) in levels.iter() {
+            let level_timer = pcmax_obs::Timer::start();
             // All reads hit strictly smaller levels, so `values` can be
             // shared immutably; writes are applied after the level.
             let results: Vec<(usize, u32, u64)> = cells
@@ -270,12 +307,21 @@ impl DpProblem {
                     },
                 )
                 .collect();
+            let mut level_configs = 0u64;
             for (flat, val, c) in results {
                 values[flat] = val;
-                configs += c;
+                level_configs += c;
+            }
+            configs += level_configs;
+            if level_timer.is_recording() {
+                level_stats.push(DpLevelStat {
+                    cells: cells.len() as u64,
+                    configs: level_configs,
+                    elapsed_us: level_timer.elapsed_us(),
+                });
             }
         }
-        self.finish(values, configs, 1, 1)
+        self.finish(values, configs, 1, 1, timer.elapsed_us(), level_stats)
     }
 
     /// Data-partitioned block-major sweep (the Algorithm 4/5 traversal).
@@ -293,10 +339,13 @@ impl DpProblem {
         let ndim = self.shape.ndim();
 
         // Values live in *blocked* order during the sweep.
+        let timer = pcmax_obs::Timer::start();
         let mut vals = vec![0u32; self.shape.size()];
         let mut configs = 0u64;
+        let mut level_stats = Vec::new();
 
         for (_, blocks) in block_levels.iter() {
+            let level_timer = pcmax_obs::Timer::start();
             // Each block computes into a scratch buffer: reads of its own
             // cells come from scratch (same block, earlier in-block level),
             // reads of other blocks hit `vals` (strictly lower block-level,
@@ -333,9 +382,18 @@ impl DpProblem {
                     (region.start, scratch, local_configs)
                 })
                 .collect();
+            let mut level_configs = 0u64;
             for (start, scratch, c) in results {
                 vals[start..start + cells_per_block].copy_from_slice(&scratch);
-                configs += c;
+                level_configs += c;
+            }
+            configs += level_configs;
+            if level_timer.is_recording() {
+                level_stats.push(DpLevelStat {
+                    cells: (blocks.len() * cells_per_block) as u64,
+                    configs: level_configs,
+                    elapsed_us: level_timer.elapsed_us(),
+                });
             }
         }
 
@@ -345,6 +403,8 @@ impl DpProblem {
             configs,
             layout.num_blocks(),
             block_levels.num_levels(),
+            timer.elapsed_us(),
+            level_stats,
         )
     }
 
@@ -394,6 +454,8 @@ impl DpProblem {
         configs: u64,
         num_blocks: usize,
         num_block_levels: usize,
+        elapsed_us: u64,
+        levels: Vec<DpLevelStat>,
     ) -> DpSolution {
         let opt = *values.last().expect("table non-empty");
         let stats = DpStats {
@@ -402,6 +464,8 @@ impl DpProblem {
             configs_enumerated: configs,
             num_blocks,
             num_block_levels,
+            elapsed_us,
+            levels,
         };
         DpSolution { values, opt, stats }
     }

@@ -32,6 +32,7 @@ pub mod dp;
 pub mod ptas;
 pub mod rounding;
 pub mod search;
+pub mod trace;
 pub mod verify;
 
 pub use dp::{DpEngine, DpKey, DpProblem, DpSolution, INFEASIBLE};

@@ -50,6 +50,10 @@ pub struct PtasResult {
     pub machines_used: usize,
     /// Search telemetry (rounds, probes, DP table sizes).
     pub search: SearchResult,
+    /// Wall time of the schedule-construction step (the DP rerun at `T*`
+    /// plus the walk-back and list scheduling), in µs. 0 unless
+    /// `pcmax_obs` recording is enabled.
+    pub build_us: u64,
 }
 
 impl Ptas {
@@ -127,7 +131,9 @@ impl Ptas {
             }
         };
         let target = search.target;
+        let build_timer = pcmax_obs::Timer::start();
         let (schedule, machines_used) = self.build_schedule(inst, target, k);
+        let build_us = build_timer.elapsed_us();
         let makespan = schedule.makespan(inst);
         PtasResult {
             schedule,
@@ -135,6 +141,7 @@ impl Ptas {
             target,
             machines_used,
             search,
+            build_us,
         }
     }
 

@@ -93,6 +93,9 @@ pub struct ProbeRecord {
     /// Whether this probe was answered from the memo cache (the repeated
     /// configurations the paper notes in §III.A).
     pub cached: bool,
+    /// Wall time of the rounding step in µs (0 unless `pcmax_obs`
+    /// recording is enabled).
+    pub rounding_us: u64,
     /// DP statistics (zeroed for cached/degenerate probes).
     pub dp_stats: DpStats,
 }
@@ -126,7 +129,10 @@ pub struct SearchResult {
 
 /// Probes a single target: rounding + DP feasibility against `m` machines.
 pub fn probe(inst: &Instance, target: u64, k: u64, m: usize, engine: DpEngine) -> ProbeRecord {
-    match Rounding::compute(inst, target, k) {
+    let rounding_timer = pcmax_obs::Timer::start();
+    let outcome = Rounding::compute(inst, target, k);
+    let rounding_us = rounding_timer.elapsed_us();
+    match outcome {
         RoundingOutcome::Infeasible { .. } => ProbeRecord {
             target,
             feasible: false,
@@ -134,6 +140,7 @@ pub fn probe(inst: &Instance, target: u64, k: u64, m: usize, engine: DpEngine) -
             table_size: 1,
             ndim: 0,
             cached: false,
+            rounding_us,
             dp_stats: DpStats::default(),
         },
         RoundingOutcome::Rounded(r) => {
@@ -146,6 +153,7 @@ pub fn probe(inst: &Instance, target: u64, k: u64, m: usize, engine: DpEngine) -
                 table_size: problem.table_size(),
                 ndim: r.ndim(),
                 cached: false,
+                rounding_us,
                 dp_stats: sol.stats,
             }
         }

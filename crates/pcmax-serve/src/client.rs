@@ -115,4 +115,16 @@ impl Client {
             Err(format!("unexpected stats reply `{line}`"))
         }
     }
+
+    /// The server's stats snapshot as its JSON payload (the `stats `
+    /// prefix stripped).
+    pub fn stats_json(&mut self) -> Result<String, String> {
+        let line = self.stats_line()?;
+        let json = line["stats ".len()..].to_string();
+        if json.starts_with('{') && json.ends_with('}') {
+            Ok(json)
+        } else {
+            Err(format!("stats payload is not a JSON object: `{json}`"))
+        }
+    }
 }

@@ -33,5 +33,5 @@ pub use service::{
     heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };
 pub use solver::{solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
-pub use stats::{CacheReport, EngineUsed, RequestStats, ServiceReport};
+pub use stats::{CacheReport, EngineUsed, RequestStats, ServeHistograms, ServeMetrics, ServiceReport};
 pub use tcp::{serve_tcp, TcpHandle};

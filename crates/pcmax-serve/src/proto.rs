@@ -18,8 +18,12 @@
 //! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <a1,a2,...,an>
 //! err <message>
 //! pong
-//! stats accepted=<n> completed=<n> degraded=<n> rejected=<n> cache_hits=<n> cache_misses=<n> cache_evictions=<n> cache_entries=<n>
+//! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
 //! ```
+//!
+//! The `stats` payload is one JSON object (see
+//! [`ServiceReport::to_json`]); histograms carry non-zero data only
+//! while `pcmax_obs` recording is enabled on the server.
 //!
 //! where `a_j` is the machine index job `j` is assigned to.
 
@@ -123,19 +127,9 @@ pub fn format_error(message: &str) -> String {
     format!("err {message}")
 }
 
-/// Formats the `stats …` line.
+/// Formats the `stats {json}` line.
 pub fn format_stats(report: &ServiceReport) -> String {
-    format!(
-        "stats accepted={} completed={} degraded={} rejected={} cache_hits={} cache_misses={} cache_evictions={} cache_entries={}",
-        report.accepted,
-        report.completed,
-        report.degraded,
-        report.rejected,
-        report.cache.hits,
-        report.cache.misses,
-        report.cache.evictions,
-        report.cache.entries,
-    )
+    format!("stats {}", report.to_json())
 }
 
 /// A parsed `ok …` line, as the client sees it.
@@ -360,13 +354,16 @@ mod tests {
     }
 
     #[test]
-    fn stats_line_includes_cache_counters() {
+    fn stats_line_is_json_with_cache_counters() {
         let mut report = ServiceReport::default();
         report.accepted = 5;
         report.cache.hits = 3;
         let line = format_stats(&report);
-        assert!(line.starts_with("stats "));
-        assert!(line.contains("accepted=5"));
-        assert!(line.contains("cache_hits=3"));
+        assert!(line.starts_with("stats {"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"accepted\":5"), "{line}");
+        assert!(line.contains("\"hits\":3"), "{line}");
+        assert!(line.contains("\"queue_wait_us\""), "{line}");
+        assert!(line.contains("\"solve_us\""), "{line}");
     }
 }

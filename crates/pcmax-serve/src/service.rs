@@ -11,7 +11,7 @@
 //! degrades to the better of LPT and MULTIFIT and the response says so.
 
 use crate::solver::{solve_cached, Degrade, DpCache};
-use crate::stats::{EngineUsed, RequestStats, ServiceReport};
+use crate::stats::{EngineUsed, RequestStats, ServeMetrics, ServiceReport};
 use pcmax_core::heuristics::{lpt, multifit};
 use pcmax_core::{Instance, Schedule};
 use pcmax_ptas::DpEngine;
@@ -226,6 +226,7 @@ struct WorkerCtx {
     queue: Arc<Queue>,
     cache: Arc<DpCache>,
     counters: Arc<Counters>,
+    metrics: Arc<ServeMetrics>,
     engine: DpEngine,
     batch_max: usize,
     max_table_cells: usize,
@@ -237,6 +238,7 @@ pub struct Service {
     queue: Arc<Queue>,
     cache: Arc<DpCache>,
     counters: Arc<Counters>,
+    metrics: Arc<ServeMetrics>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -256,10 +258,12 @@ impl Service {
             config.cache_capacity_per_shard,
         ));
         let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(ServeMetrics::default());
         let ctx = WorkerCtx {
             queue: Arc::clone(&queue),
             cache: Arc::clone(&cache),
             counters: Arc::clone(&counters),
+            metrics: Arc::clone(&metrics),
             engine: config.engine,
             batch_max: config.batch_max,
             max_table_cells: config.max_table_cells,
@@ -278,6 +282,7 @@ impl Service {
             queue,
             cache,
             counters,
+            metrics,
             workers: Mutex::new(handles),
         })
     }
@@ -322,7 +327,7 @@ impl Service {
         self.submit(req)?.recv()
     }
 
-    /// Counter snapshot (including the cache's).
+    /// Counter and histogram snapshot (including the cache's).
     pub fn report(&self) -> ServiceReport {
         ServiceReport {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
@@ -330,6 +335,7 @@ impl Service {
             degraded: self.counters.degraded.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             cache: self.cache.report(),
+            histograms: self.metrics.snapshot(),
         }
     }
 
@@ -354,6 +360,9 @@ impl Service {
 impl WorkerCtx {
     fn worker_loop(&self) {
         while let Some(batch) = self.queue.pop_batch(self.batch_max) {
+            if pcmax_obs::enabled() {
+                self.metrics.batch_size.record(batch.len() as u64);
+            }
             // Bucket the batch by k: requests sharing a rounding
             // parameter also share DP cache keys, so solving them
             // back-to-back maximises hit locality. Buckets then run on
@@ -429,6 +438,16 @@ impl WorkerCtx {
             }
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if pcmax_obs::enabled() {
+            self.metrics.queue_wait_us.record(response.stats.queue_wait_us);
+            self.metrics.solve_us.record(response.stats.solve_us);
+            if response.degraded {
+                let lateness = Instant::now()
+                    .saturating_duration_since(job.deadline)
+                    .as_micros() as u64;
+                self.metrics.degraded_lateness_us.record(lateness);
+            }
+        }
         // The submitter may have dropped its handle; that's fine.
         let _ = job.reply.try_send(response);
     }

@@ -2,8 +2,10 @@
 //!
 //! Everything here is serde-serialisable so operators can ship it to
 //! dashboards; the line protocol in [`crate::proto`] renders the same
-//! fields in its plain-text form.
+//! fields through [`ServiceReport::to_json`] (the workspace's serde is a
+//! no-op shim, so the wire form is written by hand).
 
+use pcmax_obs::{Histogram, HistogramSnapshot, JsonWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -83,8 +85,65 @@ impl CacheReport {
     }
 }
 
-/// Service-wide counters, a point-in-time snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// Live latency/size histograms the service records into while
+/// `pcmax_obs` recording is enabled. One instance lives inside the
+/// service, shared by all workers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Queue wait per completed request, in µs.
+    pub queue_wait_us: Histogram,
+    /// Solve time per completed request (PTAS or heuristic), in µs.
+    pub solve_us: Histogram,
+    /// Requests per drained batch.
+    pub batch_size: Histogram,
+    /// For degraded answers: how far past its deadline the request was
+    /// when it finished, in µs.
+    pub degraded_lateness_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// Point-in-time copy of every histogram.
+    pub fn snapshot(&self) -> ServeHistograms {
+        ServeHistograms {
+            queue_wait_us: self.queue_wait_us.snapshot(),
+            solve_us: self.solve_us.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            degraded_lateness_us: self.degraded_lateness_us.snapshot(),
+        }
+    }
+}
+
+/// Snapshot of the service histograms, embedded in [`ServiceReport`].
+/// All-empty when `pcmax_obs` recording was never enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeHistograms {
+    /// Queue wait per completed request, in µs.
+    pub queue_wait_us: HistogramSnapshot,
+    /// Solve time per completed request, in µs.
+    pub solve_us: HistogramSnapshot,
+    /// Requests per drained batch.
+    pub batch_size: HistogramSnapshot,
+    /// Lateness of degraded answers past their deadline, in µs.
+    pub degraded_lateness_us: HistogramSnapshot,
+}
+
+impl ServeHistograms {
+    /// Writes the histograms as a JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object().key("queue_wait_us");
+        self.queue_wait_us.write_json(w);
+        w.key("solve_us");
+        self.solve_us.write_json(w);
+        w.key("batch_size");
+        self.batch_size.write_json(w);
+        w.key("degraded_lateness_us");
+        self.degraded_lateness_us.write_json(w);
+        w.end_object();
+    }
+}
+
+/// Service-wide counters and histograms, a point-in-time snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServiceReport {
     /// Requests admitted to the queue.
     pub accepted: u64,
@@ -96,6 +155,34 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// DP cache state.
     pub cache: CacheReport,
+    /// Latency/size histograms (all-empty unless `pcmax_obs` recording
+    /// was enabled).
+    pub histograms: ServeHistograms,
+}
+
+impl ServiceReport {
+    /// The report as one JSON object — the payload of the TCP protocol's
+    /// `stats` verb and of `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("accepted", self.accepted)
+            .field_u64("completed", self.completed)
+            .field_u64("degraded", self.degraded)
+            .field_u64("rejected", self.rejected)
+            .key("cache")
+            .begin_object()
+            .field_u64("hits", self.cache.hits)
+            .field_u64("misses", self.cache.misses)
+            .field_u64("evictions", self.cache.evictions)
+            .field_u64("entries", self.cache.entries as u64)
+            .field_f64("hit_rate", self.cache.hit_rate())
+            .end_object()
+            .key("histograms");
+        self.histograms.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +195,33 @@ mod tests {
             assert_eq!(e.to_string().parse::<EngineUsed>().unwrap(), e);
         }
         assert!("gpu".parse::<EngineUsed>().is_err());
+    }
+
+    #[test]
+    fn report_json_includes_counters_and_histograms() {
+        let metrics = ServeMetrics::default();
+        metrics.queue_wait_us.record(100);
+        metrics.solve_us.record(2_000);
+        metrics.batch_size.record(4);
+        let report = ServiceReport {
+            accepted: 5,
+            completed: 4,
+            degraded: 1,
+            rejected: 1,
+            cache: CacheReport {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                entries: 4,
+            },
+            histograms: metrics.snapshot(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"accepted\":5"), "{json}");
+        assert!(json.contains("\"hit_rate\":0.75"), "{json}");
+        assert!(json.contains("\"queue_wait_us\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"solve_us\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"degraded_lateness_us\":{\"count\":0"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): release build + full test suite.
+# CI and local pre-push both run exactly this script, so the gate cannot
+# drift between the two.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "gen" => cmd_gen(rest),
         "solve" => cmd_solve(rest),
+        "trace" => cmd_trace(rest),
         "compare" => cmd_compare(rest),
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
@@ -55,18 +56,24 @@ USAGE:
             [--family uniform|bimodal|nonuniform|nearequal] [-o FILE]
   pcmax solve FILE    [--epsilon F] [--engine seq|par|blockedN]
                       [--strategy bisection|quarter|naryN] [--verbose]
+  pcmax trace FILE    [--eps F] [--engine seq|par|blockedN]
+                      [--strategy bisection|quarter|naryN] [--json]
   pcmax compare FILE
   pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]
   pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
+                      [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
-the paper's quarter split). `serve` answers line-protocol requests over
-TCP: `solve <m> <eps|-> <deadline_ms|-> <t1,t2,...>`, `stats`, `ping`.
-`bench-serve` drives an in-process server over loopback and reports
-latency and DP-cache statistics.";
+the paper's quarter split). `trace` solves with recording enabled and
+prints a span tree attributing wall time to search rounds, probes,
+rounding, and DP levels. `serve` answers line-protocol requests over
+TCP: `solve <m> <eps|-> <deadline_ms|-> <t1,t2,...>`, `stats` (JSON
+counters + latency histograms), `ping`. `bench-serve` drives an
+in-process server over loopback, reports latency and DP-cache
+statistics, and writes a machine-readable BENCH_serve.json.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -197,6 +204,51 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    // Flags may precede the instance path (`pcmax trace --eps 0.2 FILE`),
+    // so the positional is the first word that is neither a flag nor a
+    // flag's value.
+    let value_flags = ["--eps", "--epsilon", "--engine", "--strategy"];
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            path = Some(a);
+            i += 1;
+        }
+    }
+    let path = path.ok_or("trace needs an instance file")?;
+    let inst = load_instance(path)?;
+    let epsilon: f64 = match flag(args, "--eps").or_else(|| flag(args, "--epsilon")) {
+        Some(v) => v.parse().map_err(|_| format!("bad epsilon `{v}`"))?,
+        None => 0.3,
+    };
+    let engine = parse_engine(flag(args, "--engine").unwrap_or("par"))?;
+    let strategy = parse_strategy(flag(args, "--strategy").unwrap_or("bisection"))?;
+    let as_json = args.iter().any(|a| a == "--json");
+
+    pcmax::obs::set_enabled(true);
+    let start = Instant::now();
+    let res = Ptas::new(epsilon)
+        .with_engine(engine)
+        .with_strategy(strategy)
+        .solve(&inst);
+    let total_us = start.elapsed().as_micros() as u64;
+    res.schedule.validate(&inst)?;
+    let tree = pcmax::ptas::trace::solve_span(&res, total_us);
+    if as_json {
+        println!("{}", tree.to_json());
+    } else {
+        print!("{}", tree.render());
+    }
+    Ok(())
+}
+
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("compare needs an instance file")?;
     let inst = load_instance(path)?;
@@ -301,6 +353,8 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7077");
+    // A server wants its `stats` verb to carry real histograms.
+    pcmax::obs::set_enabled(true);
     let config = serve_config_from_flags(args)?;
     let workers = config.workers;
     let service = pcmax::Service::start(config);
@@ -324,10 +378,12 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let machines: usize = flag_parse(args, "--machines", 4)?;
     let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
     let deadline_ms: u64 = flag_parse(args, "--deadline-ms", 2000)?;
+    let out_path = flag(args, "--out").unwrap_or("BENCH_serve.json");
     if clients == 0 || requests == 0 || distinct == 0 {
         return Err("--clients, --requests, and --distinct must be positive".into());
     }
 
+    pcmax::obs::set_enabled(true);
     let config = serve_config_from_flags(args)?;
     let service = pcmax::Service::start(config);
     let handle =
@@ -395,6 +451,31 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         "service       {} accepted, {} completed, {} rejected",
         report.accepted, report.completed, report.rejected
     );
+
+    // Machine-readable result: client-side latency summary + the full
+    // server-side report (counters and histograms).
+    let mut w = pcmax::obs::JsonWriter::new();
+    w.begin_object()
+        .field_u64("clients", clients as u64)
+        .field_u64("requests", total as u64)
+        .field_u64("degraded", degraded as u64)
+        .key("latency_us")
+        .begin_object()
+        .field_u64("mean", mean.as_micros() as u64)
+        .field_u64("p50", pct(0.5).as_micros() as u64)
+        .field_u64("p90", pct(0.9).as_micros() as u64)
+        .field_u64("p99", pct(0.99).as_micros() as u64)
+        .field_u64("max", pct(1.0).as_micros() as u64)
+        .end_object()
+        .end_object();
+    let bench = w.finish();
+    let payload = format!(
+        "{{\"bench\":{bench},\"service\":{}}}\n",
+        report.to_json()
+    );
+    fs::write(out_path, payload).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("wrote {out_path}");
+
     handle.shutdown();
     service.shutdown();
     Ok(())

@@ -39,6 +39,7 @@
 //! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
+//! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
 
 pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, Schedule};
 pub use pcmax_core::{exact, gen, heuristics};
@@ -50,6 +51,7 @@ pub use exec_model::{self as model, CpuModel, DpWorkload, ModelTime};
 pub use gpu_sim::{self as sim, DeviceSpec, GpuSim, KernelDesc, SimReport};
 pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, Shape};
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
+pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
     self as serve, Client, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };

@@ -70,9 +70,11 @@ fn repeat_requests_warm_the_cache() {
     assert_eq!(warm.cache_misses, 0, "second solve must be all cache hits");
     assert!(warm.cache_hits > 0);
 
-    // The stats line exposes the same counters over the wire.
-    let stats = client.stats_line().expect("stats");
-    assert!(stats.contains("completed=2"), "{stats}");
+    // The stats verb exposes the same counters over the wire, as JSON.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"completed\":2"), "{stats}");
+    assert!(stats.contains("\"queue_wait_us\""), "{stats}");
+    assert!(stats.contains("\"solve_us\""), "{stats}");
 
     handle.shutdown();
     service.shutdown();
@@ -95,6 +97,65 @@ fn expired_deadline_yields_degraded_heuristic_not_error() {
     let report = service.report();
     assert_eq!(report.degraded, 1);
     assert_eq!(report.completed, 1);
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn deadline_flood_degrades_every_answer_and_counters_stay_consistent() {
+    // Recording stays on for the rest of the process — never flipped
+    // back off, so concurrent tests can't observe a half-toggled flag.
+    pcmax::obs::set_enabled(true);
+    let (service, addr, handle) = start_service(ServeConfig::default());
+
+    let threads: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for r in 0..5 {
+                    let inst = uniform(100 + c * 5 + r, 35, 4, 1, 80);
+                    // An already-expired deadline: the service must answer
+                    // with a degraded heuristic, never an error.
+                    let reply = client
+                        .solve(&inst, Some(0.3), Some(Duration::ZERO))
+                        .expect("degraded answers are still ok-replies");
+                    assert!(reply.degraded, "zero deadline must degrade");
+                    assert_eq!(reply.target, None, "heuristic answers carry no T*");
+                    let makespan = reply.schedule.validate(&inst).expect("valid schedule");
+                    assert_eq!(makespan, reply.makespan);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let report = service.report();
+    // Every request was admitted, answered, and degraded — none rejected.
+    assert_eq!(report.accepted, 20);
+    assert_eq!(report.completed, 20);
+    assert_eq!(report.degraded, 20);
+    assert_eq!(report.rejected, 0);
+    let rate = report.cache.hit_rate();
+    assert!((0.0..=1.0).contains(&rate), "hit rate {rate}");
+
+    // Histogram self-consistency: one queue-wait and one solve sample per
+    // completed request, one lateness sample per degraded answer, and the
+    // batch sizes must partition the completed requests.
+    let h = &report.histograms;
+    assert_eq!(h.queue_wait_us.count, report.completed);
+    assert_eq!(h.solve_us.count, report.completed);
+    assert_eq!(h.degraded_lateness_us.count, report.degraded);
+    assert_eq!(h.batch_size.sum, report.completed);
+    assert!(h.batch_size.count >= 1 && h.batch_size.count <= report.completed);
+    for hist in [&h.queue_wait_us, &h.solve_us, &h.batch_size] {
+        let bucket_total: u64 = hist.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, hist.count, "buckets must partition the samples");
+        assert!(hist.min <= hist.max);
+        assert!(hist.sum >= hist.min.saturating_mul(hist.count.min(1)));
+    }
 
     handle.shutdown();
     service.shutdown();
