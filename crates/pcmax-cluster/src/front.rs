@@ -1,35 +1,38 @@
-//! Thin TCP front-end over [`Service`], speaking [`crate::proto`].
+//! TCP front-end over a [`Coordinator`], speaking the same line
+//! protocol as `pcmax serve` — a cluster is a drop-in replacement for a
+//! single worker from the client's point of view.
 //!
-//! `std::net` only — one accept thread plus one thread per connection.
-//! The service itself does the queueing and load-shedding, so connection
-//! threads are mostly parked in `recv` waiting for their responses.
+//! `std::net` only, mirroring `pcmax_serve::tcp`: one accept thread plus
+//! one detached thread per connection. `stats` answers with the
+//! aggregated [`crate::ClusterReport`] JSON instead of a single
+//! service's report.
 
-use crate::proto::{self, Request};
-use crate::service::Service;
+use crate::coordinator::Coordinator;
+use pcmax_serve::proto::{self, Request};
+use pcmax_serve::HealthReply;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A running TCP front-end. Dropping it does NOT stop the listener; call
-/// [`TcpHandle::shutdown`].
-pub struct TcpHandle {
+/// A running cluster front-end. Dropping it does NOT stop the listener;
+/// call [`ClusterTcpHandle::shutdown`].
+pub struct ClusterTcpHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
-impl TcpHandle {
+impl ClusterTcpHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept thread. Already
-    /// established connections finish their in-flight request and then
-    /// fail on the next one (the service behind them keeps running until
-    /// its own shutdown).
+    /// Stops accepting connections and joins the accept thread.
+    /// Established connections finish their in-flight request and then
+    /// fail on the next one.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -41,42 +44,41 @@ impl TcpHandle {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
-/// requests against `service` until [`TcpHandle::shutdown`].
-pub fn serve_tcp(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<TcpHandle> {
+/// the line protocol against `coordinator` until
+/// [`ClusterTcpHandle::shutdown`].
+pub fn serve_cluster_tcp(
+    coordinator: Arc<Coordinator>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ClusterTcpHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
-        .name("pcmax-serve-accept".into())
+        .name("pcmax-cluster-accept".into())
         .spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                // A hung or vanished peer must never wedge a connection
-                // thread: every stream gets the configured read/write
-                // timeout, after which the thread drops the connection.
-                let timeout = service.config().io_timeout;
+                let timeout = Some(coordinator.config().io_timeout);
                 let _ = stream.set_read_timeout(timeout);
                 let _ = stream.set_write_timeout(timeout);
-                let svc = Arc::clone(&service);
-                // Connection threads are detached: they exit when the
-                // peer closes its end of the stream.
+                let coord = Arc::clone(&coordinator);
                 let _ = std::thread::Builder::new()
-                    .name("pcmax-serve-conn".into())
-                    .spawn(move || handle_connection(svc, stream));
+                    .name("pcmax-cluster-conn".into())
+                    .spawn(move || handle_connection(coord, stream));
             }
         })?;
-    Ok(TcpHandle {
+    Ok(ClusterTcpHandle {
         local_addr,
         stop,
         accept_thread: Some(accept_thread),
     })
 }
 
-fn handle_connection(service: Arc<Service>, stream: TcpStream) {
+fn handle_connection(coordinator: Arc<Coordinator>, stream: TcpStream) {
     let Ok(peer) = stream.try_clone() else { return };
     let reader = BufReader::new(stream);
     let mut writer = BufWriter::new(peer);
@@ -87,10 +89,16 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
         }
         let reply = match proto::parse_request(&line) {
             Ok(Request::Ping) => "pong".to_string(),
-            Ok(Request::Stats) => proto::format_stats(&service.report()),
-            Ok(Request::Health) => proto::format_health(&service.health()),
-            Ok(Request::Solve(req)) => match service.solve_blocking(req) {
-                Ok(response) => proto::format_response(&response),
+            Ok(Request::Stats) => format!("stats {}", coordinator.report().to_json()),
+            Ok(Request::Health) => proto::format_health(&HealthReply {
+                uptime_us: coordinator.uptime().as_micros() as u64,
+                // The coordinator holds no queue or cache of its own;
+                // those live in the workers (see `stats`).
+                queue_depth: 0,
+                cache_entries: 0,
+            }),
+            Ok(Request::Solve(req)) => match coordinator.solve(req) {
+                Ok(reply) => proto::format_response(&reply.response),
                 Err(e) => proto::format_error(&e.to_string()),
             },
             Err(e) => proto::format_error(&e),

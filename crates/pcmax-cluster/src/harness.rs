@@ -1,0 +1,117 @@
+//! In-process multi-worker harness: spins up N real [`Service`]s behind
+//! real loopback TCP front-ends and a [`Coordinator`] routing over them.
+//! Everything runs in one process, so integration tests (and
+//! `pcmax bench-cluster`) can kill workers mid-load and inspect each
+//! worker's service directly.
+
+use crate::coordinator::{ClusterConfig, Coordinator};
+use pcmax_serve::{serve_tcp, ServeConfig, Service, TcpHandle};
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+struct LocalWorker {
+    id: String,
+    addr: SocketAddr,
+    // Behind mutexes so `kill` works through a shared reference.
+    service: Mutex<Option<Arc<Service>>>,
+    tcp: Mutex<Option<TcpHandle>>,
+}
+
+/// N loopback `pcmax-serve` workers plus a coordinator routing over
+/// them. Dropping the harness kills the workers and shuts the
+/// coordinator down.
+pub struct LocalCluster {
+    workers: Vec<LocalWorker>,
+    coordinator: Arc<Coordinator>,
+}
+
+impl LocalCluster {
+    /// Starts `n` workers (ids `worker-0` … `worker-{n-1}`), each its
+    /// own [`Service`] with `serve_config` on an ephemeral loopback
+    /// port, registers them, and starts the heartbeat.
+    pub fn start(
+        n: usize,
+        serve_config: ServeConfig,
+        cluster_config: ClusterConfig,
+    ) -> std::io::Result<Self> {
+        assert!(n > 0, "a cluster needs at least one worker");
+        let coordinator = Coordinator::new(cluster_config);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let service = Service::start(serve_config.clone());
+            let tcp = serve_tcp(Arc::clone(&service), "127.0.0.1:0")?;
+            let addr = tcp.local_addr();
+            let id = format!("worker-{i}");
+            coordinator.add_worker(&id, addr);
+            workers.push(LocalWorker {
+                id,
+                addr,
+                service: Mutex::new(Some(service)),
+                tcp: Mutex::new(Some(tcp)),
+            });
+        }
+        coordinator.start_heartbeat();
+        Ok(Self { workers, coordinator })
+    }
+
+    /// The routing coordinator.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    /// Number of workers the harness started (killed ones included).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the harness has no workers (never true — `start`
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Worker ids, in start order.
+    pub fn ids(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.id.clone()).collect()
+    }
+
+    /// The TCP address worker `i` listens (or listened) on.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.workers[i].addr
+    }
+
+    /// Worker `i`'s in-process service, for white-box inspection
+    /// (cache sizes, reports). `None` once killed.
+    pub fn service(&self, i: usize) -> Option<Arc<Service>> {
+        self.workers[i].service.lock().expect("service poisoned").clone()
+    }
+
+    /// Index of the worker with `id`, if the harness started one.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.workers.iter().position(|w| w.id == id)
+    }
+
+    /// Kills worker `i`: stops its TCP front-end and shuts its service
+    /// down. The worker stays *registered* — the coordinator discovers
+    /// the death through transport errors and heartbeats, exactly as it
+    /// would a remote crash. Idempotent.
+    pub fn kill(&self, i: usize) {
+        let tcp = self.workers[i].tcp.lock().expect("tcp poisoned").take();
+        if let Some(handle) = tcp {
+            handle.shutdown();
+        }
+        let service = self.workers[i].service.lock().expect("service poisoned").take();
+        if let Some(service) = service {
+            service.shutdown();
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for i in 0..self.workers.len() {
+            self.kill(i);
+        }
+        self.coordinator.shutdown();
+    }
+}

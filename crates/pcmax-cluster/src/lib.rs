@@ -1,0 +1,41 @@
+//! Sharded multi-worker serving for `P||Cmax`.
+//!
+//! A [`Coordinator`] fronts N `pcmax-serve` workers over the existing
+//! TCP line protocol and gives the fleet three properties a single
+//! worker cannot:
+//!
+//! * **Cache-affinity routing** — requests are canonicalised to a
+//!   [`RouteKey`] (sorted, gcd-normalised times + `k = ⌈1/ε⌉`, mirroring
+//!   the DP cache key one level up) and sharded by rendezvous hashing,
+//!   so equivalent instances always land on the same worker and hit its
+//!   warm DP cache. See [`ring`].
+//! * **Health-checked lifecycle** — workers join and leave at runtime;
+//!   a background heartbeat polls the `health` verb and marks a worker
+//!   down after `max_missed_beats` consecutive misses, up again on any
+//!   success. Rendezvous hashing makes membership changes minimally
+//!   disruptive: only the affected worker's keys remap.
+//! * **Failover, never an error** — each request walks the degradation
+//!   ladder *route → bounded retry (backoff + jitter) → failover to the
+//!   next ring node → local LPT/MULTIFIT*. The bottom rung is an
+//!   in-process heuristic, so a solvable instance always returns a valid
+//!   schedule; transport problems are absorbed, not surfaced.
+//!
+//! [`serve_cluster_tcp`] exposes the coordinator over the same line
+//! protocol the workers speak (`stats` answers with the aggregated
+//! [`ClusterReport`]), making a cluster a drop-in replacement for a
+//! single `pcmax serve`. [`LocalCluster`] spins the whole topology up
+//! in one process for tests and benchmarks.
+
+pub mod coordinator;
+pub mod front;
+pub mod harness;
+pub mod ring;
+pub mod stats;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, ClusterError, ClusterReply, Coordinator};
+pub use front::{serve_cluster_tcp, ClusterTcpHandle};
+pub use harness::LocalCluster;
+pub use ring::{rank_ids, rendezvous_score, worker_seed, RouteKey};
+pub use stats::{ClusterReport, ClusterStats, WorkerReport};
+pub use worker::{WorkerCounters, WorkerNode, WorkerState};

@@ -1,0 +1,185 @@
+//! Rendezvous (highest-random-weight) routing and the request-level
+//! canonical route key.
+//!
+//! Rendezvous hashing scores every worker against the key and routes to
+//! the highest score. Two properties make it the right ring for a
+//! cache-affine cluster:
+//!
+//! * **order independence** — the score of a worker depends only on
+//!   `(worker, key)`, never on the rest of the membership, so the
+//!   ranking is identical no matter how the worker set is enumerated;
+//! * **minimal disruption** — removing a worker changes the winner only
+//!   for keys that worker was winning; every other key keeps its route
+//!   (and its warm DP cache). Adding a worker steals only the keys it
+//!   now wins. There is no token ring to re-balance.
+//!
+//! The route key mirrors [`pcmax_ptas::DpProblem::canonical_key`] one
+//! level up, at the request: processing times are sorted and divided by
+//! their gcd, and the rounding parameter `k = ⌈1/ε⌉` is appended. Two
+//! requests whose DP probes would collapse to the same cache keys —
+//! permutations and gcd-scalings of one another at the same ε — thus
+//! produce the same [`RouteKey`] and land on the same worker, where the
+//! second one finds the first one's cache entries. The machine count is
+//! deliberately excluded: cached DP values are `OPT(N)` and therefore
+//! machine-count independent, so requests differing only in `m` also
+//! share a worker.
+
+use pcmax_core::Instance;
+
+/// The canonical routing key of a solve request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouteKey {
+    /// Processing times, sorted and divided by their gcd.
+    norm_times: Vec<u64>,
+    /// Rounding parameter `k = ⌈1/ε⌉`.
+    k: u64,
+    /// FNV-1a digest of the above, the value the ring actually hashes.
+    hash: u64,
+}
+
+impl RouteKey {
+    /// Canonicalises `inst` under rounding parameter `k`.
+    pub fn of(inst: &Instance, k: u64) -> Self {
+        let mut norm_times = inst.times().to_vec();
+        norm_times.sort_unstable();
+        let g = norm_times.iter().fold(0u64, |acc, &t| gcd(acc, t)).max(1);
+        for t in &mut norm_times {
+            *t /= g;
+        }
+        let mut hash = FNV_OFFSET;
+        hash = fnv_u64(hash, k);
+        hash = fnv_u64(hash, norm_times.len() as u64);
+        for &t in &norm_times {
+            hash = fnv_u64(hash, t);
+        }
+        Self { norm_times, k, hash }
+    }
+
+    /// The gcd-normalised, sorted processing times.
+    pub fn norm_times(&self) -> &[u64] {
+        &self.norm_times
+    }
+
+    /// The rounding parameter.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The 64-bit digest the ring routes on.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_u64(mut hash: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv_str(s: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// splitmix64 finalising mix — full-avalanche, so one bit of key or
+/// worker difference flips ~half the score bits.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A worker's routing seed: a stable digest of its identifier.
+pub fn worker_seed(id: &str) -> u64 {
+    fnv_str(id)
+}
+
+/// The rendezvous score of one `(worker, key)` pair. Depends on nothing
+/// else — the source of both ring properties above.
+pub fn rendezvous_score(worker_seed: u64, key_hash: u64) -> u64 {
+    mix(worker_seed ^ mix(key_hash))
+}
+
+/// Ranks worker ids for `key_hash`, best first. Ties (astronomically
+/// unlikely 64-bit score collisions) break by id, so the ranking is a
+/// pure function of the *set* of ids.
+pub fn rank_ids<'a>(ids: &[&'a str], key_hash: u64) -> Vec<&'a str> {
+    let mut ranked: Vec<&str> = ids.to_vec();
+    ranked.sort_by_key(|id| (std::cmp::Reverse(rendezvous_score(worker_seed(id), key_hash)), *id));
+    ranked.dedup();
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_key_ignores_permutation_and_scale() {
+        let a = RouteKey::of(&Instance::new(vec![6, 10, 4], 3), 4);
+        let b = RouteKey::of(&Instance::new(vec![10, 4, 6], 3), 4);
+        let c = RouteKey::of(&Instance::new(vec![30, 12, 18], 3), 4);
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), c.hash64());
+        assert_eq!(a.norm_times(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn route_key_distinguishes_k_and_times() {
+        let base = RouteKey::of(&Instance::new(vec![6, 10, 4], 3), 4);
+        assert_ne!(base, RouteKey::of(&Instance::new(vec![6, 10, 4], 3), 5));
+        assert_ne!(base, RouteKey::of(&Instance::new(vec![6, 10, 5], 3), 4));
+    }
+
+    #[test]
+    fn route_key_ignores_machine_count() {
+        // Cached DP values are machine-count independent, so routing is too.
+        let a = RouteKey::of(&Instance::new(vec![6, 10, 4], 2), 4);
+        let b = RouteKey::of(&Instance::new(vec![6, 10, 4], 7), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranking_covers_all_workers_exactly_once() {
+        let ids = ["a", "b", "c", "d"];
+        let ranked = rank_ids(&ids, 12345);
+        assert_eq!(ranked.len(), 4);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn keys_spread_over_workers() {
+        // Not a uniformity proof — just a sanity check that no worker is
+        // starved across 1000 consecutive key hashes.
+        let ids = ["w0", "w1", "w2", "w3"];
+        let mut counts = [0usize; 4];
+        for key in 0u64..1000 {
+            let winner = rank_ids(&ids, mix(key))[0];
+            let idx = ids.iter().position(|&i| i == winner).unwrap();
+            counts[idx] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "worker {i} got only {c}/1000 keys: {counts:?}");
+        }
+    }
+}

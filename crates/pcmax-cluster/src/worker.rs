@@ -1,0 +1,89 @@
+//! One registered worker: address, health state, pooled connection, and
+//! per-worker counters.
+
+use crate::ring::worker_seed;
+use pcmax_obs::{Counter, Histogram};
+use pcmax_serve::Client;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+/// Health state of a worker, driven by heartbeats and by transport
+/// failures observed on the solve path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerState {
+    /// Whether the ring currently routes to this worker.
+    pub up: bool,
+    /// Consecutive missed heartbeats / transport failures. Reset to 0 by
+    /// any successful round-trip.
+    pub missed_beats: u32,
+}
+
+/// Per-worker counters, aggregated into the cluster report.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Solve attempts routed at this worker (including retries).
+    pub attempts: Counter,
+    /// Requests this worker answered with an `ok` line.
+    pub ok: Counter,
+    /// Server `err` lines (overloaded, shutting down, …).
+    pub server_errors: Counter,
+    /// Transport failures (connect/send/recv) against this worker.
+    pub transport_errors: Counter,
+    /// Requests this worker served after a failover from a
+    /// higher-ranked worker.
+    pub failover_serves: Counter,
+    /// End-to-end coordinator-side latency of requests this worker
+    /// served, in µs (recorded only while `pcmax_obs` is enabled).
+    pub latency_us: Histogram,
+}
+
+/// A registered worker node.
+pub struct WorkerNode {
+    /// Operator-facing identifier (also the rendezvous identity).
+    pub id: String,
+    /// The worker's `pcmax serve` TCP endpoint.
+    pub addr: SocketAddr,
+    /// Rendezvous seed, derived from `id` once at registration.
+    pub seed: u64,
+    /// Health state (heartbeat- and solve-path-driven).
+    pub state: Mutex<WorkerState>,
+    /// Pooled line-protocol connection. One in-flight request at a time
+    /// (the protocol is strict request/response); concurrent requests to
+    /// the same worker serialise on this mutex. `None` until first use
+    /// and after any transport failure.
+    pub conn: Mutex<Option<Client>>,
+    /// Telemetry.
+    pub counters: WorkerCounters,
+}
+
+impl WorkerNode {
+    /// A freshly registered worker, assumed up until proven otherwise.
+    pub fn new(id: &str, addr: SocketAddr) -> Self {
+        Self {
+            id: id.to_string(),
+            addr,
+            seed: worker_seed(id),
+            state: Mutex::new(WorkerState {
+                up: true,
+                missed_beats: 0,
+            }),
+            conn: Mutex::new(None),
+            counters: WorkerCounters::default(),
+        }
+    }
+
+    /// Whether the ring currently routes to this worker.
+    pub fn is_up(&self) -> bool {
+        self.state.lock().expect("worker state poisoned").up
+    }
+
+    /// Snapshot of the health state.
+    pub fn state(&self) -> WorkerState {
+        *self.state.lock().expect("worker state poisoned")
+    }
+
+    /// Drops the pooled connection (after a transport failure).
+    pub fn drop_conn(&self) {
+        *self.conn.lock().expect("worker conn poisoned") = None;
+    }
+}

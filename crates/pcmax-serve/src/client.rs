@@ -2,11 +2,35 @@
 
 use crate::proto::{self, OkReply};
 use crate::service::SolveRequest;
-use crate::stats::EngineUsed;
+use crate::stats::{EngineUsed, HealthReply};
 use pcmax_core::{Instance, Schedule};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Why a request failed, split the way a router needs it: transport
+/// failures mean the *worker* is suspect (fail over), server `err`
+/// lines mean the *request* was answered — just negatively (retry or
+/// propagate, the connection is still good).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The TCP transport failed (connect, send, recv, or a
+    /// protocol-garbage reply). The connection is unusable.
+    Transport(String),
+    /// The server answered with an `err` line (overloaded, invalid,
+    /// shutting down). The connection keeps working.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(msg) | ClientError::Server(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
 
 /// One solved request, client-side.
 #[derive(Debug, Clone)]
@@ -41,7 +65,21 @@ pub struct Client {
 impl Client {
     /// Connects to a running [`crate::serve_tcp`] endpoint.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on the TCP handshake, and applies the same
+    /// bound as the initial read/write timeout — so a dead or hung peer
+    /// costs at most `timeout`, never a wedged thread. The cluster
+    /// router's connect path.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         let peer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
@@ -49,16 +87,27 @@ impl Client {
         })
     }
 
-    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
-        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+    /// Sets (or clears) the read/write timeout on the underlying stream.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, ClientError> {
+        let transport = |stage: &str| {
+            let stage = stage.to_string();
+            move |e: std::io::Error| ClientError::Transport(format!("{stage}: {e}"))
+        };
+        writeln!(self.writer, "{line}").map_err(transport("send"))?;
+        self.writer.flush().map_err(transport("send"))?;
         let mut reply = String::new();
         let n = self
             .reader
             .read_line(&mut reply)
-            .map_err(|e| format!("recv: {e}"))?;
+            .map_err(transport("recv"))?;
         if n == 0 {
-            return Err("server closed the connection".into());
+            return Err(ClientError::Transport("server closed the connection".into()));
         }
         Ok(reply.trim_end().to_string())
     }
@@ -71,19 +120,36 @@ impl Client {
         epsilon: Option<f64>,
         deadline: Option<Duration>,
     ) -> Result<ClientReply, String> {
+        self.solve_detailed(inst, epsilon, deadline)
+            .map_err(|e| e.to_string())
+    }
+
+    /// [`Client::solve`] with the failure mode preserved: transport
+    /// errors (fail over to another worker) vs server `err` lines
+    /// (the connection still works).
+    pub fn solve_detailed(
+        &mut self,
+        inst: &Instance,
+        epsilon: Option<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<ClientReply, ClientError> {
         let line = proto::format_solve_request(&SolveRequest {
             instance: inst.clone(),
             epsilon,
             deadline,
         });
         let reply_line = self.roundtrip(&line)?;
-        let reply: OkReply = proto::parse_response(&reply_line)?;
+        let reply: OkReply = match proto::parse_response(&reply_line) {
+            Ok(reply) => reply,
+            Err(msg) if reply_line.starts_with("err") => return Err(ClientError::Server(msg)),
+            Err(msg) => return Err(ClientError::Transport(format!("protocol: {msg}"))),
+        };
         if reply.assignment.len() != inst.num_jobs() {
-            return Err(format!(
-                "assignment covers {} jobs, instance has {}",
+            return Err(ClientError::Transport(format!(
+                "protocol: assignment covers {} jobs, instance has {}",
                 reply.assignment.len(),
                 inst.num_jobs()
-            ));
+            )));
         }
         Ok(ClientReply {
             makespan: reply.makespan,
@@ -100,15 +166,25 @@ impl Client {
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), String> {
-        match self.roundtrip("ping")?.as_str() {
+        match self.roundtrip("ping").map_err(|e| e.to_string())?.as_str() {
             "pong" => Ok(()),
             other => Err(format!("unexpected ping reply `{other}`")),
         }
     }
 
+    /// Liveness/load snapshot — the cluster heartbeat's round-trip.
+    pub fn health(&mut self) -> Result<HealthReply, ClientError> {
+        let line = self.roundtrip("health")?;
+        match proto::parse_health_response(&line) {
+            Ok(reply) => Ok(reply),
+            Err(msg) if line.starts_with("err") => Err(ClientError::Server(msg)),
+            Err(msg) => Err(ClientError::Transport(format!("protocol: {msg}"))),
+        }
+    }
+
     /// Raw `stats …` line from the server.
     pub fn stats_line(&mut self) -> Result<String, String> {
-        let line = self.roundtrip("stats")?;
+        let line = self.roundtrip("stats").map_err(|e| e.to_string())?;
         if line.starts_with("stats ") {
             Ok(line)
         } else {

@@ -28,10 +28,13 @@ pub mod stats;
 pub mod tcp;
 
 pub use cache::ShardedCache;
-pub use client::{Client, ClientReply};
+pub use client::{Client, ClientError, ClientReply};
 pub use service::{
     heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };
 pub use solver::{solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
-pub use stats::{CacheReport, EngineUsed, RequestStats, ServeHistograms, ServeMetrics, ServiceReport};
+pub use stats::{
+    CacheReport, EngineUsed, HealthReply, RequestStats, ServeHistograms, ServeMetrics,
+    ServiceReport,
+};
 pub use tcp::{serve_tcp, TcpHandle};

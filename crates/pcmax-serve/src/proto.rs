@@ -9,6 +9,7 @@
 //! ```text
 //! solve <machines> <eps|-> <deadline_ms|-> <t1,t2,...,tn>
 //! stats
+//! health
 //! ping
 //! ```
 //!
@@ -19,7 +20,12 @@
 //! err <message>
 //! pong
 //! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
+//! health <uptime_us> <queue_depth> <cache_entries>
 //! ```
+//!
+//! `health` is the heartbeat the cluster coordinator polls: cheap
+//! (three counter reads, no queueing) and answered even when the solve
+//! queue is saturated.
 //!
 //! The `stats` payload is one JSON object (see
 //! [`ServiceReport::to_json`]); histograms carry non-zero data only
@@ -28,7 +34,7 @@
 //! where `a_j` is the machine index job `j` is assigned to.
 
 use crate::service::{SolveRequest, SolveResponse};
-use crate::stats::{EngineUsed, ServiceReport};
+use crate::stats::{EngineUsed, HealthReply, ServiceReport};
 use pcmax_core::Instance;
 use std::time::Duration;
 
@@ -39,6 +45,8 @@ pub enum Request {
     Solve(SolveRequest),
     /// Snapshot the service counters.
     Stats,
+    /// Liveness/load snapshot (the cluster heartbeat).
+    Health,
     /// Liveness check.
     Ping,
 }
@@ -83,6 +91,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }))
         }
         Some("stats") => Ok(Request::Stats),
+        Some("health") => Ok(Request::Health),
         Some("ping") => Ok(Request::Ping),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("empty request".into()),
@@ -130,6 +139,51 @@ pub fn format_error(message: &str) -> String {
 /// Formats the `stats {json}` line.
 pub fn format_stats(report: &ServiceReport) -> String {
     format!("stats {}", report.to_json())
+}
+
+/// Formats the `health …` line.
+pub fn format_health(health: &HealthReply) -> String {
+    format!(
+        "health {} {} {}",
+        health.uptime_us, health.queue_depth, health.cache_entries
+    )
+}
+
+/// Parses a `health …` line into `Ok(reply)`, or the server's `Err`
+/// text for `err` lines (an old server answers `health` with
+/// `err unknown command`).
+pub fn parse_health_response(line: &str) -> Result<HealthReply, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("health") => {
+            let mut field = |name: &str| {
+                words
+                    .next()
+                    .ok_or(format!("missing field {name}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {name}: {e}"))
+            };
+            let reply = HealthReply {
+                uptime_us: field("uptime_us")?,
+                queue_depth: field("queue_depth")?,
+                cache_entries: field("cache_entries")?,
+            };
+            if words.next().is_some() {
+                return Err("trailing fields after health reply".into());
+            }
+            Ok(reply)
+        }
+        Some("err") => {
+            let rest = line.trim_start()[3..].trim_start();
+            Err(if rest.is_empty() {
+                "unspecified server error".to_string()
+            } else {
+                rest.to_string()
+            })
+        }
+        Some(other) => Err(format!("unexpected health reply `{other}`")),
+        None => Err("empty health reply".into()),
+    }
 }
 
 /// A parsed `ok …` line, as the client sees it.
@@ -351,6 +405,44 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn health_request_parses() {
+        assert!(matches!(parse_request("health").unwrap(), Request::Health));
+    }
+
+    #[test]
+    fn health_response_roundtrips() {
+        let reply = HealthReply {
+            uptime_us: 1_234_567,
+            queue_depth: 3,
+            cache_entries: 42,
+        };
+        let line = format_health(&reply);
+        assert_eq!(line, "health 1234567 3 42");
+        assert_eq!(parse_health_response(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn malformed_health_responses_are_rejected() {
+        for bad in [
+            "",
+            "health",
+            "health 1",
+            "health 1 2",
+            "health 1 2 x",
+            "health 1 2 3 4",
+            "pong",
+        ] {
+            assert!(
+                parse_health_response(bad).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+        // err lines surface the server's message, like solve replies.
+        let err = parse_health_response("err unknown command `health`").unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
     }
 
     #[test]

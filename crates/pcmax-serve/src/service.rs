@@ -11,7 +11,7 @@
 //! degrades to the better of LPT and MULTIFIT and the response says so.
 
 use crate::solver::{solve_cached, Degrade, DpCache};
-use crate::stats::{EngineUsed, RequestStats, ServeMetrics, ServiceReport};
+use crate::stats::{EngineUsed, HealthReply, RequestStats, ServeMetrics, ServiceReport};
 use pcmax_core::heuristics::{lpt, multifit};
 use pcmax_core::{Instance, Schedule};
 use pcmax_ptas::DpEngine;
@@ -47,6 +47,11 @@ pub struct ServeConfig {
     /// Largest DP table (in cells) a probe may allocate before the
     /// request degrades to a heuristic.
     pub max_table_cells: usize,
+    /// Read/write timeout applied to every TCP stream the front-end
+    /// accepts, so a hung peer can never wedge a connection thread.
+    /// `None` disables the timeout (streams block forever, the
+    /// pre-cluster behaviour).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +66,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 128,
             max_table_cells: 10_000_000,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -180,6 +186,11 @@ impl Queue {
         }
     }
 
+    /// Jobs currently queued (admitted but not yet picked up).
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
     /// Closes the queue and drops every still-queued job. Dropping a job
     /// drops its reply sender, which fails the submitter's
     /// `PendingSolve::recv` with `ShuttingDown` instead of hanging it.
@@ -240,6 +251,7 @@ pub struct Service {
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
 }
 
 impl Service {
@@ -284,6 +296,7 @@ impl Service {
             counters,
             metrics,
             workers: Mutex::new(handles),
+            started: Instant::now(),
         })
     }
 
@@ -342,6 +355,31 @@ impl Service {
     /// The shared DP cache (exposed for tests and diagnostics).
     pub fn cache(&self) -> &DpCache {
         &self.cache
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Jobs currently admitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Time since [`Service::start`].
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Liveness snapshot — the payload of the protocol's `health` verb
+    /// (and of the cluster coordinator's heartbeat).
+    pub fn health(&self) -> HealthReply {
+        HealthReply {
+            uptime_us: self.uptime().as_micros() as u64,
+            queue_depth: self.queue_depth() as u64,
+            cache_entries: self.cache.len() as u64,
+        }
     }
 
     /// Closes the queue and joins the workers. Queued-but-unsolved

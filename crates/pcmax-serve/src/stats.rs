@@ -60,6 +60,20 @@ pub struct RequestStats {
     pub engine: EngineUsed,
 }
 
+/// Liveness snapshot answered by the protocol's `health` verb. The
+/// cluster coordinator's heartbeat consumes exactly these three fields:
+/// uptime proves the process restarted or not, queue depth is the
+/// load signal, and cache residency is the affinity signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// Microseconds since the service started.
+    pub uptime_us: u64,
+    /// Jobs admitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Entries resident in the DP cache across all shards.
+    pub cache_entries: u64,
+}
+
 /// Aggregate state of the sharded DP cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheReport {

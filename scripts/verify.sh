@@ -7,3 +7,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Cluster smoke: a tiny sharded-serving workload through the real
+# coordinator + loopback workers, with a mid-load kill to exercise
+# failover. Fails if any request errors or the JSON report is missing.
+./target/release/pcmax bench-cluster \
+  --workers 2 --clients 2 --requests 4 --distinct 2 \
+  --jobs 16 --machines 3 --kill-after 3 \
+  --out target/BENCH_cluster_smoke.json
+test -s target/BENCH_cluster_smoke.json

@@ -10,12 +10,15 @@
 //! Instance file format: first line is the machine count, the remaining
 //! whitespace-separated integers are processing times.
 
+use pcmax::cluster::{serve_cluster_tcp, LocalCluster};
 use pcmax::gpu::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig};
 use pcmax::heuristics::{list_schedule, local_search, lpt, multifit};
 use pcmax::prelude::*;
 use pcmax::serve::{serve_tcp, Client};
+use pcmax::ClusterConfig;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,6 +37,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
         "bench-serve" => cmd_bench_serve(rest),
+        "cluster" => cmd_cluster(rest),
+        "bench-cluster" => cmd_bench_cluster(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,15 +70,26 @@ USAGE:
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--out FILE]
+  pcmax cluster       [--workers N] [--addr HOST:PORT] [--threads N]
+                      [--queue N] [--deadline-ms N] [--epsilon F]
+                      [--heartbeat-ms N] [--max-missed N] [--retries N]
+  pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
+                      [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
+                      [--kill-after N] [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
 prints a span tree attributing wall time to search rounds, probes,
 rounding, and DP levels. `serve` answers line-protocol requests over
 TCP: `solve <m> <eps|-> <deadline_ms|-> <t1,t2,...>`, `stats` (JSON
-counters + latency histograms), `ping`. `bench-serve` drives an
-in-process server over loopback, reports latency and DP-cache
-statistics, and writes a machine-readable BENCH_serve.json.";
+counters + latency histograms), `health`, `ping`. `bench-serve` drives
+an in-process server over loopback, reports latency and DP-cache
+statistics, and writes a machine-readable BENCH_serve.json. `cluster`
+starts N in-process workers behind a cache-affinity routing coordinator
+speaking the same protocol (`stats` answers with the aggregated cluster
+report). `bench-cluster` drives a cluster over loopback — optionally
+killing a worker after `--kill-after` requests to exercise failover —
+and writes BENCH_cluster.json.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -368,6 +384,200 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+fn cluster_config_from_flags(args: &[String]) -> Result<ClusterConfig, String> {
+    let defaults = ClusterConfig::default();
+    Ok(ClusterConfig {
+        heartbeat_interval: Duration::from_millis(flag_parse(
+            args,
+            "--heartbeat-ms",
+            defaults.heartbeat_interval.as_millis() as u64,
+        )?),
+        max_missed_beats: flag_parse(args, "--max-missed", defaults.max_missed_beats)?,
+        retries_per_worker: flag_parse(args, "--retries", defaults.retries_per_worker)?,
+        default_epsilon: flag_parse(args, "--epsilon", defaults.default_epsilon)?,
+        default_deadline: Duration::from_millis(flag_parse(
+            args,
+            "--deadline-ms",
+            defaults.default_deadline.as_millis() as u64,
+        )?),
+        ..defaults
+    })
+}
+
+/// The per-worker [`ServeConfig`] for cluster commands. `--workers`
+/// means cluster nodes here, so the per-node solver thread count moves
+/// to `--threads`.
+fn cluster_serve_config(args: &[String]) -> Result<pcmax::ServeConfig, String> {
+    let mut config = serve_config_from_flags(args)?;
+    config.workers = flag_parse(args, "--threads", pcmax::ServeConfig::default().workers)?;
+    Ok(config)
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let nodes: usize = flag_parse(args, "--workers", 3)?;
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7078");
+    if nodes == 0 {
+        return Err("--workers must be positive".into());
+    }
+    // The aggregated `stats` verb wants real histograms and timelines.
+    pcmax::obs::set_enabled(true);
+    let cluster = LocalCluster::start(nodes, cluster_serve_config(args)?, cluster_config_from_flags(args)?)
+        .map_err(|e| format!("starting workers: {e}"))?;
+    let handle = serve_cluster_tcp(Arc::clone(cluster.coordinator()), addr)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "pcmax-cluster listening on {} routing over {} workers ({}); same protocol as `pcmax serve`",
+        handle.local_addr(),
+        nodes,
+        cluster.ids().join(", "),
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_bench_cluster(args: &[String]) -> Result<(), String> {
+    let nodes: usize = flag_parse(args, "--workers", 3)?;
+    let clients: usize = flag_parse(args, "--clients", 4)?;
+    let requests: usize = flag_parse(args, "--requests", 16)?;
+    let distinct: u64 = flag_parse(args, "--distinct", 4)?;
+    let jobs: usize = flag_parse(args, "--jobs", 30)?;
+    let machines: usize = flag_parse(args, "--machines", 4)?;
+    let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
+    let deadline_ms: u64 = flag_parse(args, "--deadline-ms", 2000)?;
+    let kill_after: usize = flag_parse(args, "--kill-after", 0)?;
+    let out_path = flag(args, "--out").unwrap_or("BENCH_cluster.json");
+    if nodes == 0 || clients == 0 || requests == 0 || distinct == 0 {
+        return Err("--workers, --clients, --requests, and --distinct must be positive".into());
+    }
+
+    pcmax::obs::set_enabled(true);
+    let cluster = Arc::new(
+        LocalCluster::start(nodes, cluster_serve_config(args)?, cluster_config_from_flags(args)?)
+            .map_err(|e| format!("starting workers: {e}"))?,
+    );
+    let handle = serve_cluster_tcp(Arc::clone(cluster.coordinator()), "127.0.0.1:0")
+        .map_err(|e| format!("binding: {e}"))?;
+    let addr = handle.local_addr();
+    eprintln!(
+        "bench: {clients} clients x {requests} requests over {distinct} distinct instances \
+         ({jobs} jobs, {machines} machines) against {addr} ({nodes} workers{})",
+        if kill_after > 0 {
+            format!(", killing worker-0 after {kill_after} requests")
+        } else {
+            String::new()
+        }
+    );
+
+    // Every completed request bumps this; the client thread that
+    // finishes request number `--kill-after` kills worker 0 inline, so
+    // the kill deterministically lands mid-load with requests left.
+    let completed = Arc::new(AtomicUsize::new(0));
+    let worker = {
+        let completed = Arc::clone(&completed);
+        let cluster = Arc::clone(&cluster);
+        move |client_id: usize| -> Result<Vec<(Duration, bool)>, String> {
+            let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let mut samples = Vec::with_capacity(requests);
+            for r in 0..requests {
+                // Cycle the distinct pool so repeats route to a warm worker.
+                let seed = ((client_id * requests + r) as u64) % distinct;
+                let inst = pcmax::gen::uniform(seed, jobs, machines, 1, 100);
+                let start = Instant::now();
+                let reply = client.solve(
+                    &inst,
+                    Some(epsilon),
+                    Some(Duration::from_millis(deadline_ms)),
+                )?;
+                let elapsed = start.elapsed();
+                reply
+                    .schedule
+                    .validate(&inst)
+                    .map_err(|e| format!("invalid schedule from cluster: {e}"))?;
+                if completed.fetch_add(1, Ordering::SeqCst) + 1 == kill_after {
+                    cluster.kill(0);
+                    eprintln!("killed worker-0 after {kill_after} requests");
+                }
+                samples.push((elapsed, reply.degraded));
+            }
+            Ok(samples)
+        }
+    };
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let worker = worker.clone();
+            std::thread::spawn(move || worker(c))
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut degraded = 0usize;
+    for h in handles {
+        for (latency, was_degraded) in h.join().map_err(|_| "client thread panicked")?? {
+            latencies.push(latency);
+            degraded += usize::from(was_degraded);
+        }
+    }
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
+    let mean: Duration = latencies.iter().sum::<Duration>() / total as u32;
+    let report = cluster.coordinator().report();
+    println!("requests      {total} ({degraded} degraded), all answered");
+    println!(
+        "latency       mean {mean:.1?}  p50 {:.1?}  p90 {:.1?}  max {:.1?}",
+        pct(0.5),
+        pct(0.9),
+        pct(1.0)
+    );
+    println!(
+        "routing       {} routed, {} failovers, {} retries, {} local degradations",
+        report.routed, report.failovers, report.retries, report.degraded_local
+    );
+    println!(
+        "dp cache      {} hits, {} misses (worker-reported, aggregated)",
+        report.dp_cache_hits, report.dp_cache_misses
+    );
+    for w in &report.workers {
+        println!(
+            "  {:<12} {:<4} {} ok / {} attempts, {} transport errors, {} failover serves",
+            w.id,
+            if w.up { "up" } else { "down" },
+            w.ok,
+            w.attempts,
+            w.transport_errors,
+            w.failover_serves
+        );
+    }
+
+    // Machine-readable result: client-side latency summary + the full
+    // aggregated cluster report.
+    let mut w = pcmax::obs::JsonWriter::new();
+    w.begin_object()
+        .field_u64("workers", nodes as u64)
+        .field_u64("clients", clients as u64)
+        .field_u64("requests", total as u64)
+        .field_u64("degraded", degraded as u64)
+        .field_u64("kill_after", kill_after as u64)
+        .key("latency_us")
+        .begin_object()
+        .field_u64("mean", mean.as_micros() as u64)
+        .field_u64("p50", pct(0.5).as_micros() as u64)
+        .field_u64("p90", pct(0.9).as_micros() as u64)
+        .field_u64("p99", pct(0.99).as_micros() as u64)
+        .field_u64("max", pct(1.0).as_micros() as u64)
+        .end_object()
+        .end_object();
+    let bench = w.finish();
+    let payload = format!("{{\"bench\":{bench},\"cluster\":{}}}\n", report.to_json());
+    fs::write(out_path, payload).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("wrote {out_path}");
+
+    handle.shutdown();
+    Ok(())
 }
 
 fn cmd_bench_serve(args: &[String]) -> Result<(), String> {

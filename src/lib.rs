@@ -39,6 +39,7 @@
 //! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
+//! | [`pcmax_cluster`] | sharded multi-worker serving: cache-affinity routing, health checks, failover |
 //! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
 
 pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, Schedule};
@@ -54,6 +55,9 @@ pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
 pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
     self as serve, Client, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
+};
+pub use pcmax_cluster::{
+    self as cluster, ClusterConfig, ClusterReport, Coordinator, LocalCluster, RouteKey,
 };
 
 /// One-stop imports for the common workflow.

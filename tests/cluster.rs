@@ -1,0 +1,219 @@
+//! End-to-end cluster tests over real loopback TCP: cache-affinity
+//! routing (equivalent requests share one worker and its warm DP
+//! cache), failover under a mid-load worker kill (every request still
+//! answered — no client-visible transport errors), and the drop-in
+//! line-protocol front-end.
+
+use pcmax::cluster::{serve_cluster_tcp, LocalCluster};
+use pcmax::core::gen::uniform;
+use pcmax::serve::{Client, SolveRequest};
+use pcmax::{ClusterConfig, Instance, ServeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        connect_timeout: Duration::from_millis(250),
+        heartbeat_interval: Duration::from_millis(200),
+        max_missed_beats: 2,
+        retries_per_worker: 1,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+        ..ClusterConfig::default()
+    }
+}
+
+fn request(inst: &Instance) -> SolveRequest {
+    SolveRequest {
+        instance: inst.clone(),
+        epsilon: Some(0.3),
+        deadline: Some(Duration::from_secs(10)),
+    }
+}
+
+#[test]
+fn equivalent_requests_share_one_worker_and_its_cache() {
+    let cluster = LocalCluster::start(3, ServeConfig::default(), fast_cluster_config())
+        .expect("start cluster");
+    let coordinator = cluster.coordinator();
+
+    let inst = uniform(5, 28, 4, 1, 60);
+    // The same workload in three routing-equivalent disguises: verbatim,
+    // gcd-scaled ×7, and a different machine count (cached DP values are
+    // OPT(N), machine-count independent).
+    let scaled = Instance::new(inst.times().iter().map(|&t| t * 7).collect(), 4);
+    let other_m = Instance::new(inst.times().to_vec(), 6);
+
+    let mut served_by = Vec::new();
+    for inst in [&inst, &inst, &scaled, &other_m, &inst] {
+        let reply = coordinator.solve(request(inst)).expect("solve");
+        let makespan = reply.response.schedule.validate(inst).expect("valid schedule");
+        assert_eq!(makespan, reply.response.makespan);
+        assert_eq!(reply.failovers, 0, "healthy cluster never fails over");
+        served_by.push(reply.worker.expect("served remotely"));
+    }
+    let primary = served_by[0].clone();
+    assert!(
+        served_by.iter().all(|w| *w == primary),
+        "equivalent requests must share one worker: {served_by:?}"
+    );
+
+    // The shared worker's DP cache is warm; the cluster aggregates its
+    // per-request hit counters.
+    let report = coordinator.report();
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.degraded_local, 0);
+    assert!(
+        report.dp_cache_hits > 0,
+        "repeats on one worker must hit its DP cache: {report:?}"
+    );
+
+    // White box: the primary's service saw every request; the other two
+    // workers saw none (their caches stay empty).
+    let primary_idx = cluster.index_of(&primary).expect("known worker");
+    for i in 0..cluster.len() {
+        let service = cluster.service(i).expect("worker alive");
+        let accepted = service.report().accepted;
+        if i == primary_idx {
+            assert_eq!(accepted, 5, "primary serves all equivalent requests");
+            assert!(service.health().cache_entries > 0, "primary cache is warm");
+        } else {
+            assert_eq!(accepted, 0, "worker-{i} must not see these requests");
+            assert_eq!(service.health().cache_entries, 0);
+        }
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_load_loses_no_requests() {
+    // Recording stays on for the rest of the process (workspace test
+    // convention) so failover/health events land on the timeline.
+    pcmax::obs::set_enabled(true);
+    let cluster = Arc::new(
+        LocalCluster::start(3, ServeConfig::default(), fast_cluster_config())
+            .expect("start cluster"),
+    );
+    let coordinator = cluster.coordinator();
+
+    // Discover the primary for this key, then keep hammering the same
+    // key so the kill is guaranteed to hit the serving worker.
+    let inst = uniform(9, 28, 4, 1, 60);
+    let first = coordinator.solve(request(&inst)).expect("warmup solve");
+    let primary = first.worker.clone().expect("served remotely");
+    let primary_idx = cluster.index_of(&primary).expect("known worker");
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let killer = {
+        let cluster = Arc::clone(&cluster);
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || {
+            while completed.load(Ordering::SeqCst) < 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            cluster.kill(primary_idx);
+        })
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let completed = Arc::clone(&completed);
+            let inst = &inst;
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    let reply = coordinator
+                        .solve(request(inst))
+                        .expect("kill must never surface an error");
+                    reply.response.schedule.validate(inst).expect("valid schedule");
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    killer.join().expect("killer thread");
+
+    // Five guaranteed post-kill requests: the dead primary is either
+    // retried-and-failed-over or already marked down — answered either way.
+    for _ in 0..5 {
+        let reply = coordinator.solve(request(&inst)).expect("post-kill solve");
+        reply.response.schedule.validate(&inst).expect("valid schedule");
+        if let Some(worker) = &reply.worker {
+            assert_ne!(worker, &primary, "the killed worker cannot serve");
+        }
+    }
+
+    let report = coordinator.report();
+    assert_eq!(report.routed, 30, "1 warmup + 24 loaded + 5 post-kill");
+    assert_eq!(report.completed, 30, "every request answered");
+    assert!(report.failovers >= 1, "the kill must force failovers: {report:?}");
+
+    // The heartbeat discovers the death: poll until exactly the primary
+    // is marked down.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = coordinator.report();
+        let down: Vec<&str> = report
+            .workers
+            .iter()
+            .filter(|w| !w.up)
+            .map(|w| w.id.as_str())
+            .collect();
+        if down == [primary.as_str()] && report.marked_down == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never marked {primary} down: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(coordinator.live_workers().len(), 2);
+
+    // The failover ladder left its trace on the observability timeline.
+    let events = pcmax::obs::timeline::global().snapshot();
+    assert!(
+        events.iter().any(|e| e.track == "cluster.failover"),
+        "failovers must be visible on the timeline"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.track == "cluster.health" && e.name == format!("{primary} down")),
+        "the mark-down must be visible on the timeline"
+    );
+}
+
+#[test]
+fn cluster_front_end_speaks_the_serve_protocol() {
+    let cluster = LocalCluster::start(2, ServeConfig::default(), fast_cluster_config())
+        .expect("start cluster");
+    let handle = serve_cluster_tcp(Arc::clone(cluster.coordinator()), "127.0.0.1:0")
+        .expect("bind front-end");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    client.ping().expect("ping");
+    let inst = uniform(3, 24, 3, 1, 50);
+    let reply = client
+        .solve(&inst, Some(0.3), Some(Duration::from_secs(10)))
+        .expect("solve through the front-end");
+    let makespan = reply.schedule.validate(&inst).expect("valid schedule");
+    assert_eq!(makespan, reply.makespan);
+
+    // An invalid request is rejected with an err-line, and the
+    // connection keeps working.
+    let err = client.solve(&inst, Some(9.0), None).unwrap_err();
+    assert!(err.contains("epsilon"), "{err}");
+    client.ping().expect("connection survives the err-line");
+
+    // `stats` answers with the aggregated cluster report.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"routed\":1"), "{stats}");
+    assert!(stats.contains("\"workers\":["), "{stats}");
+    assert!(stats.contains("\"worker-0\""), "{stats}");
+
+    // `health` answers for the coordinator itself.
+    let health = client.health().expect("health");
+    assert!(health.uptime_us > 0);
+
+    handle.shutdown();
+}

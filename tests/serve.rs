@@ -162,6 +162,51 @@ fn deadline_flood_degrades_every_answer_and_counters_stay_consistent() {
 }
 
 #[test]
+fn health_verb_reports_uptime_and_cache_growth() {
+    let (service, addr, handle) = start_service(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let before = client.health().expect("health");
+    assert!(before.uptime_us > 0, "uptime must be ticking");
+    assert_eq!(before.cache_entries, 0, "cold service has an empty cache");
+
+    let inst = uniform(21, 26, 3, 1, 50);
+    client.solve(&inst, Some(0.3), None).expect("solve");
+
+    let after = client.health().expect("health after solve");
+    assert!(after.uptime_us >= before.uptime_us);
+    assert!(after.cache_entries > 0, "the solve must populate the DP cache");
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_io_timeout() {
+    let (service, addr, handle) = start_service(ServeConfig {
+        io_timeout: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    });
+
+    let mut idle = Client::connect(addr).expect("connect");
+    idle.ping().expect("live connection answers");
+    // Sit past the server's read timeout: the connection thread gives up
+    // and closes the stream.
+    std::thread::sleep(Duration::from_millis(250));
+    assert!(
+        idle.ping().is_err(),
+        "the server must have dropped the idle connection"
+    );
+
+    // The listener itself is unaffected — fresh connections work.
+    let mut fresh = Client::connect(addr).expect("reconnect");
+    fresh.ping().expect("fresh connection answers");
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn protocol_errors_do_not_kill_the_connection() {
     let (service, addr, handle) = start_service(ServeConfig::default());
     let mut client = Client::connect(addr).expect("connect");
