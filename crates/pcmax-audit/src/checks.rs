@@ -1,0 +1,300 @@
+//! The differential oracle: each check cross-examines two or more
+//! independent implementations (or one implementation against a
+//! mathematical invariant) and reports any disagreement as a
+//! [`Divergence`]. A silent overflow anywhere in the solve path shows up
+//! here as a divergence long before it would crash anything.
+
+use crate::report::Divergence;
+use pcmax_core::exact::{brute_force_makespan, subset_dp_makespan};
+use pcmax_core::heuristics::{lpt, multifit};
+use pcmax_core::{bounds, Instance};
+use pcmax_ptas::dp::{DpEngine, DpProblem};
+use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
+use pcmax_ptas::search::{self, interval};
+use pcmax_ptas::{Ptas, SearchStrategy};
+use pcmax_serve::solver::{solve_cached, DpCache};
+
+/// The three DP engines that must agree cell-for-cell.
+pub const ENGINES: [DpEngine; 4] = [
+    DpEngine::Sequential,
+    DpEngine::AntiDiagonal,
+    DpEngine::Blocked { dim_limit: 2 },
+    DpEngine::Blocked { dim_limit: 6 },
+];
+
+/// Context threaded through every check of one case.
+pub struct CheckCtx<'a> {
+    /// Generator family of the case under audit.
+    pub family: &'static str,
+    /// Seed of the case.
+    pub seed: u64,
+    /// `k = ⌈1/ε⌉` for rounding/search checks.
+    pub k: u64,
+    /// DP tables larger than this are skipped (not failed) — the audit
+    /// checks correctness, not capacity.
+    pub max_table_cells: usize,
+    /// Individual checks executed (incremented by each check fn).
+    pub checks_run: &'a mut u64,
+    /// Divergences found so far.
+    pub out: &'a mut Vec<Divergence>,
+}
+
+impl CheckCtx<'_> {
+    fn bump(&mut self) {
+        *self.checks_run += 1;
+    }
+
+    fn diverge(&mut self, check: &'static str, detail: String) {
+        self.out.push(Divergence {
+            family: self.family.to_string(),
+            seed: self.seed,
+            check: check.to_string(),
+            detail,
+        });
+    }
+}
+
+/// Probes three representative targets (LB, midpoint, UB) and solves the
+/// rounded DP with every engine, comparing `OPT(N)` and the full value
+/// table cell-for-cell.
+pub fn check_engine_agreement(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    for target in [lb, interval::bisection_target(lb, ub), ub] {
+        ctx.bump();
+        let rounding = match Rounding::compute(inst, target, ctx.k) {
+            RoundingOutcome::Infeasible { longest } => {
+                // Only legal at all when a job truly exceeds the target.
+                if longest <= target {
+                    ctx.diverge(
+                        "rounding-infeasible",
+                        format!("target {target} reported infeasible but longest {longest} fits"),
+                    );
+                }
+                continue;
+            }
+            RoundingOutcome::Rounded(r) => r,
+        };
+        let problem = DpProblem::from_rounding(&rounding);
+        if problem.table_size() > ctx.max_table_cells {
+            continue; // capacity, not correctness
+        }
+        let reference = problem.solve(ENGINES[0]);
+        for &engine in &ENGINES[1..] {
+            let sol = problem.solve(engine);
+            if sol.opt != reference.opt {
+                ctx.diverge(
+                    "engine-opt",
+                    format!(
+                        "target {target}: {engine:?} OPT {} vs Sequential {}",
+                        sol.opt, reference.opt
+                    ),
+                );
+            }
+            if sol.values != reference.values {
+                let cell = sol
+                    .values
+                    .iter()
+                    .zip(&reference.values)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                ctx.diverge(
+                    "engine-cells",
+                    format!("target {target}: {engine:?} diverges from Sequential at cell {cell}"),
+                );
+            }
+        }
+    }
+}
+
+/// Bisection, quarter split, 8-ary split, and the parallel n-ary form
+/// must all converge to the same `T*`, and every probe target they emit
+/// must stay inside the shrinking `[lb, ub]` interval.
+pub fn check_search_agreement(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    ctx.bump();
+    let engine = DpEngine::Sequential;
+    let b = search::bisection(inst, ctx.k, engine);
+    let q = search::quarter(inst, ctx.k, engine);
+    let n8 = search::nary(inst, ctx.k, engine, 8);
+    let p4 = search::nary_parallel(inst, ctx.k, engine, 4);
+    for (name, r) in [("quarter", &q), ("nary-8", &n8), ("nary-parallel-4", &p4)] {
+        if r.target != b.target {
+            ctx.diverge(
+                "search-target",
+                format!("{name} T* {} vs bisection {}", r.target, b.target),
+            );
+        }
+    }
+    let lb0 = bounds::lower_bound(inst);
+    let ub0 = bounds::upper_bound(inst);
+    for r in [&b, &q, &n8, &p4] {
+        for rec in &r.records {
+            for p in &rec.probes {
+                if p.target < rec.lb || p.target > rec.ub {
+                    ctx.diverge(
+                        "probe-escapes-interval",
+                        format!("probe {} outside [{}, {}]", p.target, rec.lb, rec.ub),
+                    );
+                }
+            }
+        }
+        if r.target < lb0 || r.target > ub0 {
+            ctx.diverge(
+                "target-escapes-bounds",
+                format!("T* {} outside initial [{lb0}, {ub0}]", r.target),
+            );
+        }
+    }
+}
+
+/// The serve layer's cache-backed bisection re-implements the search on
+/// top of `DpKey` canonicalisation; its converged target and schedule
+/// must match the plain search.
+pub fn check_serve_solver(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    ctx.bump();
+    // Skip when even a single probe's table would blow the budget; the
+    // serve path degrades by design there.
+    let cache = DpCache::new(2, 64);
+    match solve_cached(
+        inst,
+        ctx.k,
+        DpEngine::Sequential,
+        &cache,
+        None,
+        ctx.max_table_cells,
+    ) {
+        Ok(outcome) => {
+            let reference = search::bisection(inst, ctx.k, DpEngine::Sequential);
+            if outcome.target != reference.target {
+                ctx.diverge(
+                    "serve-target",
+                    format!(
+                        "solve_cached T* {} vs search::bisection {}",
+                        outcome.target, reference.target
+                    ),
+                );
+            }
+            match outcome.schedule.validate(inst) {
+                Ok(_) => {}
+                Err(e) => ctx.diverge("serve-schedule", format!("invalid schedule: {e}")),
+            }
+        }
+        Err(_) => { /* table over budget: capacity, not correctness */ }
+    }
+}
+
+/// Runs the full PTAS and checks the dual-approximation invariant:
+/// `LB ≤ T* ≤ UB`, the schedule is valid, and the makespan obeys the
+/// `(1 + 1/k + 1/k²)·T*` guarantee — evaluated in `u128` so the check
+/// itself cannot wrap on u64-scale instances.
+pub fn check_ptas_invariant(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    ctx.bump();
+    let eps = 1.0 / ctx.k as f64;
+    let res = Ptas::new(eps)
+        .with_engine(DpEngine::Sequential)
+        .with_strategy(SearchStrategy::Bisection)
+        .solve(inst);
+    let ms = match res.schedule.validate(inst) {
+        Ok(ms) => ms,
+        Err(e) => {
+            ctx.diverge("ptas-schedule", format!("invalid schedule: {e}"));
+            return;
+        }
+    };
+    if ms != res.makespan {
+        ctx.diverge(
+            "ptas-makespan",
+            format!("reported {} but schedule realises {ms}", res.makespan),
+        );
+    }
+    let lb = bounds::lower_bound(inst) as u128;
+    let ub = bounds::upper_bound(inst) as u128;
+    let t = res.target as u128;
+    if t < lb || t > ub {
+        ctx.diverge(
+            "ptas-target-bounds",
+            format!("T* {t} outside [{lb}, {ub}]"),
+        );
+    }
+    // Integer guarantee bound in u128: T*·(1 + 1/k + 1/k²) plus slack
+    // for the floors taken by step and short-cut divisions.
+    let k = ctx.k as u128;
+    let bound = t + t / k + t / (k * k) + 2;
+    if (ms as u128) > bound {
+        ctx.diverge(
+            "ptas-guarantee",
+            format!("makespan {ms} exceeds (1+ε) bound {bound} for T* {t} (k {k})"),
+        );
+    }
+}
+
+/// Ground-truth checks on small instances: the two independent exact
+/// oracles must agree, `T* ≤ OPT` (dual approximation), and every
+/// heuristic is sandwiched in `[OPT, guarantee]`.
+pub fn check_small_oracle(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    if inst.num_jobs() > 10 {
+        return;
+    }
+    ctx.bump();
+    let opt = brute_force_makespan(inst);
+    let opt2 = subset_dp_makespan(inst);
+    if opt != opt2 {
+        ctx.diverge(
+            "oracle-disagreement",
+            format!("branch-and-bound {opt} vs subset DP {opt2}"),
+        );
+    }
+    if (opt as u128) < bounds::lower_bound(inst) as u128
+        || (opt as u128) > bounds::upper_bound(inst) as u128
+    {
+        ctx.diverge("oracle-bounds", format!("OPT {opt} outside [LB, UB]"));
+    }
+    for (name, s) in [("lpt", lpt(inst)), ("multifit", multifit(inst, 20))] {
+        match s.validate(inst) {
+            Ok(ms) if ms < opt => ctx.diverge(
+                "heuristic-beats-opt",
+                format!("{name} makespan {ms} below optimum {opt}"),
+            ),
+            Ok(_) => {}
+            Err(e) => ctx.diverge("heuristic-schedule", format!("{name}: {e}")),
+        }
+    }
+    let t_star = search::bisection(inst, ctx.k, DpEngine::Sequential).target;
+    if t_star > opt {
+        ctx.diverge(
+            "dual-approximation",
+            format!("T* {t_star} exceeds OPT {opt} — infeasible probes proved a false bound"),
+        );
+    }
+}
+
+/// The validation gate itself: raw shapes that must be rejected, and the
+/// boundary case that must be admitted.
+pub fn check_validation_gate(ctx: &mut CheckCtx<'_>) {
+    use pcmax_core::InstanceError;
+    ctx.bump();
+    let rejected: [(&str, Vec<u64>, usize, InstanceError); 4] = [
+        ("empty", vec![], 1, InstanceError::NoJobs),
+        ("zero-machines", vec![1], 0, InstanceError::NoMachines),
+        ("zero-time", vec![1, 0], 1, InstanceError::ZeroTime { job: 1 }),
+        (
+            "overflow",
+            vec![u64::MAX, u64::MAX],
+            2,
+            InstanceError::TotalWorkOverflow,
+        ),
+    ];
+    for (name, times, m, want) in rejected {
+        match Instance::try_new(times, m) {
+            Err(e) if e == want => {}
+            Err(e) => ctx.diverge("gate-wrong-error", format!("{name}: got {e:?}, want {want:?}")),
+            Ok(_) => ctx.diverge("gate-admitted-bad", format!("{name}: admitted")),
+        }
+    }
+    if Instance::try_new(vec![u64::MAX], 1).is_err() {
+        ctx.diverge(
+            "gate-rejected-good",
+            "single u64::MAX job must be admitted (W fits exactly)".to_string(),
+        );
+    }
+}

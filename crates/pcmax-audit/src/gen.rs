@@ -1,0 +1,176 @@
+//! Adversarial instance generators.
+//!
+//! Unlike `pcmax_core::gen` (which reproduces the paper's benchmark
+//! distributions), these families are chosen to *hurt*: times pushed
+//! against `u64::MAX`, degenerate machine/job ratios, single-class
+//! floods that collapse the DP to one dimension, and gcd-scaled
+//! duplicates that stress the cache's canonicalisation. Every instance
+//! is still *valid* — total work fits in `u64` by construction — because
+//! the point is to catch silent wraps in arithmetic that the
+//! `Instance::try_new` gate has already admitted.
+
+use pcmax_core::Instance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated audit case: a named family plus the instance.
+#[derive(Debug, Clone)]
+pub struct AdversarialCase {
+    /// Generator family (stable identifier, used in the JSON report).
+    pub family: &'static str,
+    /// Seed the case was derived from.
+    pub seed: u64,
+    /// The instance under audit.
+    pub instance: Instance,
+}
+
+fn case(family: &'static str, seed: u64, instance: Instance) -> AdversarialCase {
+    AdversarialCase {
+        family,
+        seed,
+        instance,
+    }
+}
+
+/// Times near `u64::MAX`, scaled so `Σ tⱼ` still fits: `n` jobs, each at
+/// most `⌊u64::MAX / n⌋` minus a small jitter. The regime where
+/// `t · k`, `lb + ub`, and `area + max` all wrapped before the sweep.
+pub fn near_max(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let n = rng.gen_range(2..=4u64) as usize;
+    let per = u64::MAX / n as u64;
+    let times = (0..n)
+        .map(|_| per - rng.gen_range(0..=1_000u64))
+        .collect::<Vec<_>>();
+    let m = rng.gen_range(1..=3usize);
+    case("near-max", seed, Instance::new(times, m))
+}
+
+/// A single job of (almost) `u64::MAX` — the largest legal instance per
+/// job, `W = max t` exactly.
+pub fn huge_single(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xdead_beef).wrapping_add(2));
+    let t = u64::MAX - rng.gen_range(0..=20u64);
+    let m = rng.gen_range(1..=4usize);
+    case("huge-single", seed, Instance::new(vec![t], m))
+}
+
+/// More machines than jobs: `OPT = max tⱼ`, every search must converge
+/// to the longest job without probing past it.
+pub fn more_machines_than_jobs(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x1234_5677).wrapping_add(3));
+    let n = rng.gen_range(1..=4usize);
+    let times = (0..n)
+        .map(|_| rng.gen_range(1..=1_000_000u64))
+        .collect::<Vec<_>>();
+    let m = n + rng.gen_range(1..=6usize);
+    case("more-machines", seed, Instance::new(times, m))
+}
+
+/// Many copies of one value: the DP collapses to a single class (one
+/// dimension), the arrangement the paper calls out as cache-friendly —
+/// and the one where an off-by-one in class counting is most visible.
+pub fn single_class_flood(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x0bad_f00d).wrapping_add(4));
+    let v = rng.gen_range(1..=1_000u64);
+    let n = rng.gen_range(20..=50usize);
+    let m = rng.gen_range(2..=8usize);
+    case("single-class-flood", seed, Instance::new(vec![v; n], m))
+}
+
+/// A small instance with every time multiplied by a huge common factor:
+/// total work lands near `u64::MAX` while the *structure* stays tiny.
+/// Stresses the gcd canonicalisation of `DpKey` and every absolute-
+/// magnitude computation (bounds, midpoints, rounding step).
+pub fn gcd_scaled(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x5ca1_ab1e).wrapping_add(5));
+    let n = rng.gen_range(3..=8usize);
+    let base: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=20u64)).collect();
+    let w: u64 = base.iter().sum();
+    let g = rng.gen_range(1..=u64::MAX / w);
+    let times: Vec<u64> = base.iter().map(|&t| t * g).collect();
+    let m = rng.gen_range(1..=4usize);
+    case("gcd-scaled", seed, Instance::new(times, m))
+}
+
+/// Degenerate `m = 1`: the only feasible target is `Σ tⱼ` and every
+/// layer must agree on it.
+pub fn single_machine(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x00c0_ffee).wrapping_add(6));
+    let n = rng.gen_range(1..=6usize);
+    let times = (0..n)
+        .map(|_| rng.gen_range(1..=100_000u64))
+        .collect::<Vec<_>>();
+    case("single-machine", seed, Instance::new(times, 1))
+}
+
+/// Small uniform instance for which `brute_force_makespan` and
+/// `subset_dp_makespan` are affordable — the ground-truth family.
+pub fn small_oracle(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xfeed_5eed).wrapping_add(7));
+    let n = rng.gen_range(5..=9usize);
+    let times = (0..n).map(|_| rng.gen_range(1..=30u64)).collect::<Vec<_>>();
+    let m = rng.gen_range(2..=4usize);
+    case("small-oracle", seed, Instance::new(times, m))
+}
+
+/// The full adversarial suite for one seed, every family once.
+pub fn adversarial_suite(seed: u64) -> Vec<AdversarialCase> {
+    vec![
+        near_max(seed),
+        huge_single(seed),
+        more_machines_than_jobs(seed),
+        single_class_flood(seed),
+        gcd_scaled(seed),
+        single_machine(seed),
+        small_oracle(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_builds_valid_instances() {
+        for seed in 0..20 {
+            for c in adversarial_suite(seed) {
+                // Instance::new already enforces the gate; re-assert the
+                // invariant the generators promise.
+                let w: u128 = c.instance.times().iter().map(|&t| t as u128).sum();
+                assert!(w <= u64::MAX as u128, "{} seed {seed}", c.family);
+                assert!(c.instance.num_jobs() >= 1);
+                assert!(c.instance.machines() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for seed in [0u64, 7, 63] {
+            let a = adversarial_suite(seed);
+            let b = adversarial_suite(seed);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.instance, y.instance, "{} seed {seed}", x.family);
+            }
+        }
+    }
+
+    #[test]
+    fn families_hit_their_target_regimes() {
+        let nm = near_max(3);
+        assert!(nm.instance.max_time() > u64::MAX / 8);
+        let mm = more_machines_than_jobs(3);
+        assert!(mm.instance.machines() > mm.instance.num_jobs());
+        let fl = single_class_flood(3);
+        assert_eq!(
+            fl.instance.times().iter().collect::<std::collections::BTreeSet<_>>().len(),
+            1
+        );
+        let sm = single_machine(3);
+        assert_eq!(sm.instance.machines(), 1);
+        let so = small_oracle(3);
+        assert!(so.instance.num_jobs() <= 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Adversarial differential-fuzz harness for the pcmax solve path.
+//!
+//! The PTAS pipeline now accepts untrusted `u64`-scale instances over
+//! the network, so arithmetic that silently wraps in release builds
+//! produces *wrong schedules*, not crashes. This crate hunts exactly
+//! that bug class: [`gen`] builds instances that live at the margins
+//! (times near `u64::MAX`, `m > n`, single-class floods, gcd-scaled
+//! duplicates, `m = 1`), and [`checks`] drives each one through a
+//! differential oracle —
+//!
+//! * the three DP engines compared cell-for-cell,
+//! * bisection vs quarter vs n-ary vs parallel n-ary convergence,
+//! * the serve layer's cache-backed solver vs the plain search,
+//! * heuristics and the PTAS vs `brute_force_makespan` /
+//!   `subset_dp_makespan` on small instances,
+//! * the dual-approximation invariant `LB ≤ T* ≤ OPT` and the
+//!   `(1 + 1/k + 1/k²)` guarantee evaluated in `u128`,
+//! * the `Instance::try_new` validation gate itself.
+//!
+//! Surfaced as `pcmax audit --seeds N`, which emits a JSON divergence
+//! report ([`AuditReport::to_json`]) and publishes totals on the
+//! `pcmax_obs` registry. A clean run across many seeds is the repo's
+//! standing evidence that the overflow-hardened arithmetic stays
+//! correct as engines are added.
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod gen;
+pub mod report;
+
+pub use gen::{adversarial_suite, AdversarialCase};
+pub use report::{AuditReport, Divergence};
+
+/// Audit configuration.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Seeds to sweep; each seed instantiates every generator family.
+    pub seeds: u64,
+    /// Precision parameter `k = ⌈1/ε⌉` for rounding/search checks.
+    pub k: u64,
+    /// DP tables larger than this are skipped (capacity, not
+    /// correctness); keeps adversarial cases within memory bounds.
+    pub max_table_cells: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 16,
+            k: 4,
+            max_table_cells: 1 << 20,
+        }
+    }
+}
+
+/// Runs the full audit: every family × every seed × every check.
+pub fn run(config: &AuditConfig) -> AuditReport {
+    let mut report = AuditReport {
+        seeds: config.seeds,
+        ..AuditReport::default()
+    };
+    let mut checks_run = 0u64;
+    let mut divergences = Vec::new();
+    for seed in 0..config.seeds {
+        // The gate check is instance-independent; audit it once per seed
+        // so a regression still fails fast on `--seeds 1`.
+        {
+            let mut ctx = checks::CheckCtx {
+                family: "validation-gate",
+                seed,
+                k: config.k,
+                max_table_cells: config.max_table_cells,
+                checks_run: &mut checks_run,
+                out: &mut divergences,
+            };
+            checks::check_validation_gate(&mut ctx);
+        }
+        for case in gen::adversarial_suite(seed) {
+            report.cases += 1;
+            let mut ctx = checks::CheckCtx {
+                family: case.family,
+                seed,
+                k: config.k,
+                max_table_cells: config.max_table_cells,
+                checks_run: &mut checks_run,
+                out: &mut divergences,
+            };
+            checks::check_engine_agreement(&case.instance, &mut ctx);
+            checks::check_search_agreement(&case.instance, &mut ctx);
+            checks::check_serve_solver(&case.instance, &mut ctx);
+            checks::check_ptas_invariant(&case.instance, &mut ctx);
+            checks::check_small_oracle(&case.instance, &mut ctx);
+        }
+    }
+    report.checks = checks_run;
+    report.divergences = divergences;
+    report.publish_counters();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_is_clean_on_the_hardened_tree() {
+        let report = run(&AuditConfig {
+            seeds: 8,
+            ..AuditConfig::default()
+        });
+        assert_eq!(report.cases, 8 * 7);
+        assert!(report.checks > report.cases as u64);
+        assert!(
+            report.is_clean(),
+            "divergences: {:#?}",
+            report.divergences
+        );
+    }
+
+    #[test]
+    fn audit_report_json_roundtrips_the_counts() {
+        let report = run(&AuditConfig {
+            seeds: 2,
+            ..AuditConfig::default()
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"seeds\":2"), "{json}");
+        assert!(json.contains("\"clean\":true"), "{json}");
+    }
+}

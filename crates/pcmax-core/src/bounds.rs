@@ -15,9 +15,15 @@ pub fn lower_bound(inst: &Instance) -> u64 {
     inst.area_bound().max(inst.max_time())
 }
 
-/// `UB = ⌈Σ tⱼ / m⌉ + max tⱼ`.
+/// `UB = ⌈Σ tⱼ / m⌉ + max tⱼ`, saturating at `u64::MAX`.
+///
+/// The sum can exceed `u64` (e.g. a single job of `u64::MAX` gives
+/// `area_bound = max_time = u64::MAX`). Saturating keeps the result a
+/// *valid* upper bound: `OPT ≤ Σ tⱼ ≤ u64::MAX` always, so clamping to
+/// `u64::MAX` never excludes the optimum — unlike the wrapping `+`,
+/// which could produce an upper bound *below* the lower bound.
 pub fn upper_bound(inst: &Instance) -> u64 {
-    inst.area_bound() + inst.max_time()
+    inst.area_bound().saturating_add(inst.max_time())
 }
 
 #[cfg(test)]
@@ -45,6 +51,21 @@ mod tests {
     fn long_job_dominates_lower_bound() {
         let inst = Instance::new(vec![100, 1, 1], 3);
         assert_eq!(lower_bound(&inst), 100);
+    }
+
+    #[test]
+    fn extreme_instance_keeps_bounds_ordered() {
+        // Regression: with one job of u64::MAX, the old `area + max`
+        // wrapped to u64::MAX - 1… actually to (MAX + MAX) mod 2^64 =
+        // MAX - 1 < LB, inverting the interval. Saturation keeps
+        // LB ≤ UB.
+        let inst = Instance::new(vec![u64::MAX], 1);
+        assert_eq!(lower_bound(&inst), u64::MAX);
+        assert_eq!(upper_bound(&inst), u64::MAX);
+        assert!(lower_bound(&inst) <= upper_bound(&inst));
+
+        let near = Instance::new(vec![u64::MAX - 7], 3);
+        assert!(lower_bound(&near) <= upper_bound(&near));
     }
 
     #[test]

@@ -128,16 +128,21 @@ pub fn min_bins(items: &[u64], cap: u64) -> Option<usize> {
     let mut sorted: Vec<u64> = items.to_vec();
     sorted.sort_unstable_by_key(|&s| Reverse(s));
 
-    // First-fit-decreasing gives the initial incumbent.
+    // First-fit-decreasing gives the initial incumbent. Fit test in
+    // subtraction form (`cap - b >= it`): bin loads stay ≤ cap, so the
+    // subtraction cannot wrap even when `cap` is near u64::MAX.
     let mut ffd_bins: Vec<u64> = Vec::new();
     for &it in &sorted {
-        match ffd_bins.iter_mut().find(|b| **b + it <= cap) {
+        match ffd_bins.iter_mut().find(|b| cap - **b >= it) {
             Some(b) => *b += it,
             None => ffd_bins.push(it),
         }
     }
     let mut best = ffd_bins.len();
-    let total: u64 = sorted.iter().sum();
+    // Saturating: callers may pass arbitrary multisets (not only gated
+    // Instance times). A saturated total only weakens the area lower
+    // bound used for pruning — never the answer.
+    let total = sorted.iter().fold(0u64, |acc, &s| acc.saturating_add(s));
     let lb = total.div_ceil(cap) as usize;
     if best == lb {
         return Some(best);
@@ -157,7 +162,7 @@ pub fn min_bins(items: &[u64], cap: u64) -> Option<usize> {
         let it = items[pos];
         let mut seen_loads = Vec::new();
         for b in 0..bins.len() {
-            if bins[b] + it <= cap && !seen_loads.contains(&bins[b]) {
+            if cap - bins[b] >= it && !seen_loads.contains(&bins[b]) {
                 seen_loads.push(bins[b]);
                 bins[b] += it;
                 rec(pos + 1, items, bins, cap, best, lb);
@@ -235,7 +240,9 @@ pub fn subset_dp_makespan(inst: &Instance) -> u64 {
     let mut lo = lower_bound(inst);
     let mut hi = crate::bounds::upper_bound(inst);
     while lo < hi {
-        let mid = (lo + hi) / 2;
+        // `lo + (hi - lo) / 2`, not `(lo + hi) / 2`: both endpoints can
+        // sit near u64::MAX for adversarial instances and the sum wraps.
+        let mid = lo + (hi - lo) / 2;
         if feasible(mid) {
             hi = mid;
         } else {

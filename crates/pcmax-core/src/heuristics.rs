@@ -32,6 +32,8 @@ pub fn list_schedule_order(
     for job in order {
         let Reverse((load, machine)) = heap.pop().expect("m > 0");
         assignment[job] = machine;
+        // No overflow: every machine load is a subset sum of the times,
+        // and Instance::try_new guarantees Σ tⱼ ≤ u64::MAX.
         heap.push(Reverse((load + inst.time(job), machine)));
     }
     Schedule::new(assignment, m)
@@ -55,7 +57,10 @@ fn ffd_fits(inst: &Instance, order: &[usize], cap: u64, m: usize) -> Option<Vec<
         if t > cap {
             return None;
         }
-        match loads.iter().position(|&l| l + t <= cap) {
+        // `cap - l >= t` instead of `l + t <= cap`: bins keep `l ≤ cap`,
+        // so the subtraction cannot wrap, while `l + t` can when `cap`
+        // is near u64::MAX (MULTIFIT probes capacities up to 2·LB).
+        match loads.iter().position(|&l| cap - l >= t) {
             Some(b) => {
                 loads[b] += t;
                 assignment[job] = b;
@@ -167,14 +172,19 @@ pub fn multifit(inst: &Instance, iterations: usize) -> Schedule {
     order.sort_by_key(|&j| Reverse(inst.time(j)));
 
     let mut lo = crate::bounds::lower_bound(inst);
-    let mut hi = 2 * inst.area_bound().max(inst.max_time());
+    // Saturating: 2·LB can exceed u64 (one huge job). Clamping to
+    // u64::MAX keeps the start capacity feasible (FFD always fits at
+    // cap ≥ max tⱼ with m ≥ 1 bins since Σ tⱼ ≤ u64::MAX by the
+    // Instance gate).
+    let mut hi = inst.area_bound().max(inst.max_time()).saturating_mul(2);
     let mut best = ffd_fits(inst, &order, hi, m);
     debug_assert!(best.is_some(), "FFD must fit at capacity 2·LB");
     for _ in 0..iterations {
         if lo >= hi {
             break;
         }
-        let cap = (lo + hi) / 2;
+        // Overflow-safe midpoint: `lo + hi` wraps when both are huge.
+        let cap = lo + (hi - lo) / 2;
         match ffd_fits(inst, &order, cap, m) {
             Some(a) => {
                 best = Some(a);
@@ -298,6 +308,27 @@ mod tests {
         let start = list_schedule(&inst);
         let same = local_search(&inst, &start, 0);
         assert_eq!(same.assignment(), start.assignment());
+    }
+
+    #[test]
+    fn heuristics_survive_near_max_times() {
+        // Regression for the overflow sweep: with times near u64::MAX,
+        // the old MULTIFIT start capacity (`2 * LB`) and midpoint
+        // (`(lo + hi) / 2`) both wrapped, as did `l + t` inside FFD.
+        // All heuristics must return valid schedules, not wrong ones.
+        let half = u64::MAX / 2;
+        let inst = Instance::new(vec![half, half - 5, 3], 2);
+        for s in [list_schedule(&inst), lpt(&inst), multifit(&inst, 20)] {
+            let ms = s.validate(&inst).unwrap();
+            assert!(ms >= crate::bounds::lower_bound(&inst));
+            assert!(ms <= crate::bounds::upper_bound(&inst));
+        }
+        // Optimal split puts the two huge jobs apart: loads are
+        // (half, half - 5 + 3), so the makespan is exactly `half`.
+        assert_eq!(lpt(&inst).makespan(&inst), half);
+
+        let lone = Instance::new(vec![u64::MAX], 1);
+        assert_eq!(multifit(&lone, 10).makespan(&lone), u64::MAX);
     }
 
     #[test]

@@ -1,6 +1,45 @@
 //! Instance representation for `P||Cmax`.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a set of raw job times / machine count cannot form an [`Instance`].
+///
+/// Returned by [`Instance::try_new`]; the serve layer maps these to
+/// line-protocol `err invalid request: …` replies so a bad instance is
+/// rejected at the boundary instead of wrapping inside a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// No jobs were supplied.
+    NoJobs,
+    /// Zero machines were supplied.
+    NoMachines,
+    /// A processing time of zero (job index recorded).
+    ZeroTime {
+        /// Index of the offending job.
+        job: usize,
+    },
+    /// `Σ tⱼ` does not fit in `u64`. Admitting such an instance would
+    /// make every downstream load sum wrap, so it is rejected outright.
+    TotalWorkOverflow,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NoJobs => write!(f, "instance needs at least one job"),
+            InstanceError::NoMachines => write!(f, "instance needs at least one machine"),
+            InstanceError::ZeroTime { job } => {
+                write!(f, "processing times must be positive (job {job} is zero)")
+            }
+            InstanceError::TotalWorkOverflow => {
+                write!(f, "total work exceeds u64::MAX")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
 
 /// An instance of `P||Cmax`: `n` jobs with positive integer processing
 /// times to be scheduled on `m` parallel identical machines.
@@ -18,17 +57,41 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics if there are no jobs, no machines, or any processing time is
+    /// Panics if there are no jobs, no machines, any processing time is
     /// zero (zero-length jobs are trivially schedulable and break the
-    /// rounding arithmetic of the PTAS, as in the paper).
+    /// rounding arithmetic of the PTAS, as in the paper), or the total
+    /// work `Σ tⱼ` overflows `u64`. For a non-panicking boundary (e.g.
+    /// untrusted network input) use [`Instance::try_new`].
     pub fn new(times: Vec<u64>, machines: usize) -> Self {
-        assert!(!times.is_empty(), "instance needs at least one job");
-        assert!(machines > 0, "instance needs at least one machine");
-        assert!(
-            times.iter().all(|&t| t > 0),
-            "processing times must be positive"
-        );
-        Self { times, machines }
+        Self::try_new(times, machines).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an instance, validating it instead of panicking.
+    ///
+    /// Beyond the shape checks (non-empty, positive machines, positive
+    /// times) this enforces the workspace-wide *overflow gate*: `Σ tⱼ`
+    /// must fit in `u64`. Every constructed [`Instance`] therefore
+    /// satisfies the invariant that any sum of a subset of its times —
+    /// machine loads in list scheduling, FFD bins, branch-and-bound
+    /// partial loads, the DP's config weights — is `≤ u64::MAX`, so the
+    /// hot paths can use plain `+` without wrapping.
+    pub fn try_new(times: Vec<u64>, machines: usize) -> Result<Self, InstanceError> {
+        if times.is_empty() {
+            return Err(InstanceError::NoJobs);
+        }
+        if machines == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        if let Some(job) = times.iter().position(|&t| t == 0) {
+            return Err(InstanceError::ZeroTime { job });
+        }
+        let mut total: u64 = 0;
+        for &t in &times {
+            total = total
+                .checked_add(t)
+                .ok_or(InstanceError::TotalWorkOverflow)?;
+        }
+        Ok(Self { times, machines })
     }
 
     /// Number of jobs, `n`.
@@ -56,6 +119,9 @@ impl Instance {
     }
 
     /// Total work `Σ t_j`.
+    ///
+    /// Cannot wrap: [`Instance::try_new`] rejects instances whose total
+    /// work overflows `u64`, so the sum fits by construction.
     pub fn total_work(&self) -> u64 {
         self.times.iter().sum()
     }
@@ -108,5 +174,43 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_time() {
         Instance::new(vec![1, 0], 2);
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        assert_eq!(Instance::try_new(vec![], 2), Err(InstanceError::NoJobs));
+        assert_eq!(Instance::try_new(vec![1], 0), Err(InstanceError::NoMachines));
+        assert_eq!(
+            Instance::try_new(vec![3, 0, 1], 2),
+            Err(InstanceError::ZeroTime { job: 1 })
+        );
+        assert!(Instance::try_new(vec![1, 2, 3], 2).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_total_work_overflow() {
+        assert_eq!(
+            Instance::try_new(vec![u64::MAX, 1], 2),
+            Err(InstanceError::TotalWorkOverflow)
+        );
+        assert_eq!(
+            Instance::try_new(vec![u64::MAX / 2 + 1, u64::MAX / 2 + 1], 2),
+            Err(InstanceError::TotalWorkOverflow)
+        );
+    }
+
+    #[test]
+    fn try_new_admits_single_max_job() {
+        // One job of u64::MAX is a legal instance: W = u64::MAX exactly.
+        let inst = Instance::try_new(vec![u64::MAX], 3).unwrap();
+        assert_eq!(inst.total_work(), u64::MAX);
+        assert_eq!(inst.max_time(), u64::MAX);
+        assert_eq!(inst.area_bound(), u64::MAX.div_ceil(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "total work exceeds")]
+    fn new_panics_on_total_work_overflow() {
+        Instance::new(vec![u64::MAX, u64::MAX], 4);
     }
 }

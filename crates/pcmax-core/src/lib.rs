@@ -20,5 +20,5 @@ pub mod instance;
 pub mod schedule;
 
 pub use bounds::{lower_bound, upper_bound};
-pub use instance::Instance;
+pub use instance::{Instance, InstanceError};
 pub use schedule::Schedule;

@@ -65,13 +65,21 @@ impl Rounding {
         if longest > target {
             return RoundingOutcome::Infeasible { longest };
         }
-        let step = (target / (k * k)).max(1);
+        // `k²` in u128: `k = ⌈1/ε⌉` is caller-controlled and wraps u64
+        // for ε < 2⁻³². The quotient is ≤ target, so the cast back is
+        // exact (step = 1 whenever k² exceeds the target).
+        let step = ((target as u128 / (k as u128 * k as u128)) as u64).max(1);
+        // Short iff `t·k ≤ T` ⟺ `t ≤ ⌊T/k⌋` (positive integers): the
+        // division form cannot wrap, while `t·k` silently does for
+        // times near u64::MAX — misclassifying the longest jobs as
+        // *short*, which voids the (1+ε) guarantee without crashing.
+        let short_cut = target / k;
         let mut short_jobs = Vec::new();
         // multiple → jobs, gathered then sorted for a canonical order.
         let mut by_multiple: std::collections::BTreeMap<u64, Vec<usize>> =
             std::collections::BTreeMap::new();
         for (j, &t) in inst.times().iter().enumerate() {
-            if t * k <= target {
+            if t <= short_cut {
                 short_jobs.push(j);
             } else {
                 by_multiple.entry(t / step).or_default().push(j);
@@ -80,7 +88,11 @@ impl Rounding {
         let classes = by_multiple
             .into_iter()
             .map(|(multiple, jobs)| Class {
-                size: multiple * step,
+                // `q·step ≤ t ≤ u64::MAX` because `q = ⌊t/step⌋`; widen
+                // and convert loudly so the invariant is checked, not
+                // assumed.
+                size: u64::try_from(multiple as u128 * step as u128)
+                    .expect("q·step ≤ t by construction"),
                 multiple,
                 jobs,
             })
@@ -115,9 +127,15 @@ impl Rounding {
         self.classes.iter().map(|c| c.jobs.len()).sum()
     }
 
-    /// Size of the DP table this rounding induces, `σ = Π (nᵢ + 1)`.
+    /// Size of the DP table this rounding induces, `σ = Π (nᵢ + 1)`,
+    /// saturating at `usize::MAX`. The product can genuinely exceed
+    /// `usize` for many-class roundings; saturation keeps the value a
+    /// correct *lower bound*, which is what the serve layer's table
+    /// budget check needs (a saturated σ is always over budget).
     pub fn table_size(&self) -> usize {
-        self.classes.iter().map(|c| c.jobs.len() + 1).product()
+        self.classes
+            .iter()
+            .fold(1usize, |acc, c| acc.saturating_mul(c.jobs.len() + 1))
     }
 }
 
@@ -220,6 +238,69 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn near_max_times_classified_long_not_short() {
+        // Regression: the old `t * k <= target` wrapped for t near
+        // u64::MAX (MAX·4 mod 2⁶⁴ = MAX − 3 ≤ target), silently filing
+        // the *longest* job as short and voiding the (1+ε) guarantee.
+        let inst = Instance::new(vec![u64::MAX], 1);
+        let r = rounded(&inst, u64::MAX, 4);
+        assert!(r.short_jobs.is_empty(), "u64::MAX job must be long");
+        assert_eq!(r.num_long(), 1);
+        let c = &r.classes[0];
+        assert_eq!(c.multiple, c.size / r.step);
+        assert!(c.size <= u64::MAX && c.size >= u64::MAX - r.step);
+    }
+
+    #[test]
+    fn near_max_mixed_instance_splits_correctly() {
+        let big = u64::MAX - 17;
+        let inst = Instance::new(vec![big, 5, 9], 2);
+        let t = big; // probe exactly at the longest job
+        let r = rounded(&inst, t, 4);
+        // short iff time ≤ ⌊T/4⌋; 5 and 9 are short, `big` is long.
+        assert_eq!(r.short_jobs, vec![1, 2]);
+        assert_eq!(r.num_long(), 1);
+        for c in &r.classes {
+            for &j in &c.jobs {
+                assert!(c.size <= inst.time(j));
+                assert!(inst.time(j) - c.size < r.step);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_k_clamps_step_to_one() {
+        // k = 2³³ makes k² wrap u64 (old code: step computed from the
+        // wrapped product). In u128 the quotient is 0 → step clamps to 1.
+        let inst = Instance::new(vec![100], 1);
+        let k = 1u64 << 33;
+        let r = rounded(&inst, 100, k);
+        assert_eq!(r.step, 1);
+        // With step 1 a long job rounds to itself.
+        assert_eq!(r.classes[0].size, 100);
+    }
+
+    #[test]
+    fn table_size_saturates_instead_of_wrapping() {
+        // 64 classes of 3 jobs each: σ = 4⁶⁴ ≫ usize::MAX.
+        let classes: Vec<Class> = (0..64)
+            .map(|i| Class {
+                size: 1000 + i,
+                multiple: 1000 + i,
+                jobs: vec![0, 1, 2],
+            })
+            .collect();
+        let r = Rounding {
+            target: 10_000,
+            k: 100,
+            step: 1,
+            classes,
+            short_jobs: vec![],
+        };
+        assert_eq!(r.table_size(), usize::MAX);
     }
 
     #[test]

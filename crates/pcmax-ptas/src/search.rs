@@ -24,9 +24,14 @@ use std::collections::BTreeMap;
 /// driver in `pcmax-gpu` (which needs to step rounds itself to simulate
 /// the four concurrent probes of each quarter-split round).
 pub mod interval {
-    /// Bisection probe target.
+    /// Bisection probe target: `lb + (ub − lb)/2`, never `(lb + ub)/2` —
+    /// the sum wraps when both endpoints sit near `u64::MAX` (untrusted
+    /// u64-scale instances reach exactly that regime), and a wrapped
+    /// midpoint lands *outside* `[lb, ub]`, breaking the search
+    /// invariant silently.
     pub fn bisection_target(lb: u64, ub: u64) -> u64 {
-        (lb + ub) / 2
+        debug_assert!(lb <= ub);
+        lb + (ub - lb) / 2
     }
 
     /// Bisection interval update.
@@ -43,11 +48,16 @@ pub mod interval {
     /// intervals). The paper's quarter split is `segments = 4`.
     pub fn nary_targets(lb: u64, ub: u64, segments: usize) -> Vec<u64> {
         assert!(segments >= 1);
-        let s = segments as u64;
-        let width = ub - lb;
-        let bounds: Vec<u64> = (0..=s).map(|p| lb + p * width / s).collect();
+        debug_assert!(lb <= ub);
+        let s = segments as u128;
+        let width = (ub - lb) as u128;
+        // Segment bounds and midpoints in u128: `p · width` wraps u64
+        // for full-range intervals, and `bounds[p] + bounds[p+1]` wraps
+        // when the endpoints are near u64::MAX. Every result is within
+        // `[lb, ub]` (`p·width/s ≤ width`), so the casts back are exact.
+        let bounds: Vec<u128> = (0..=s).map(|p| lb as u128 + p * width / s).collect();
         let mut targets: Vec<u64> = (0..segments)
-            .map(|p| (bounds[p] + bounds[p + 1]) / 2)
+            .map(|p| ((bounds[p] + bounds[p + 1]) / 2) as u64)
             .collect();
         targets.dedup();
         targets
@@ -266,6 +276,9 @@ fn nary_impl(
                 .copied()
                 .filter(|t| !prober.memo.contains_key(t))
                 .collect();
+            // Set view for O(1) membership below — the Vec scan was
+            // O(probes²) per round, O(rounds·probes²) per search.
+            let fresh_set: std::collections::HashSet<u64> = fresh.iter().copied().collect();
             let computed: Vec<ProbeRecord> = fresh
                 .par_iter()
                 .map(|&t| probe(inst, t, k, m, engine))
@@ -279,7 +292,7 @@ fn nary_impl(
                 .map(|&t| {
                     // Every target is memoised now; count the ones that
                     // were already there as cache hits.
-                    if fresh.contains(&t) {
+                    if fresh_set.contains(&t) {
                         prober.memo[&t].clone()
                     } else {
                         prober.cache_hits += 1;
@@ -456,6 +469,61 @@ mod tests {
                 prev_rounds = r.iterations;
             }
         }
+    }
+
+    #[test]
+    fn interval_math_survives_extreme_bounds() {
+        // Regression: `(lb + ub) / 2` and `lb + p·width` both wrapped
+        // when the interval sat near u64::MAX, producing probe targets
+        // *outside* [lb, ub].
+        let cases = [
+            (u64::MAX - 10, u64::MAX),
+            (u64::MAX / 2, u64::MAX),
+            (0, u64::MAX),
+            (u64::MAX - 1, u64::MAX),
+            (u64::MAX, u64::MAX),
+        ];
+        for (lb, ub) in cases {
+            let mid = interval::bisection_target(lb, ub);
+            assert!(mid >= lb && mid <= ub, "bisection [{lb}, {ub}] → {mid}");
+            for segments in [1usize, 2, 4, 8, 16] {
+                let ts = interval::nary_targets(lb, ub, segments);
+                assert!(!ts.is_empty());
+                assert!(
+                    ts.windows(2).all(|w| w[0] < w[1]),
+                    "targets must be strictly ascending"
+                );
+                for &t in &ts {
+                    assert!(
+                        t >= lb && t <= ub,
+                        "{segments}-ary [{lb}, {ub}] → {t} escapes the interval"
+                    );
+                }
+            }
+        }
+        // One-segment n-ary must still equal bisection at the extremes.
+        for (lb, ub) in cases {
+            assert_eq!(
+                interval::nary_targets(lb, ub, 1),
+                vec![interval::bisection_target(lb, ub)]
+            );
+        }
+    }
+
+    #[test]
+    fn search_converges_on_near_max_instance() {
+        // End-to-end: one huge job + small ones. OPT = u64::MAX - 20
+        // (the huge job alone dominates); all searches must converge to
+        // a target ≤ OPT without wrapping anywhere in the interval walk.
+        let inst = Instance::new(vec![u64::MAX - 20, 3, 2, 1], 2);
+        let opt = u64::MAX - 20;
+        for segments in [1usize, 4] {
+            let r = nary(&inst, 4, ENGINE, segments);
+            assert_eq!(r.target, opt, "{segments}-ary");
+            assert!(r.records.iter().all(|rec| rec.lb <= rec.ub));
+        }
+        let b = bisection(&inst, 4, ENGINE);
+        assert_eq!(b.target, opt);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use pcmax_core::exact::{brute_force_makespan, min_bins};
 use pcmax_core::Instance;
 use pcmax_ptas::config::{count_configs, dominated_box_size};
+use pcmax_ptas::search::interval;
 use pcmax_ptas::{DpEngine, DpProblem, Ptas, SearchStrategy};
 use proptest::prelude::*;
 
@@ -105,6 +106,30 @@ proptest! {
         prop_assert!(ms <= bound, "makespan {} vs opt {} bound {}", ms, opt, bound);
         // The converged target never exceeds the true optimum.
         prop_assert!(res.target <= opt);
+    }
+
+    #[test]
+    fn interval_targets_stay_in_bounds_at_any_magnitude(raw_lb in 0u64..=u64::MAX,
+                                                        span in 0u64..=u64::MAX,
+                                                        segments in 1usize..=16) {
+        // Bounds anywhere in u64 — including lb = ub and ub = u64::MAX,
+        // where the naive (lb + ub) / 2 midpoint wraps.
+        let lb = raw_lb;
+        let ub = lb.saturating_add(span);
+
+        let mid = interval::bisection_target(lb, ub);
+        prop_assert!(lb <= mid && mid <= ub, "bisection {} outside [{}, {}]", mid, lb, ub);
+
+        let targets = interval::nary_targets(lb, ub, segments);
+        prop_assert!(!targets.is_empty());
+        for pair in targets.windows(2) {
+            prop_assert!(pair[0] < pair[1], "targets must strictly ascend: {:?}", targets);
+        }
+        for &t in &targets {
+            prop_assert!(lb <= t && t <= ub, "n-ary target {} outside [{}, {}]", t, lb, ub);
+        }
+        // One segment degenerates to bisection.
+        prop_assert_eq!(interval::nary_targets(lb, ub, 1), vec![mid]);
     }
 
     #[test]

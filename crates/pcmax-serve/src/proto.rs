@@ -52,7 +52,17 @@ pub enum Request {
 }
 
 /// Parses one request line.
+///
+/// Every parse/validation failure is prefixed `invalid request: ` — the
+/// cluster coordinator keys its degradation ladder on that prefix to
+/// classify the error as *non-retryable* (the request itself is bad, so
+/// retrying or failing over to another worker would just replay the
+/// rejection across the fleet).
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_request_inner(line).map_err(|e| format!("invalid request: {e}"))
+}
+
+fn parse_request_inner(line: &str) -> Result<Request, String> {
     let mut words = line.split_whitespace();
     match words.next() {
         Some("solve") => {
@@ -78,14 +88,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 return Err("trailing fields after processing times".into());
             }
             let times = parse_u64_list(times_field).map_err(|e| format!("bad times: {e}"))?;
-            if times.is_empty() {
-                return Err("instance needs at least one job".into());
-            }
-            if times.contains(&0) {
-                return Err("processing times must be positive".into());
-            }
+            // The overflow gate: `Instance::try_new` rejects empty/zero
+            // shapes AND total work beyond u64::MAX, so a wrap-inducing
+            // instance dies here as a protocol error instead of
+            // producing a silently wrong schedule inside a worker.
+            let instance = Instance::try_new(times, machines).map_err(|e| e.to_string())?;
             Ok(Request::Solve(SolveRequest {
-                instance: Instance::new(times, machines),
+                instance,
                 epsilon,
                 deadline: deadline_ms.map(Duration::from_millis),
             }))
@@ -405,6 +414,33 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_invalid_request_prefix() {
+        // The cluster's non-retryable classification keys on this
+        // prefix; every rejection must carry it.
+        for bad in ["", "solve", "solve 2 - - 5,0,3", "frobnicate"] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                err.starts_with("invalid request: "),
+                "`{bad}` → `{err}` lacks the prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn total_work_overflow_is_rejected_at_the_boundary() {
+        let line = format!("solve 2 - - {},{}", u64::MAX, u64::MAX);
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.starts_with("invalid request: "), "{err}");
+        assert!(err.contains("total work exceeds"), "{err}");
+        // A single u64::MAX job is a *legal* instance (W fits exactly).
+        let ok = format!("solve 2 - - {}", u64::MAX);
+        assert!(matches!(
+            parse_request(&ok).unwrap(),
+            Request::Solve(req) if req.instance.max_time() == u64::MAX
+        ));
     }
 
     #[test]

@@ -148,7 +148,9 @@ pub fn solve_cached(
         if expired(Instant::now()) {
             return Err(Degrade::DeadlineExceeded);
         }
-        let t = (lb + ub) / 2;
+        // Overflow-safe midpoint (same fix as `search::interval`): the
+        // plain sum wraps for u64-scale instances admitted by the gate.
+        let t = lb + (ub - lb) / 2;
         let outcome = probe_cached(
             inst, t, k, engine, cache, max_table_cells, &mut hits, &mut misses,
         )?;

@@ -16,3 +16,11 @@ cargo test -q
   --jobs 16 --machines 3 --kill-after 3 \
   --out target/BENCH_cluster_smoke.json
 test -s target/BENCH_cluster_smoke.json
+
+# Overflow audit smoke: the adversarial differential harness (engines,
+# searches, serve solver, oracles, validation gate) across 64 seeds of
+# u64-scale instances. Exits non-zero on any divergence; running it on
+# the release build also exercises `overflow-checks = true` (see
+# DESIGN.md §"Numeric ranges & overflow policy").
+./target/release/pcmax audit --seeds 64 --out target/AUDIT.json
+test -s target/AUDIT.json

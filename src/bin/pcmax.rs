@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "bench-serve" => cmd_bench_serve(rest),
         "cluster" => cmd_cluster(rest),
         "bench-cluster" => cmd_bench_cluster(rest),
+        "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +77,7 @@ USAGE:
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
+  pcmax audit         [--seeds N] [--k N] [--max-cells N] [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -89,7 +91,12 @@ starts N in-process workers behind a cache-affinity routing coordinator
 speaking the same protocol (`stats` answers with the aggregated cluster
 report). `bench-cluster` drives a cluster over loopback — optionally
 killing a worker after `--kill-after` requests to exercise failover —
-and writes BENCH_cluster.json.";
+and writes BENCH_cluster.json. `audit` runs the adversarial
+differential-fuzz harness (u64-scale times, degenerate shapes) across
+`--seeds` seeds, cross-checking the three DP engines cell-for-cell, the
+searches, the serve solver, and the exact oracles; it prints a JSON
+divergence report (optionally to `--out FILE`) and exits non-zero if
+any check diverged.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -689,4 +696,51 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     handle.shutdown();
     service.shutdown();
     Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let seeds: u64 = flag_parse(args, "--seeds", 16)?;
+    let k: u64 = flag_parse(args, "--k", 4)?;
+    let max_cells: usize = flag_parse(args, "--max-cells", 1usize << 20)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    let started = Instant::now();
+    let report = pcmax::audit::run(&pcmax::AuditConfig {
+        seeds,
+        k,
+        max_table_cells: max_cells,
+    });
+    let json = report.to_json();
+    match flag(args, "--out") {
+        Some(path) => {
+            fs::write(path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "audit: {} cases, {} checks, {} divergences in {:.2?}",
+        report.cases,
+        report.checks,
+        report.divergences.len(),
+        started.elapsed()
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        for d in &report.divergences {
+            eprintln!(
+                "divergence [{}] {} seed {}: {}",
+                d.check, d.family, d.seed, d.detail
+            );
+        }
+        Err(format!(
+            "{} divergence(s) found — the solve path disagrees with itself",
+            report.divergences.len()
+        ))
+    }
 }

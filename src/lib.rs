@@ -41,8 +41,9 @@
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
 //! | [`pcmax_cluster`] | sharded multi-worker serving: cache-affinity routing, health checks, failover |
 //! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
+//! | [`pcmax_audit`] | adversarial differential-fuzz harness over engines, searches, and oracles |
 
-pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, Schedule};
+pub use pcmax_core::{self as core, lower_bound, upper_bound, Instance, InstanceError, Schedule};
 pub use pcmax_core::{exact, gen, heuristics};
 
 pub use pcmax_ptas::{self as ptas, DpEngine, DpProblem, DpSolution, Ptas, PtasResult,
@@ -59,6 +60,7 @@ pub use pcmax_serve::{
 pub use pcmax_cluster::{
     self as cluster, ClusterConfig, ClusterReport, Coordinator, LocalCluster, RouteKey,
 };
+pub use pcmax_audit::{self as audit, AuditConfig, AuditReport};
 
 /// One-stop imports for the common workflow.
 pub mod prelude {

@@ -217,3 +217,50 @@ fn cluster_front_end_speaks_the_serve_protocol() {
 
     handle.shutdown();
 }
+
+#[test]
+fn overflowing_requests_never_reach_the_workers_or_trigger_failover() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let cluster = LocalCluster::start(2, ServeConfig::default(), fast_cluster_config())
+        .expect("start cluster");
+    let handle = serve_cluster_tcp(Arc::clone(cluster.coordinator()), "127.0.0.1:0")
+        .expect("bind front-end");
+
+    // Raw stream: an Instance whose total work wraps u64 can only exist
+    // on the wire, so drive the front-end below the typed client.
+    let stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let half = u64::MAX / 2;
+    writeln!(writer, "solve 2 0.3 - {half},{half},2").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    assert!(
+        reply.starts_with("err invalid request: "),
+        "the gate must answer with the non-retryable prefix: {reply}"
+    );
+    assert!(reply.contains("total work exceeds u64::MAX"), "{reply}");
+
+    // Non-retryable means exactly that: the bad request is answered at
+    // the front door — no routing, no same-worker retries, no failover
+    // hops replaying the rejection across the fleet.
+    let report = cluster.coordinator().report();
+    assert_eq!(report.routed, 0, "rejected before routing: {report:?}");
+    assert_eq!(report.retries, 0, "no retry storm: {report:?}");
+    assert_eq!(report.failovers, 0, "no failover storm: {report:?}");
+    for i in 0..cluster.len() {
+        let accepted = cluster.service(i).expect("worker alive").report().accepted;
+        assert_eq!(accepted, 0, "worker {i} must never see the bad request");
+    }
+
+    // The same connection then serves a well-formed request normally.
+    writeln!(writer, "solve 2 0.3 - {half},{half},1").expect("send");
+    let mut ok = String::new();
+    reader.read_line(&mut ok).expect("recv");
+    assert!(ok.starts_with("ok "), "sum == u64::MAX is representable: {ok}");
+    assert_eq!(cluster.coordinator().report().completed, 1);
+
+    handle.shutdown();
+}

@@ -11,7 +11,9 @@
 use pcmax::core::exact::min_bins;
 use pcmax::core::{bounds, gen::uniform};
 use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
-use pcmax::{DpEngine, DpProblem};
+use pcmax::ptas::search::interval;
+use pcmax::{DpEngine, DpProblem, Instance};
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,8 +118,8 @@ fn rounded_instances_agree_across_engines_and_match_min_bins() {
         let lb = bounds::lower_bound(&inst);
         let ub = bounds::upper_bound(&inst);
         // Probe the ends and middle of the search interval, like the
-        // bisection would.
-        for target in [lb, (lb + ub) / 2, ub] {
+        // bisection would (using the overflow-safe midpoint).
+        for target in [lb, interval::bisection_target(lb, ub), ub] {
             let r = match Rounding::compute(&inst, target, k) {
                 RoundingOutcome::Infeasible { .. } => continue,
                 RoundingOutcome::Rounded(r) => r,
@@ -129,6 +131,78 @@ fn rounded_instances_agree_across_engines_and_match_min_bins() {
             let sol = assert_engines_agree(&p);
             assert_matches_oracle(&p, &sol);
         }
+    }
+}
+
+/// Rounds `inst` at the ends and midpoint of its search interval and
+/// runs every resulting DP problem through the full engine-agreement
+/// (and, when tractable, exact-oracle) gauntlet.
+fn differential_check(inst: &Instance, k: u64) {
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    for target in [lb, interval::bisection_target(lb, ub), ub] {
+        let r = match Rounding::compute(inst, target, k) {
+            RoundingOutcome::Infeasible { .. } => continue,
+            RoundingOutcome::Rounded(r) => r,
+        };
+        let p = DpProblem::from_rounding(&r);
+        if p.table_size() > 5_000 {
+            continue; // capacity guard, not a correctness statement
+        }
+        let sol = assert_engines_agree(&p);
+        if items_of(&p).len() <= 10 {
+            assert_matches_oracle(&p, &sol);
+        }
+    }
+}
+
+#[test]
+fn adversarial_u64_scale_instances_agree_across_engines() {
+    // The audit crate's generator families (times near u64::MAX, m > n,
+    // single-class floods, gcd-scaled duplicates, m = 1, tiny oracle
+    // cases) are exactly the magnitudes where a wrapping multiply or
+    // midpoint once produced silently-wrong tables. Every family must
+    // survive the cell-for-cell differential.
+    for seed in 0..8u64 {
+        for case in pcmax::audit::adversarial_suite(seed) {
+            differential_check(&case.instance, 4);
+        }
+    }
+}
+
+/// Instances whose per-job magnitudes span the whole `u64` range while
+/// the total work stays representable (each time ≤ `u64::MAX / n`).
+fn u64_scale_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=8, 1usize..=4).prop_flat_map(|(n, m)| {
+        let per_job_cap = u64::MAX / n as u64; // n ≤ 8 → cap ≥ 2⁶¹
+        // Each job draws a magnitude tier and a raw value, so a single
+        // instance can mix tiny jobs with jobs near the per-job ceiling
+        // — the mix that once provoked wrapping classification products.
+        prop::collection::vec((0usize..3, 1u64..=u64::MAX), n).prop_map(move |draws| {
+            let times: Vec<u64> = draws
+                .into_iter()
+                .map(|(tier, raw)| match tier {
+                    0 => raw % 50 + 1,
+                    1 => raw % (per_job_cap / 2) + 1,
+                    _ => per_job_cap - raw % (per_job_cap / 64 + 1),
+                })
+                .collect();
+            Instance::new(times, m)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_u64_scale_instances(inst in u64_scale_instance()) {
+        differential_check(&inst, 4);
+    }
+
+    #[test]
+    fn engines_agree_under_varied_precision(inst in u64_scale_instance(), k in 1u64..=6) {
+        differential_check(&inst, k);
     }
 }
 

@@ -223,3 +223,44 @@ fn protocol_errors_do_not_kill_the_connection() {
     handle.shutdown();
     service.shutdown();
 }
+
+#[test]
+fn overflowing_total_work_is_rejected_at_the_wire_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (service, addr, handle) = start_service(ServeConfig::default());
+
+    // Hand-rolled stream: `Client::solve` cannot even *build* this
+    // request, because `Instance::new` refuses totals past u64::MAX —
+    // only the wire can deliver one, which is exactly what the
+    // validation gate exists for.
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let half = u64::MAX / 2;
+    writeln!(writer, "solve 2 0.3 - {half},{half},2").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    assert!(
+        reply.starts_with("err invalid request: "),
+        "a wrap-inducing total must be a protocol error, got: {reply}"
+    );
+    assert!(reply.contains("total work exceeds u64::MAX"), "{reply}");
+
+    // The boundary is exact: half + half + 1 = u64::MAX is admitted and
+    // solved — the gate rejects overflow, not magnitude.
+    writeln!(writer, "solve 2 0.3 - {half},{half},1").expect("send");
+    let mut ok = String::new();
+    reader.read_line(&mut ok).expect("recv");
+    assert!(ok.starts_with("ok "), "sum == u64::MAX is representable: {ok}");
+
+    // And the connection is still alive for further requests.
+    writeln!(writer, "ping").expect("send");
+    let mut pong = String::new();
+    reader.read_line(&mut pong).expect("recv");
+    assert_eq!(pong.trim_end(), "pong");
+
+    handle.shutdown();
+    service.shutdown();
+}
