@@ -17,7 +17,10 @@
 //! * [`blocked`] — the block-major memory layout produced by the paper's
 //!   data-partitioning scheme, including the `M_offset` bijection, the
 //!   physical reorganisation of a row-major table, and block-level
-//!   (wavefront-of-blocks) scheduling.
+//!   (wavefront-of-blocks) scheduling;
+//! * [`paged`] — the same blocks treated as *pages* of a
+//!   [`pcmax_store::TieredStore`], so sweeps can run tables bigger than
+//!   the RAM budget by faulting and committing one block-level at a time.
 //!
 //! The crate is deliberately independent of the scheduling problem: it only
 //! knows about dense boxes of cells and their dependence structure under
@@ -27,6 +30,7 @@
 pub mod antidiag;
 pub mod blocked;
 pub mod index;
+pub mod paged;
 pub mod partition;
 pub mod shape;
 pub mod table;
@@ -34,6 +38,7 @@ pub mod table;
 pub use antidiag::LevelBuckets;
 pub use blocked::{BlockLevels, BlockedLayout};
 pub use index::MultiIndexIter;
+pub use paged::PagedTable;
 pub use partition::Divisor;
 pub use shape::Shape;
 pub use table::NdTable;

@@ -1,0 +1,164 @@
+//! Paged view of a blocked table: blocks are pages in a
+//! [`pcmax_store::TieredStore`].
+//!
+//! Algorithm 4's block-major reorganisation makes every block a
+//! contiguous, independently transferable run of cells — exactly a page.
+//! [`PagedTable`] glues a [`BlockedLayout`] to a store handle so a
+//! block-level sweep can commit each finished block as a page and fault
+//! dependency pages back in, instead of holding the whole table resident.
+//! Only the frontier block-levels need RAM; everything colder demotes to
+//! the store's disk tier under its byte budget — this is what makes
+//! tables exceeding RAM solvable at all.
+
+use crate::blocked::BlockedLayout;
+use pcmax_store::{StoreError, TieredStore};
+use std::sync::Arc;
+
+/// A blocked table whose blocks live in a tiered page store.
+///
+/// Page ids are the flat block indices of the layout's grid, so the
+/// store's spill files correspond one-to-one to the paper's blocks.
+#[derive(Debug)]
+pub struct PagedTable {
+    layout: BlockedLayout,
+    store: Arc<TieredStore>,
+}
+
+impl PagedTable {
+    /// Wraps `store` as the backing for tables of `layout`. The handle
+    /// is shared: callers keep their clone to read
+    /// [`TieredStore::stats`] after the sweep.
+    pub fn new(layout: BlockedLayout, store: Arc<TieredStore>) -> Self {
+        Self { layout, store }
+    }
+
+    /// The block layout pages map onto.
+    pub fn layout(&self) -> &BlockedLayout {
+        &self.layout
+    }
+
+    /// The backing store (for stats and budget introspection).
+    pub fn store(&self) -> &TieredStore {
+        &self.store
+    }
+
+    /// Unwraps the backing store handle.
+    pub fn into_store(self) -> Arc<TieredStore> {
+        self.store
+    }
+
+    /// Commits a finished block's cells as the page `block_flat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not exactly one block long.
+    pub fn commit_block(&self, block_flat: usize, cells: Vec<u32>) -> Result<(), StoreError> {
+        assert_eq!(
+            cells.len(),
+            self.layout.cells_per_block(),
+            "page must be exactly one block"
+        );
+        self.store.put(block_flat as u64, Arc::new(cells))
+    }
+
+    /// Faults the page of block `block_flat` in from the store.
+    ///
+    /// A missing page is [`StoreError::Corrupt`]: the sweep commits every
+    /// block of a level before any later level reads it, so absence means
+    /// the store lost a page.
+    pub fn fault_block(&self, block_flat: usize) -> Result<Arc<Vec<u32>>, StoreError> {
+        self.store
+            .get(block_flat as u64)?
+            .ok_or_else(|| StoreError::Corrupt {
+                detail: format!("page {block_flat} missing from store"),
+            })
+    }
+
+    /// Gathers every page back into one row-major table (the paged
+    /// counterpart of [`BlockedLayout::scatter_back`]). Faults pages one
+    /// at a time, so peak residency stays one block above the budget.
+    pub fn gather(&self) -> Result<Vec<u32>, StoreError> {
+        let shape = self.layout.shape();
+        let cpb = self.layout.cells_per_block();
+        let mut out = vec![0u32; shape.size()];
+        let mut idx = vec![0usize; shape.ndim()];
+        for bf in 0..self.layout.num_blocks() {
+            let page = self.fault_block(bf)?;
+            for (in_flat, &val) in page.iter().enumerate() {
+                self.layout.unblock_into(bf * cpb + in_flat, &mut idx);
+                out[shape.flatten(&idx)] = val;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Divisor;
+    use crate::shape::Shape;
+    use pcmax_store::{StoreBudget, StoreConfig};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ndtable-paged-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn layout(extents: &[usize], divisor: &[usize]) -> BlockedLayout {
+        let shape = Shape::new(extents);
+        let d = Divisor::from_parts(&shape, divisor);
+        BlockedLayout::new(shape, d)
+    }
+
+    #[test]
+    fn commit_fault_gather_roundtrips_under_spill_pressure() {
+        let dir = tmp_dir("roundtrip");
+        let l = layout(&[6, 4, 6], &[3, 2, 2]);
+        let cpb = l.cells_per_block();
+        // Budget of two pages for a 12-page table: most blocks must spill.
+        let store = Arc::new(
+            TieredStore::open(&StoreConfig {
+                budget: StoreBudget::bytes(2 * pcmax_store::page_bytes(cpb)),
+                spill_dir: Some(dir.clone()),
+            })
+            .unwrap(),
+        );
+        let paged = PagedTable::new(l.clone(), store);
+
+        // Reference data: row-major cell values = their own flat index.
+        let data: Vec<u32> = (0..l.shape().size() as u32).collect();
+        let blocked = l.reorganize(&data);
+        for bf in 0..l.num_blocks() {
+            let region = l.block_region(bf);
+            paged.commit_block(bf, blocked[region].to_vec()).unwrap();
+        }
+        let stats = paged.store().stats();
+        assert!(stats.demotions > 0, "2-page budget must spill: {stats:?}");
+
+        // Faulting any block returns exactly its contiguous cells.
+        for bf in [0, 5, l.num_blocks() - 1] {
+            let page = paged.fault_block(bf).unwrap();
+            assert_eq!(&*page, &blocked[l.block_region(bf)]);
+        }
+        assert_eq!(paged.gather().unwrap(), data);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_page_is_a_structured_error() {
+        let paged = PagedTable::new(
+            layout(&[4, 4], &[2, 2]),
+            Arc::new(TieredStore::open(&StoreConfig::default()).unwrap()),
+        );
+        assert!(matches!(
+            paged.fault_block(1),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

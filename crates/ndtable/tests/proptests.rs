@@ -2,8 +2,10 @@
 //! anti-diagonal structure, and the blocked-layout bijection.
 
 use ndtable::partition::{sqrt_descent_divisor, DivisorRule};
-use ndtable::{BlockLevels, BlockedLayout, Divisor, Shape};
+use ndtable::{BlockLevels, BlockedLayout, Divisor, PagedTable, Shape};
+use pcmax_store::{decode_page, encode_page, page_bytes, StoreConfig, StoreError, TieredStore};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random small shapes: 1–6 dimensions with extents 1–8 and a size cap so
 /// exhaustive checks stay fast.
@@ -184,5 +186,49 @@ proptest! {
         let bl = BlockLevels::new(&layout);
         let total: usize = bl.iter().map(|(_, b)| b.len()).sum();
         prop_assert_eq!(total, layout.num_blocks());
+    }
+
+    #[test]
+    fn paged_table_pages_are_a_bijection_of_blocks(shape in small_shape(), seed in any::<u64>()) {
+        // Commit every block of a random layout through a RAM-only store
+        // and fault each back: pages must reproduce exactly the block's
+        // contiguous cell run, and the gather must reproduce the
+        // row-major original — the store never aliases or loses a page.
+        let layout = BlockedLayout::new(shape.clone(), random_divisor(&shape, seed));
+        let store = Arc::new(TieredStore::open(&StoreConfig::default()).unwrap());
+        let paged = PagedTable::new(layout.clone(), store);
+        let data: Vec<u32> = (0..shape.size() as u32).collect();
+        let blocked = layout.reorganize(&data);
+        for bf in 0..layout.num_blocks() {
+            paged.commit_block(bf, blocked[layout.block_region(bf)].to_vec()).unwrap();
+        }
+        for bf in 0..layout.num_blocks() {
+            let page = paged.fault_block(bf).unwrap();
+            prop_assert_eq!(&page[..], &blocked[layout.block_region(bf)]);
+        }
+        prop_assert_eq!(paged.gather().unwrap(), data);
+    }
+
+    #[test]
+    fn page_codec_roundtrips_and_checksums(cells in prop::collection::vec(any::<u32>(), 0..256)) {
+        let bytes = encode_page(&cells);
+        prop_assert_eq!(bytes.len() as u64, page_bytes(cells.len()));
+        prop_assert_eq!(decode_page(&bytes).unwrap(), cells);
+    }
+
+    #[test]
+    fn page_codec_rejects_any_single_bit_flip(cells in prop::collection::vec(any::<u32>(), 1..64),
+                                              bit in any::<usize>()) {
+        // Flipping any one bit anywhere — magic, version, count, checksum,
+        // or payload — must surface as a structured corruption error, not
+        // as silently different cells.
+        let mut bytes = encode_page(&cells);
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match decode_page(&bytes) {
+            Err(StoreError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "expected Corrupt, got {:?}", other),
+            Ok(decoded) => prop_assert!(false, "bit flip decoded to {:?}", decoded),
+        }
     }
 }

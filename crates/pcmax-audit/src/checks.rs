@@ -13,6 +13,9 @@ use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
 use pcmax_ptas::search::{self, interval};
 use pcmax_ptas::{Ptas, SearchStrategy};
 use pcmax_serve::solver::{solve_cached, DpCache};
+use pcmax_serve::WarmTier;
+use pcmax_store::{StoreBudget, StoreConfig, StoreError, TieredStore};
+use std::path::PathBuf;
 
 /// The three DP engines that must agree cell-for-cell.
 pub const ENGINES: [DpEngine; 4] = [
@@ -154,12 +157,13 @@ pub fn check_serve_solver(inst: &Instance, ctx: &mut CheckCtx<'_>) {
     ctx.bump();
     // Skip when even a single probe's table would blow the budget; the
     // serve path degrades by design there.
-    let cache = DpCache::new(2, 64);
+    let cache = DpCache::new(2, 64 << 10);
     match solve_cached(
         inst,
         ctx.k,
         DpEngine::Sequential,
         &cache,
+        None,
         None,
         ctx.max_table_cells,
     ) {
@@ -266,6 +270,185 @@ pub fn check_small_oracle(inst: &Instance, ctx: &mut CheckCtx<'_>) {
             format!("T* {t_star} exceeds OPT {opt} — infeasible probes proved a false bound"),
         );
     }
+}
+
+/// A scratch directory unique to this process, check, and case (the
+/// audit may run concurrently with other test binaries).
+fn scratch_dir(ctx: &CheckCtx<'_>, tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pcmax-audit-{}-{tag}-{}-{}",
+        std::process::id(),
+        ctx.family,
+        ctx.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Differential check of the paged DP engine against the in-RAM
+/// sequential engine: a starvation-level byte budget with a spill
+/// directory must still produce the identical value table cell for
+/// cell, and the same budget *without* spill must fail fast with a
+/// structured [`StoreError::BudgetExceeded`] — never a wrong answer.
+pub fn check_paged_store(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    let target = interval::bisection_target(lb, ub);
+    let rounding = match Rounding::compute(inst, target, ctx.k) {
+        RoundingOutcome::Infeasible { .. } => return,
+        RoundingOutcome::Rounded(r) => r,
+    };
+    let problem = DpProblem::from_rounding(&rounding);
+    // Disk traffic per case stays bounded: the differential point is
+    // budget < table, not table size.
+    if problem.table_size() > (1 << 16) || problem.table_size() > ctx.max_table_cells {
+        return;
+    }
+    ctx.bump();
+    let reference = problem.solve(DpEngine::Sequential);
+    let dir = scratch_dir(ctx, "paged");
+    let spill = StoreConfig {
+        budget: StoreBudget::bytes(4096),
+        spill_dir: Some(dir.clone()),
+    };
+    match TieredStore::open(&spill).and_then(|store| problem.solve_paged(2, std::sync::Arc::new(store))) {
+        Ok(sol) => {
+            if sol.opt != reference.opt {
+                ctx.diverge(
+                    "paged-opt",
+                    format!("paged OPT {} vs Sequential {}", sol.opt, reference.opt),
+                );
+            }
+            if sol.values != reference.values {
+                let cell = sol
+                    .values
+                    .iter()
+                    .zip(&reference.values)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                ctx.diverge(
+                    "paged-cells",
+                    format!("paged table diverges from Sequential at cell {cell}"),
+                );
+            }
+        }
+        Err(e) => ctx.diverge("paged-solve", format!("spill-backed solve failed: {e}")),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ctx.bump();
+    let no_spill = StoreConfig {
+        budget: StoreBudget::bytes(64),
+        spill_dir: None,
+    };
+    match TieredStore::open(&no_spill).and_then(|store| problem.solve_paged(2, std::sync::Arc::new(store))) {
+        // Tiny tables may legitimately fit 64 bytes — then the answer
+        // must still be right.
+        Ok(sol) => {
+            if sol.opt != reference.opt {
+                ctx.diverge(
+                    "paged-failfast",
+                    format!(
+                        "no-spill solve fit the budget but OPT {} vs Sequential {}",
+                        sol.opt, reference.opt
+                    ),
+                );
+            }
+        }
+        Err(StoreError::BudgetExceeded { needed, budget }) => {
+            if needed <= budget {
+                ctx.diverge(
+                    "paged-failfast",
+                    format!("BudgetExceeded with needed {needed} <= budget {budget}"),
+                );
+            }
+        }
+        Err(e) => ctx.diverge(
+            "paged-failfast",
+            format!("expected BudgetExceeded, got: {e}"),
+        ),
+    }
+}
+
+/// Kill-and-rehydrate: solve through a warm store, drop every in-RAM
+/// structure (the "process exit"), reopen the same directory, and
+/// assert the rehydrated solve answers entirely from disk with the
+/// same converged target and an identical schedule.
+pub fn check_warm_rehydrate(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    ctx.bump();
+    let dir = scratch_dir(ctx, "warm");
+    let warm = match WarmTier::open(&dir) {
+        Ok(w) => w,
+        Err(e) => {
+            ctx.diverge("warm-open", format!("cannot open warm tier: {e}"));
+            return;
+        }
+    };
+    let cache = DpCache::new(2, 64 << 10);
+    let first = match solve_cached(
+        inst,
+        ctx.k,
+        DpEngine::Sequential,
+        &cache,
+        Some(&warm),
+        None,
+        ctx.max_table_cells,
+    ) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            // Table over budget: capacity, not correctness.
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    };
+    drop(warm);
+    drop(cache);
+    let warm = match WarmTier::open(&dir) {
+        Ok(w) => w,
+        Err(e) => {
+            ctx.diverge("warm-reopen", format!("cannot reopen warm tier: {e}"));
+            return;
+        }
+    };
+    let fresh = DpCache::new(2, 64 << 10);
+    match solve_cached(
+        inst,
+        ctx.k,
+        DpEngine::Sequential,
+        &fresh,
+        Some(&warm),
+        None,
+        ctx.max_table_cells,
+    ) {
+        Ok(second) => {
+            if second.cache_misses != 0 {
+                ctx.diverge(
+                    "warm-recompute",
+                    format!(
+                        "{} probes recomputed after rehydration (expected all from disk)",
+                        second.cache_misses
+                    ),
+                );
+            }
+            if second.target != first.target {
+                ctx.diverge(
+                    "warm-target",
+                    format!("rehydrated T* {} vs cold {}", second.target, first.target),
+                );
+            }
+            if second.schedule.assignment() != first.schedule.assignment() {
+                ctx.diverge(
+                    "warm-schedule",
+                    "rehydrated configs produced a different schedule".to_string(),
+                );
+            }
+        }
+        Err(_) => ctx.diverge(
+            "warm-degrade",
+            "rehydrated solve degraded where the cold solve succeeded".to_string(),
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The validation gate itself: raw shapes that must be rejected, and the

@@ -11,6 +11,10 @@
 //! * the three DP engines compared cell-for-cell,
 //! * bisection vs quarter vs n-ary vs parallel n-ary convergence,
 //! * the serve layer's cache-backed solver vs the plain search,
+//! * the paged (spill-to-disk) DP engine vs the in-RAM sequential
+//!   engine cell-for-cell, plus the no-spill fail-fast contract,
+//! * kill-and-rehydrate: a solve replayed through a reopened warm store
+//!   must answer entirely from disk with an identical schedule,
 //! * heuristics and the PTAS vs `brute_force_makespan` /
 //!   `subset_dp_makespan` on small instances,
 //! * the dual-approximation invariant `LB ≤ T* ≤ OPT` and the
@@ -89,6 +93,8 @@ pub fn run(config: &AuditConfig) -> AuditReport {
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
+            checks::check_paged_store(&case.instance, &mut ctx);
+            checks::check_warm_rehydrate(&case.instance, &mut ctx);
             checks::check_ptas_invariant(&case.instance, &mut ctx);
             checks::check_small_oracle(&case.instance, &mut ctx);
         }

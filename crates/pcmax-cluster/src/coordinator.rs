@@ -54,6 +54,11 @@ pub struct ClusterConfig {
     pub default_epsilon: f64,
     /// Deadline for requests that don't carry their own.
     pub default_deadline: Duration,
+    /// Memory-pressure threshold (percent of the worker's cache byte
+    /// budget): a worker reporting at or above it stays routable but is
+    /// ranked after every unpressured worker, so failover traffic flows
+    /// to workers with cache headroom first.
+    pub pressure_threshold_pct: u64,
 }
 
 impl Default for ClusterConfig {
@@ -68,6 +73,7 @@ impl Default for ClusterConfig {
             max_missed_beats: 3,
             default_epsilon: 0.3,
             default_deadline: Duration::from_secs(2),
+            pressure_threshold_pct: 90,
         }
     }
 }
@@ -193,6 +199,14 @@ impl Coordinator {
     /// first. If every worker is marked down the full set is ranked
     /// instead — a desperate request still prefers *trying* a worker
     /// over silently degrading.
+    ///
+    /// Memory pressure overrides rendezvous affinity: every worker at or
+    /// above `pressure_threshold_pct` sorts after every worker below it
+    /// (by heartbeat-reported pressure). A pressured worker's cache is
+    /// thrashing against its byte budget, so preserving its affinity
+    /// would route requests at exactly the node least able to cache
+    /// them — but it stays in the order as a late rung, because a
+    /// pressured worker still beats local degradation.
     fn rank(&self, key_hash: u64) -> Vec<Arc<WorkerNode>> {
         let workers = self.workers.read().expect("workers poisoned");
         let mut ranked: Vec<Arc<WorkerNode>> =
@@ -201,9 +215,14 @@ impl Coordinator {
             ranked = workers.clone();
         }
         drop(workers);
+        let threshold = self.config.pressure_threshold_pct;
         ranked.sort_by(|a, b| {
-            rendezvous_score(b.seed, key_hash)
-                .cmp(&rendezvous_score(a.seed, key_hash))
+            let (pa, pb) = (a.pressure_pct(), b.pressure_pct());
+            (pa >= threshold)
+                .cmp(&(pb >= threshold))
+                .then_with(|| {
+                    rendezvous_score(b.seed, key_hash).cmp(&rendezvous_score(a.seed, key_hash))
+                })
                 .then_with(|| a.id.cmp(&b.id))
         });
         ranked
@@ -465,8 +484,9 @@ impl Coordinator {
             }
             for worker in self.snapshot_workers() {
                 match self.probe_health(&worker) {
-                    Ok(_) => {
+                    Ok(reply) => {
                         self.stats.heartbeats_ok.inc();
+                        worker.set_pressure(reply.pressure_pct);
                         self.mark_alive(&worker);
                     }
                     Err(_) => {
@@ -639,6 +659,28 @@ mod tests {
         assert_eq!(report.marked_down, 1);
         assert!(!report.workers[0].up);
         assert_eq!(coordinator.live_workers(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pressured_workers_rank_after_unpressured() {
+        let coordinator = Coordinator::new(ClusterConfig {
+            pressure_threshold_pct: 50,
+            ..ClusterConfig::default()
+        });
+        coordinator.add_worker("a", dead_addr());
+        coordinator.add_worker("b", dead_addr());
+        coordinator.add_worker("c", dead_addr());
+        let ranked = coordinator.rank(42);
+        let primary = ranked[0].id.clone();
+        let second = ranked[1].id.clone();
+        // At the threshold: the rendezvous winner drops to the back.
+        ranked[0].set_pressure(50);
+        let reranked = coordinator.rank(42);
+        assert_eq!(reranked.last().unwrap().id, primary);
+        assert_eq!(reranked[0].id, second, "unpressured order is preserved");
+        // Below the threshold: affinity wins again.
+        ranked[0].set_pressure(49);
+        assert_eq!(coordinator.rank(42)[0].id, primary);
     }
 
     #[test]

@@ -92,10 +92,11 @@ fn handle_connection(coordinator: Arc<Coordinator>, stream: TcpStream) {
             Ok(Request::Stats) => format!("stats {}", coordinator.report().to_json()),
             Ok(Request::Health) => proto::format_health(&HealthReply {
                 uptime_us: coordinator.uptime().as_micros() as u64,
-                // The coordinator holds no queue or cache of its own;
-                // those live in the workers (see `stats`).
+                // The coordinator holds no queue, cache, or byte budget
+                // of its own; those live in the workers (see `stats`).
                 queue_depth: 0,
                 cache_entries: 0,
+                pressure_pct: 0,
             }),
             Ok(Request::Solve(req)) => match coordinator.solve(req) {
                 Ok(reply) => proto::format_response(&reply.response),

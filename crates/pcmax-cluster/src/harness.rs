@@ -38,10 +38,17 @@ impl LocalCluster {
         let coordinator = Coordinator::new(cluster_config);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let service = Service::start(serve_config.clone());
+            let id = format!("worker-{i}");
+            // A shared store dir would have every worker appending to
+            // one warm log; give each worker its own subdirectory so a
+            // restart rehydrates exactly its own hot set.
+            let mut config = serve_config.clone();
+            if let Some(base) = &serve_config.store_dir {
+                config.store_dir = Some(base.join(&id));
+            }
+            let service = Service::start(config);
             let tcp = serve_tcp(Arc::clone(&service), "127.0.0.1:0")?;
             let addr = tcp.local_addr();
-            let id = format!("worker-{i}");
             coordinator.add_worker(&id, addr);
             workers.push(LocalWorker {
                 id,

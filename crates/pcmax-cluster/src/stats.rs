@@ -54,6 +54,9 @@ pub struct WorkerReport {
     pub up: bool,
     /// Consecutive missed beats.
     pub missed_beats: u32,
+    /// Memory pressure it last reported over `health` (percent of its
+    /// cache byte budget).
+    pub pressure_pct: u64,
     /// Solve attempts routed at it (including retries).
     pub attempts: u64,
     /// Requests it answered ok.
@@ -78,6 +81,7 @@ impl WorkerReport {
             addr: worker.addr.to_string(),
             up: state.up,
             missed_beats: state.missed_beats,
+            pressure_pct: state.pressure_pct,
             attempts: c.attempts.get(),
             ok: c.ok.get(),
             server_errors: c.server_errors.get(),
@@ -93,6 +97,7 @@ impl WorkerReport {
             .field_str("addr", &self.addr)
             .field_str("state", if self.up { "up" } else { "down" })
             .field_u64("missed_beats", self.missed_beats as u64)
+            .field_u64("pressure_pct", self.pressure_pct)
             .field_u64("attempts", self.attempts)
             .field_u64("ok", self.ok)
             .field_u64("server_errors", self.server_errors)
@@ -222,6 +227,7 @@ mod tests {
         assert!(json.contains("\"marked_down\":1"), "{json}");
         assert!(json.contains("\"id\":\"w0\""), "{json}");
         assert!(json.contains("\"state\":\"up\""), "{json}");
+        assert!(json.contains("\"pressure_pct\":0"), "{json}");
         assert!(json.contains("\"attempts\":5"), "{json}");
     }
 }

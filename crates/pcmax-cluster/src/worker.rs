@@ -16,6 +16,10 @@ pub struct WorkerState {
     /// Consecutive missed heartbeats / transport failures. Reset to 0 by
     /// any successful round-trip.
     pub missed_beats: u32,
+    /// Memory pressure the worker last reported over its `health` verb
+    /// (DP-cache bytes as a percentage of its budget, clamped to 100).
+    /// 0 until the first heartbeat answers.
+    pub pressure_pct: u64,
 }
 
 /// Per-worker counters, aggregated into the cluster report.
@@ -66,6 +70,7 @@ impl WorkerNode {
             state: Mutex::new(WorkerState {
                 up: true,
                 missed_beats: 0,
+                pressure_pct: 0,
             }),
             conn: Mutex::new(None),
             counters: WorkerCounters::default(),
@@ -80,6 +85,16 @@ impl WorkerNode {
     /// Snapshot of the health state.
     pub fn state(&self) -> WorkerState {
         *self.state.lock().expect("worker state poisoned")
+    }
+
+    /// Memory pressure from the last answered heartbeat.
+    pub fn pressure_pct(&self) -> u64 {
+        self.state.lock().expect("worker state poisoned").pressure_pct
+    }
+
+    /// Records the pressure a heartbeat reply carried.
+    pub fn set_pressure(&self, pressure_pct: u64) {
+        self.state.lock().expect("worker state poisoned").pressure_pct = pressure_pct;
     }
 
     /// Drops the pooled connection (after a transport failure).

@@ -26,9 +26,12 @@
 use crate::config::for_each_config;
 use crate::rounding::Rounding;
 use ndtable::partition::DivisorRule;
-use ndtable::{BlockLevels, BlockedLayout, Divisor, LevelBuckets, Shape};
+use ndtable::{BlockLevels, BlockedLayout, Divisor, LevelBuckets, PagedTable, Shape};
+use pcmax_store::{StoreError, TieredStore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Sentinel for "no feasible packing" (some single job exceeds `cap`).
 pub const INFEASIBLE: u32 = u32::MAX;
@@ -408,6 +411,168 @@ impl DpProblem {
         )
     }
 
+    /// Blocked sweep against a tiered page store: the same block-level
+    /// traversal as [`Self::solve_blocked`], but finished blocks are
+    /// *committed as pages* and dependency blocks are *faulted back in*,
+    /// so only the frontier block-levels need RAM residency. With a spill
+    /// directory configured on the store, this solves tables whose size
+    /// exceeds the RAM budget; without one, a table that outgrows the
+    /// budget fails fast with [`StoreError::BudgetExceeded`].
+    pub fn solve_paged(
+        &self,
+        dim_limit: usize,
+        store: Arc<TieredStore>,
+    ) -> Result<DpSolution, StoreError> {
+        let divisor = Divisor::compute(&self.shape, dim_limit, DivisorRule::TableConsistent);
+        self.solve_paged_with(&divisor, store)
+    }
+
+    /// Paged sweep with an explicit divisor (exposed for ablations and
+    /// differential audits).
+    pub fn solve_paged_with(
+        &self,
+        divisor: &Divisor,
+        store: Arc<TieredStore>,
+    ) -> Result<DpSolution, StoreError> {
+        let layout = BlockedLayout::new(self.shape.clone(), divisor.clone());
+        let block_levels = BlockLevels::new(&layout);
+        let in_block_levels = LevelBuckets::new(layout.block_shape());
+        let cells_per_block = layout.cells_per_block();
+        let ndim = self.shape.ndim();
+        let paged = PagedTable::new(layout.clone(), store);
+
+        let timer = pcmax_obs::Timer::start();
+        let mut configs = 0u64;
+        let mut level_stats = Vec::new();
+
+        for (_, blocks) in block_levels.iter() {
+            let level_timer = pcmax_obs::Timer::start();
+            // As in the in-RAM blocked sweep, a block's own cells come
+            // from scratch; cross-block dependencies live in strictly
+            // lower block-levels, already committed to the store.
+            let results: Vec<Result<(usize, Vec<u32>, u64), StoreError>> = blocks
+                .par_iter()
+                .map(|&bf| {
+                    let region = layout.block_region(bf);
+                    let mut scratch = vec![0u32; cells_per_block];
+                    let mut base = vec![0usize; ndim];
+                    layout.block_base(bf, &mut base);
+                    let mut local_configs = 0u64;
+                    let mut v = vec![0usize; ndim];
+                    let mut inb = vec![0usize; ndim];
+                    let mut dep = vec![0usize; ndim];
+                    // Dependency reads cluster heavily, so each block
+                    // keeps the pages it faulted: repeat reads stay off
+                    // the store lock entirely.
+                    let mut pages: HashMap<usize, Arc<Vec<u32>>> = HashMap::new();
+                    for (_, in_cells) in in_block_levels.iter() {
+                        for &in_flat in in_cells {
+                            layout.block_shape().unflatten_into(in_flat, &mut inb);
+                            for i in 0..ndim {
+                                v[i] = base[i] + inb[i];
+                            }
+                            let (val, c) = self.compute_cell_faulted(
+                                &v,
+                                &layout,
+                                &region,
+                                &scratch,
+                                &paged,
+                                &mut pages,
+                                &mut dep,
+                            )?;
+                            scratch[in_flat] = val;
+                            local_configs += c;
+                        }
+                    }
+                    Ok((bf, scratch, local_configs))
+                })
+                .collect();
+            let mut level_configs = 0u64;
+            for result in results {
+                let (bf, scratch, c) = result?;
+                paged.commit_block(bf, scratch)?;
+                level_configs += c;
+            }
+            configs += level_configs;
+            if level_timer.is_recording() {
+                level_stats.push(DpLevelStat {
+                    cells: (blocks.len() * cells_per_block) as u64,
+                    configs: level_configs,
+                    elapsed_us: level_timer.elapsed_us(),
+                });
+            }
+        }
+
+        let values = paged.gather()?;
+        Ok(self.finish(
+            values,
+            configs,
+            layout.num_blocks(),
+            block_levels.num_levels(),
+            timer.elapsed_us(),
+            level_stats,
+        ))
+    }
+
+    /// Cell computation against the page store: own-block reads hit the
+    /// scratch buffer, cross-block reads fault the dependency's page.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_cell_faulted(
+        &self,
+        v: &[usize],
+        layout: &BlockedLayout,
+        region: &std::ops::Range<usize>,
+        scratch: &[u32],
+        paged: &PagedTable,
+        pages: &mut HashMap<usize, Arc<Vec<u32>>>,
+        dep: &mut [usize],
+    ) -> Result<(u32, u64), StoreError> {
+        if v.iter().all(|&x| x == 0) {
+            return Ok((0, 0));
+        }
+        let cpb = layout.cells_per_block();
+        let mut best = INFEASIBLE;
+        let mut enumerated = 0u64;
+        let mut fault_err: Option<StoreError> = None;
+        let zero_strides = vec![0usize; v.len()];
+        for_each_config(v, &self.sizes, &zero_strides, self.cap, &mut |s, _w, _| {
+            enumerated += 1;
+            if fault_err.is_some() || s.iter().all(|&x| x == 0) {
+                return;
+            }
+            for i in 0..v.len() {
+                dep[i] = v[i] - s[i];
+            }
+            let off = layout.blocked_offset(dep);
+            let val = if region.contains(&off) {
+                scratch[off - region.start]
+            } else {
+                let bf = off / cpb;
+                let page = match pages.entry(bf) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        match paged.fault_block(bf) {
+                            Ok(p) => e.insert(p),
+                            Err(err) => {
+                                fault_err = Some(err);
+                                return;
+                            }
+                        }
+                    }
+                };
+                page[off - bf * cpb]
+            };
+            if val < best {
+                best = val;
+            }
+        });
+        if let Some(err) = fault_err {
+            return Err(err);
+        }
+        let value = if best == INFEASIBLE { INFEASIBLE } else { best + 1 };
+        Ok((value, enumerated))
+    }
+
     /// Cell computation in the blocked layout: every dependency is located
     /// via the blocked offset (the paper's block-scoped search, Alg. 5
     /// lines 25–28).
@@ -771,6 +936,69 @@ mod tests {
         assert_eq!(key.sizes(), &[3, 5]);
         assert_eq!(key.cap(), 11);
         assert_eq!(key.counts(), &[2, 2]);
+    }
+
+    fn tiny_store(tag: &str, budget: u64, spill: bool) -> (Arc<TieredStore>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("pcmax-ptas-dp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TieredStore::open(&pcmax_store::StoreConfig {
+            budget: pcmax_store::StoreBudget::bytes(budget),
+            spill_dir: spill.then(|| dir.clone()),
+        })
+        .expect("open store");
+        (Arc::new(store), dir)
+    }
+
+    #[test]
+    fn paged_engine_agrees_cell_for_cell_under_spill_pressure() {
+        let p = DpProblem::new(vec![3, 2, 2, 1], vec![3, 5, 7, 9], 14);
+        let reference = p.solve_sequential();
+        // A budget of ~2 pages for a many-block table: the sweep cannot
+        // hold even one block-level resident without demoting.
+        let (store, dir) = tiny_store("agree", 200, true);
+        let sol = p.solve_paged(3, store).expect("paged solve");
+        assert_eq!(sol.values, reference.values);
+        assert_eq!(sol.opt, reference.opt);
+        assert_eq!(sol.stats.table_size, reference.stats.table_size);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_engine_spills_and_faults_when_the_table_exceeds_the_budget() {
+        let p = DpProblem::new(vec![5, 5, 5], vec![3, 4, 5], 20);
+        let (store, dir) = tiny_store("spill", 300, true);
+        let sol = p.solve_paged(3, Arc::clone(&store)).expect("paged solve");
+        assert_eq!(sol.values, p.solve_sequential().values);
+        // The sweep itself proves spill happened: pages were demoted and
+        // faulted back.
+        let stats = store.stats();
+        assert!(stats.faults > 0, "under a 300-byte budget reads must fault: {stats:?}");
+        assert!(
+            stats.demotions > 0,
+            "under a 300-byte budget commits must demote: {stats:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_engine_without_spill_fails_fast_with_budget_error() {
+        let p = DpProblem::new(vec![5, 5, 5], vec![3, 4, 5], 20);
+        let (store, _dir) = tiny_store("nospill", 300, false);
+        match p.solve_paged(3, store) {
+            Err(StoreError::BudgetExceeded { needed, budget }) => {
+                assert_eq!(budget, 300);
+                assert!(needed > budget);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paged_engine_with_roomy_budget_never_touches_disk() {
+        let p = DpProblem::new(vec![3, 3], vec![4, 6], 12);
+        let (store, _dir) = tiny_store("roomy", 1 << 20, false);
+        let sol = p.solve_paged(2, store).expect("paged solve");
+        assert_eq!(sol.values, p.solve_sequential().values);
     }
 
     #[test]

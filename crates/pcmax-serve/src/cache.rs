@@ -1,4 +1,4 @@
-//! Sharded LRU cache for DP solutions.
+//! Sharded LRU cache for DP solutions, budgeted in **bytes**.
 //!
 //! Lookups hash the key to one of `shards` independently-locked shards,
 //! so concurrent workers rarely contend on the same mutex. Each shard is
@@ -6,6 +6,15 @@
 //! intrusive doubly-linked recency list threaded through the slab, giving
 //! O(1) get/insert/evict without per-operation allocation (beyond the
 //! slab growth itself).
+//!
+//! Capacity is a **byte budget per shard**, not an entry count: every
+//! insert carries the entry's estimated resident cost, and the shard
+//! evicts least-recently-used entries until the budget holds. Cached DP
+//! solutions vary in size by orders of magnitude (a bare `OPT(N)` vs. a
+//! machine-configuration list for a k² dimensional table), so counting
+//! entries — as this cache originally did — lets a burst of large-`k`
+//! requests blow past any real memory target. The entry count survives
+//! as a derived statistic ([`ShardedCache::len`]).
 
 use crate::stats::CacheReport;
 use std::collections::HashMap;
@@ -18,6 +27,7 @@ const NIL: usize = usize::MAX;
 struct Node<K, V> {
     key: K,
     value: V,
+    cost: u64,
     prev: usize,
     next: usize,
 }
@@ -29,6 +39,7 @@ struct Shard<K, V> {
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
+    bytes: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
@@ -39,6 +50,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            bytes: 0,
         }
     }
 
@@ -77,29 +89,50 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
         Some(self.slab[i].value.clone())
     }
 
-    /// Inserts, returning `true` if an existing entry was evicted.
-    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
-        if let Some(&i) = self.index.get(&key) {
-            self.slab[i].value = value;
-            self.unlink(i);
-            self.link_front(i);
+    /// Evicts the LRU entry. Returns `false` when the shard is empty or
+    /// `keep` is the only entry left.
+    fn evict_tail(&mut self, keep: usize) -> bool {
+        let lru = self.tail;
+        if lru == NIL || lru == keep {
             return false;
         }
-        let mut evicted = false;
-        if self.index.len() >= capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            let old = self.index.remove(&self.slab[lru].key);
-            debug_assert_eq!(old, Some(lru));
-            self.free.push(lru);
-            evicted = true;
+        self.unlink(lru);
+        let old = self.index.remove(&self.slab[lru].key);
+        debug_assert_eq!(old, Some(lru));
+        self.bytes -= self.slab[lru].cost;
+        self.free.push(lru);
+        true
+    }
+
+    /// Inserts `key` at cost `cost`, evicting LRU entries until the shard
+    /// fits `budget`. Returns how many entries were evicted.
+    ///
+    /// An entry costlier than the whole budget still resides (evicting
+    /// everything else): refusing it would make the hottest key
+    /// permanently uncacheable, which is worse than briefly overshooting
+    /// one shard.
+    fn insert(&mut self, key: K, value: V, cost: u64, budget: u64) -> u64 {
+        let mut evicted = 0u64;
+        if let Some(&i) = self.index.get(&key) {
+            self.bytes = self.bytes - self.slab[i].cost + cost;
+            self.slab[i].value = value;
+            self.slab[i].cost = cost;
+            self.unlink(i);
+            self.link_front(i);
+            while self.bytes > budget && self.evict_tail(i) {
+                evicted += 1;
+            }
+            return evicted;
+        }
+        while self.bytes + cost > budget && self.evict_tail(NIL) {
+            evicted += 1;
         }
         let i = match self.free.pop() {
             Some(slot) => {
                 self.slab[slot] = Node {
                     key: key.clone(),
                     value,
+                    cost,
                     prev: NIL,
                     next: NIL,
                 };
@@ -109,40 +142,54 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
                 self.slab.push(Node {
                     key: key.clone(),
                     value,
+                    cost,
                     prev: NIL,
                     next: NIL,
                 });
                 self.slab.len() - 1
             }
         };
+        self.bytes += cost;
         self.index.insert(key, i);
         self.link_front(i);
         evicted
     }
 }
 
-/// A sharded LRU cache with atomic hit/miss/eviction counters.
+/// A sharded, byte-budgeted LRU cache with atomic hit/miss/eviction
+/// counters.
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
-    capacity_per_shard: usize,
+    budget_per_shard: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
-    /// A cache of `shards` shards, each holding up to
-    /// `capacity_per_shard` entries.
-    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+    /// A cache of `shards` shards, each holding up to `budget_per_shard`
+    /// bytes of entries (by the cost callers pass to
+    /// [`ShardedCache::insert`]).
+    pub fn new(shards: usize, budget_per_shard: u64) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
-        assert!(capacity_per_shard > 0, "shard capacity must be positive");
+        assert!(budget_per_shard > 0, "shard byte budget must be positive");
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
-            capacity_per_shard,
+            budget_per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The per-shard byte budget this cache was built with.
+    pub fn budget_per_shard(&self) -> u64 {
+        self.budget_per_shard
+    }
+
+    /// Total byte budget across all shards.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_per_shard * self.shards.len() as u64
     }
 
     fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
@@ -161,24 +208,34 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         result
     }
 
-    /// Inserts (or refreshes) `key`, evicting the shard's LRU entry when
-    /// the shard is full.
-    pub fn insert(&self, key: K, value: V) {
+    /// Inserts (or refreshes) `key` at an estimated resident cost of
+    /// `cost` bytes, evicting LRU entries until the shard's byte budget
+    /// holds.
+    pub fn insert(&self, key: K, value: V, cost: u64) {
         let evicted = self
             .shard_of(&key)
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value, self.capacity_per_shard);
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            .insert(key, value, cost, self.budget_per_shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
-    /// Resident entries across all shards.
+    /// Resident entries across all shards (derived stat; the budget is
+    /// [`ShardedCache::bytes`]).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .sum()
+    }
+
+    /// Estimated resident bytes across all shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
             .sum()
     }
 
@@ -194,6 +251,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
+            bytes: self.bytes(),
         }
     }
 }
@@ -205,52 +263,97 @@ mod tests {
 
     #[test]
     fn get_and_insert_roundtrip() {
-        let cache: ShardedCache<u64, String> = ShardedCache::new(4, 8);
+        let cache: ShardedCache<u64, String> = ShardedCache::new(4, 1 << 10);
         assert_eq!(cache.get(&1), None);
-        cache.insert(1, "one".into());
+        cache.insert(1, "one".into(), 16);
         assert_eq!(cache.get(&1).as_deref(), Some("one"));
         let report = cache.report();
         assert_eq!((report.hits, report.misses, report.entries), (1, 1, 1));
+        assert_eq!(report.bytes, 16);
     }
 
     #[test]
-    fn evicts_least_recently_used() {
-        // Single shard so the recency order is total.
-        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 3);
+    fn byte_pressure_evicts_in_lru_order() {
+        // Single shard so the recency order is total; budget fits exactly
+        // three 10-byte entries.
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 30);
         for i in 0..3 {
-            cache.insert(i, i * 10);
+            cache.insert(i, i * 10, 10);
         }
         // Touch 0 so 1 becomes the LRU entry.
         assert_eq!(cache.get(&0), Some(0));
-        cache.insert(3, 30);
+        cache.insert(3, 30, 10);
         assert_eq!(cache.get(&1), None, "LRU entry should be evicted");
         assert_eq!(cache.get(&0), Some(0));
         assert_eq!(cache.get(&2), Some(20));
         assert_eq!(cache.get(&3), Some(30));
         assert_eq!(cache.report().evictions, 1);
         assert_eq!(cache.len(), 3);
+        assert_eq!(cache.bytes(), 30);
     }
 
     #[test]
-    fn reinsert_refreshes_instead_of_evicting() {
-        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 2);
-        cache.insert(1, 10);
-        cache.insert(2, 20);
-        cache.insert(1, 11); // refresh, not a new entry
+    fn one_large_insert_evicts_many_small_entries() {
+        // Regression for byte (not entry-count) accounting: a 25-byte
+        // entry displaces multiple 10-byte entries — and the survivors
+        // are exactly the most recently used.
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 40);
+        for i in 0..4 {
+            cache.insert(i, i, 10);
+        }
+        cache.insert(9, 99, 25);
+        assert_eq!(cache.len(), 2, "25B + 10B is all a 40B budget holds");
+        assert_eq!(cache.bytes(), 35);
+        assert_eq!(cache.report().evictions, 3);
+        assert_eq!(cache.get(&0), None, "oldest evicted first");
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&3), Some(3), "newest small entry survives");
+        assert_eq!(cache.get(&9), Some(99));
+    }
+
+    #[test]
+    fn entry_larger_than_the_budget_still_resides_alone() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 20);
+        cache.insert(1, 10, 5);
+        cache.insert(2, 20, 100);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&1), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_cost_and_recency() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 20);
+        cache.insert(1, 10, 10);
+        cache.insert(2, 20, 10);
+        cache.insert(1, 11, 5); // refresh: cheaper now, and MRU
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 15);
         assert_eq!(cache.report().evictions, 0);
         assert_eq!(cache.get(&1), Some(11));
-        // 2 is now LRU; capacity pressure evicts it, not 1.
-        cache.insert(3, 30);
+        // 2 is now LRU; byte pressure evicts it, not 1.
+        cache.insert(3, 30, 10);
         assert_eq!(cache.get(&2), None);
         assert_eq!(cache.get(&1), Some(11));
     }
 
     #[test]
+    fn refresh_that_grows_past_the_budget_evicts_others() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 20);
+        cache.insert(1, 10, 8);
+        cache.insert(2, 20, 8);
+        cache.insert(2, 21, 16); // grows: 8 + 16 > 20
+        assert_eq!(cache.get(&1), None, "growth must evict the LRU entry");
+        assert_eq!(cache.get(&2), Some(21));
+        assert_eq!(cache.bytes(), 16);
+    }
+
+    #[test]
     fn eviction_slots_are_reused() {
-        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 2);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1, 20);
         for i in 0..100 {
-            cache.insert(i, i);
+            cache.insert(i, i, 10);
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.report().evictions, 98);
@@ -260,14 +363,14 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_consistent() {
-        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(8, 64));
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(8, 64 * 16));
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     for i in 0..256u64 {
                         let key = (t * 1000 + i) % 96;
-                        cache.insert(key, key * 2);
+                        cache.insert(key, key * 2, 16);
                         if let Some(v) = cache.get(&key) {
                             assert_eq!(v, key * 2);
                         }
@@ -278,6 +381,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(cache.len() <= 8 * 64);
+        assert!(cache.bytes() <= 8 * 64 * 16);
     }
 }

@@ -26,15 +26,17 @@ pub mod service;
 pub mod solver;
 pub mod stats;
 pub mod tcp;
+pub mod warm;
 
 pub use cache::ShardedCache;
 pub use client::{Client, ClientError, ClientReply};
 pub use service::{
     heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };
-pub use solver::{solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
+pub use solver::{entry_cost, solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
 pub use stats::{
     CacheReport, EngineUsed, HealthReply, RequestStats, ServeHistograms, ServeMetrics,
-    ServiceReport,
+    ServiceReport, StoreReport,
 };
 pub use tcp::{serve_tcp, TcpHandle};
+pub use warm::WarmTier;

@@ -20,12 +20,14 @@
 //! err <message>
 //! pong
 //! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
-//! health <uptime_us> <queue_depth> <cache_entries>
+//! health <uptime_us> <queue_depth> <cache_entries> <pressure_pct>
 //! ```
 //!
 //! `health` is the heartbeat the cluster coordinator polls: cheap
-//! (three counter reads, no queueing) and answered even when the solve
-//! queue is saturated.
+//! (four counter reads, no queueing) and answered even when the solve
+//! queue is saturated. `pressure_pct` is DP-cache residency against its
+//! byte budget; the coordinator deprioritises pressured workers in its
+//! failover order.
 //!
 //! The `stats` payload is one JSON object (see
 //! [`ServiceReport::to_json`]); histograms carry non-zero data only
@@ -153,8 +155,8 @@ pub fn format_stats(report: &ServiceReport) -> String {
 /// Formats the `health …` line.
 pub fn format_health(health: &HealthReply) -> String {
     format!(
-        "health {} {} {}",
-        health.uptime_us, health.queue_depth, health.cache_entries
+        "health {} {} {} {}",
+        health.uptime_us, health.queue_depth, health.cache_entries, health.pressure_pct
     )
 }
 
@@ -176,6 +178,7 @@ pub fn parse_health_response(line: &str) -> Result<HealthReply, String> {
                 uptime_us: field("uptime_us")?,
                 queue_depth: field("queue_depth")?,
                 cache_entries: field("cache_entries")?,
+                pressure_pct: field("pressure_pct")?,
             };
             if words.next().is_some() {
                 return Err("trailing fields after health reply".into());
@@ -454,9 +457,10 @@ mod tests {
             uptime_us: 1_234_567,
             queue_depth: 3,
             cache_entries: 42,
+            pressure_pct: 87,
         };
         let line = format_health(&reply);
-        assert_eq!(line, "health 1234567 3 42");
+        assert_eq!(line, "health 1234567 3 42 87");
         assert_eq!(parse_health_response(&line).unwrap(), reply);
     }
 
@@ -467,8 +471,9 @@ mod tests {
             "health",
             "health 1",
             "health 1 2",
-            "health 1 2 x",
-            "health 1 2 3 4",
+            "health 1 2 3",
+            "health 1 2 3 x",
+            "health 1 2 3 4 5",
             "pong",
         ] {
             assert!(

@@ -11,13 +11,18 @@
 //! degrades to the better of LPT and MULTIFIT and the response says so.
 
 use crate::solver::{solve_cached, Degrade, DpCache};
-use crate::stats::{EngineUsed, HealthReply, RequestStats, ServeMetrics, ServiceReport};
+use crate::stats::{
+    EngineUsed, HealthReply, RequestStats, ServeMetrics, ServiceReport, StoreReport,
+};
+use crate::warm::WarmTier;
 use pcmax_core::heuristics::{lpt, multifit};
 use pcmax_core::{Instance, Schedule};
 use pcmax_ptas::DpEngine;
+use pcmax_store::StoreBudget;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,8 +47,11 @@ pub struct ServeConfig {
     pub engine: DpEngine,
     /// Shards of the DP cache.
     pub cache_shards: usize,
-    /// LRU capacity of each shard.
-    pub cache_capacity_per_shard: usize,
+    /// Byte budget of the DP cache, split evenly across the shards.
+    pub mem_budget: StoreBudget,
+    /// Directory for the persistent warm-start log. `None` runs
+    /// RAM-only: nothing is persisted and restarts start cold.
+    pub store_dir: Option<PathBuf>,
     /// Largest DP table (in cells) a probe may allocate before the
     /// request degrades to a heuristic.
     pub max_table_cells: usize,
@@ -64,7 +72,8 @@ impl Default for ServeConfig {
             default_epsilon: 0.3,
             engine: DpEngine::AntiDiagonal,
             cache_shards: 8,
-            cache_capacity_per_shard: 128,
+            mem_budget: StoreBudget::default(),
+            store_dir: None,
             max_table_cells: 10_000_000,
             io_timeout: Some(Duration::from_secs(30)),
         }
@@ -236,6 +245,7 @@ struct Counters {
 struct WorkerCtx {
     queue: Arc<Queue>,
     cache: Arc<DpCache>,
+    warm: Option<Arc<WarmTier>>,
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
     engine: DpEngine,
@@ -248,6 +258,7 @@ pub struct Service {
     config: ServeConfig,
     queue: Arc<Queue>,
     cache: Arc<DpCache>,
+    warm: Option<Arc<WarmTier>>,
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -265,15 +276,23 @@ impl Service {
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
         assert!(config.batch_max > 0, "batch_max must be positive");
         let queue = Arc::new(Queue::new(config.queue_capacity));
-        let cache = Arc::new(DpCache::new(
-            config.cache_shards,
-            config.cache_capacity_per_shard,
-        ));
+        let shards = config.cache_shards.max(1);
+        let budget_per_shard = (config.mem_budget.bytes / shards as u64).max(1);
+        let cache = Arc::new(DpCache::new(shards, budget_per_shard));
+        // A store dir that cannot be opened is a deployment error, not a
+        // per-request condition: fail loudly at startup.
+        let warm = config.store_dir.as_ref().map(|dir| {
+            Arc::new(
+                WarmTier::open(dir.join("warm"))
+                    .unwrap_or_else(|e| panic!("cannot open warm store at {}: {e}", dir.display())),
+            )
+        });
         let counters = Arc::new(Counters::default());
         let metrics = Arc::new(ServeMetrics::default());
         let ctx = WorkerCtx {
             queue: Arc::clone(&queue),
             cache: Arc::clone(&cache),
+            warm: warm.clone(),
             counters: Arc::clone(&counters),
             metrics: Arc::clone(&metrics),
             engine: config.engine,
@@ -293,6 +312,7 @@ impl Service {
             config,
             queue,
             cache,
+            warm,
             counters,
             metrics,
             workers: Mutex::new(handles),
@@ -340,7 +360,8 @@ impl Service {
         self.submit(req)?.recv()
     }
 
-    /// Counter and histogram snapshot (including the cache's).
+    /// Counter and histogram snapshot (including the cache's and the
+    /// memory tiers').
     pub fn report(&self) -> ServiceReport {
         ServiceReport {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
@@ -348,13 +369,45 @@ impl Service {
             degraded: self.counters.degraded.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             cache: self.cache.report(),
+            store: self.store_report(),
             histograms: self.metrics.snapshot(),
         }
+    }
+
+    /// Snapshot of the memory tiers: RAM cache vs. budget plus warm
+    /// disk-tier counters.
+    pub fn store_report(&self) -> StoreReport {
+        StoreReport {
+            budget_bytes: self.cache.budget_bytes(),
+            cache_bytes: self.cache.bytes(),
+            pressure_pct: self.pressure_pct(),
+            warm_entries: self.warm.as_ref().map_or(0, |w| w.entries()),
+            rehydrated: self.warm.as_ref().map_or(0, |w| w.rehydrated()),
+            disk_hits: self.warm.as_ref().map_or(0, |w| w.hits()),
+            appends: self.warm.as_ref().map_or(0, |w| w.appends()),
+            fault_us: self
+                .warm
+                .as_ref()
+                .map_or_else(Default::default, |w| w.fault_latency()),
+        }
+    }
+
+    /// DP-cache residency as a percentage of its byte budget, clamped
+    /// to 100.
+    pub fn pressure_pct(&self) -> u64 {
+        let budget = self.cache.budget_bytes().max(1);
+        (self.cache.bytes().saturating_mul(100) / budget).min(100)
     }
 
     /// The shared DP cache (exposed for tests and diagnostics).
     pub fn cache(&self) -> &DpCache {
         &self.cache
+    }
+
+    /// The warm disk tier, when the service was started with a store
+    /// directory.
+    pub fn warm(&self) -> Option<&WarmTier> {
+        self.warm.as_deref()
     }
 
     /// The configuration the service was started with.
@@ -379,6 +432,7 @@ impl Service {
             uptime_us: self.uptime().as_micros() as u64,
             queue_depth: self.queue_depth() as u64,
             cache_entries: self.cache.len() as u64,
+            pressure_pct: self.pressure_pct(),
         }
     }
 
@@ -431,6 +485,7 @@ impl WorkerCtx {
                 job.k,
                 self.engine,
                 &self.cache,
+                self.warm.as_deref(),
                 Some(job.deadline),
                 self.max_table_cells,
             )
@@ -619,6 +674,40 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::Invalid(_)));
         service.shutdown();
+    }
+
+    #[test]
+    fn restart_on_same_store_dir_warm_starts() {
+        let dir = std::env::temp_dir().join(format!(
+            "pcmax-service-restart-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        {
+            let service = Service::start(config.clone());
+            let cold = service.solve_blocking(request(8)).unwrap();
+            assert!(cold.stats.cache_misses > 0);
+            let store = service.store_report();
+            assert!(store.appends > 0, "misses must be persisted");
+            assert_eq!(store.rehydrated, 0);
+            service.shutdown();
+        }
+        let service = Service::start(config);
+        let report = service.store_report();
+        assert!(report.rehydrated > 0, "restart must rehydrate the log");
+        let rehydrated = service.solve_blocking(request(8)).unwrap();
+        assert_eq!(
+            rehydrated.stats.cache_misses, 0,
+            "restarted worker must answer from disk, not recompute"
+        );
+        assert!(service.store_report().disk_hits > 0);
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! reusable verbatim for any other.
 
 use crate::cache::ShardedCache;
+use crate::warm::WarmTier;
 use pcmax_core::{bounds, Instance, Schedule};
 use pcmax_ptas::dp::INFEASIBLE;
 use pcmax_ptas::ptas::assemble_schedule;
@@ -34,6 +35,21 @@ pub struct CachedDp {
     /// Machine configurations realising `opt` (absent when infeasible).
     /// `Arc`-shared: hits clone the pointer, not the table walk.
     pub configs: Option<Arc<Vec<Vec<usize>>>>,
+}
+
+/// Estimated resident bytes of one cache entry: key vectors (held twice,
+/// in the index and the slab node), config vectors with their `Vec`
+/// headers, plus fixed slab/index/`Arc` overhead. An estimate — the
+/// cache budget bounds approximate memory, not allocator-exact bytes.
+pub fn entry_cost(key: &DpKey, entry: &CachedDp) -> u64 {
+    let key_bytes = (key.counts().len() + key.sizes().len()) as u64 * 8 + 8;
+    let config_bytes = entry.configs.as_ref().map_or(0, |configs| {
+        24 + configs
+            .iter()
+            .map(|c| 24 + 8 * c.len() as u64)
+            .sum::<u64>()
+    });
+    96 + 2 * key_bytes + config_bytes
 }
 
 /// Why a request could not be answered by the PTAS.
@@ -69,13 +85,16 @@ struct ProbeOutcome {
     configs: Option<Arc<Vec<Vec<usize>>>>,
 }
 
-/// Probes target `t` through the cache. `Err` only for oversized tables.
+/// Probes target `t` through the cache (RAM, then the optional warm
+/// disk tier). `Err` only for oversized tables.
+#[allow(clippy::too_many_arguments)]
 fn probe_cached(
     inst: &Instance,
     t: u64,
     k: u64,
     engine: DpEngine,
     cache: &DpCache,
+    warm: Option<&WarmTier>,
     max_table_cells: usize,
     hits: &mut u64,
     misses: &mut u64,
@@ -103,17 +122,30 @@ fn probe_cached(
             *hits += 1;
             entry
         }
-        None => {
-            *misses += 1;
-            let sol = problem.solve(engine);
-            let configs = problem.extract_configs(&sol.values).map(Arc::new);
-            let entry = CachedDp {
-                opt: sol.opt,
-                configs,
-            };
-            cache.insert(key, entry.clone());
-            entry
-        }
+        // RAM miss: fault the warm disk tier before running the DP. A
+        // disk hit counts as a request-level hit (no DP ran) and is
+        // promoted into RAM so the next probe stays off disk.
+        None => match warm.and_then(|w| w.get(&key)) {
+            Some(entry) => {
+                *hits += 1;
+                cache.insert(key.clone(), entry.clone(), entry_cost(&key, &entry));
+                entry
+            }
+            None => {
+                *misses += 1;
+                let sol = problem.solve(engine);
+                let configs = problem.extract_configs(&sol.values).map(Arc::new);
+                let entry = CachedDp {
+                    opt: sol.opt,
+                    configs,
+                };
+                if let Some(w) = warm {
+                    w.put(&key, &entry);
+                }
+                cache.insert(key.clone(), entry.clone(), entry_cost(&key, &entry));
+                entry
+            }
+        },
     };
     Ok(ProbeOutcome {
         feasible: entry.opt != INFEASIBLE && entry.opt as usize <= m,
@@ -127,11 +159,13 @@ fn probe_cached(
 /// `deadline` is checked before every probe; expiry returns
 /// [`Degrade::DeadlineExceeded`] and the caller falls back to a
 /// heuristic. A `deadline` of `None` never expires.
+#[allow(clippy::too_many_arguments)]
 pub fn solve_cached(
     inst: &Instance,
     k: u64,
     engine: DpEngine,
     cache: &DpCache,
+    warm: Option<&WarmTier>,
     deadline: Option<Instant>,
     max_table_cells: usize,
 ) -> Result<SolveOutcome, Degrade> {
@@ -152,7 +186,7 @@ pub fn solve_cached(
         // plain sum wraps for u64-scale instances admitted by the gate.
         let t = lb + (ub - lb) / 2;
         let outcome = probe_cached(
-            inst, t, k, engine, cache, max_table_cells, &mut hits, &mut misses,
+            inst, t, k, engine, cache, warm, max_table_cells, &mut hits, &mut misses,
         )?;
         if outcome.feasible {
             ub = t;
@@ -166,7 +200,7 @@ pub fn solve_cached(
     }
     let target = ub;
     let final_probe = probe_cached(
-        inst, target, k, engine, cache, max_table_cells, &mut hits, &mut misses,
+        inst, target, k, engine, cache, warm, max_table_cells, &mut hits, &mut misses,
     )?;
     let configs = final_probe
         .configs
@@ -200,7 +234,7 @@ mod tests {
 
     #[test]
     fn matches_the_plain_ptas() {
-        let cache = DpCache::new(4, 64);
+        let cache = DpCache::new(4, 64 << 10);
         for seed in 0..4 {
             let inst = uniform(seed, 24, 3, 1, 50);
             let cached = solve_cached(
@@ -208,6 +242,7 @@ mod tests {
                 k_of(0.3),
                 DpEngine::Sequential,
                 &cache,
+                None,
                 None,
                 usize::MAX,
             )
@@ -227,13 +262,14 @@ mod tests {
 
     #[test]
     fn repeat_solves_hit_the_cache() {
-        let cache = DpCache::new(4, 64);
+        let cache = DpCache::new(4, 64 << 10);
         let inst = uniform(9, 24, 3, 1, 50);
         let first = solve_cached(
             &inst,
             k_of(0.3),
             DpEngine::Sequential,
             &cache,
+            None,
             None,
             usize::MAX,
         )
@@ -244,24 +280,71 @@ mod tests {
             DpEngine::Sequential,
             &cache,
             None,
+            None,
             usize::MAX,
         )
         .unwrap();
         assert_eq!(first.target, second.target);
         assert_eq!(second.cache_misses, 0, "second run must be all hits");
         assert!(second.cache_hits > 0);
+        assert!(cache.bytes() > 0, "entries carry a byte cost");
+    }
+
+    #[test]
+    fn warm_tier_answers_after_the_ram_cache_is_dropped() {
+        let dir = std::env::temp_dir().join(format!(
+            "pcmax-solver-warm-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let warm = WarmTier::open(&dir).unwrap();
+        let inst = uniform(11, 24, 3, 1, 50);
+        let cold_cache = DpCache::new(4, 64 << 10);
+        let cold = solve_cached(
+            &inst,
+            k_of(0.3),
+            DpEngine::Sequential,
+            &cold_cache,
+            Some(&warm),
+            None,
+            usize::MAX,
+        )
+        .unwrap();
+        assert!(cold.cache_misses > 0);
+        assert!(warm.appends() > 0, "misses must persist to the warm tier");
+        // Fresh RAM cache, same warm dir reopened: every probe faults the
+        // disk tier, none runs the DP.
+        let reopened = WarmTier::open(&dir).unwrap();
+        assert_eq!(reopened.rehydrated(), warm.appends());
+        let fresh_cache = DpCache::new(4, 64 << 10);
+        let rehydrated = solve_cached(
+            &inst,
+            k_of(0.3),
+            DpEngine::Sequential,
+            &fresh_cache,
+            Some(&reopened),
+            None,
+            usize::MAX,
+        )
+        .unwrap();
+        assert_eq!(rehydrated.target, cold.target);
+        assert_eq!(rehydrated.cache_misses, 0, "no DP may run after rehydration");
+        assert!(reopened.hits() > 0, "probes must be answered from disk");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn cache_reuse_across_machine_counts() {
         // Same jobs, different m: rounded problems share keys, so the
         // second solve should run strictly fewer DPs than a cold one.
-        let cache = DpCache::new(4, 64);
+        let cache = DpCache::new(4, 64 << 10);
         let times: Vec<u64> = uniform(3, 24, 3, 1, 50).times().to_vec();
         let a = Instance::new(times.clone(), 3);
         let b = Instance::new(times, 4);
-        let first = solve_cached(&a, 4, DpEngine::Sequential, &cache, None, usize::MAX).unwrap();
-        let second = solve_cached(&b, 4, DpEngine::Sequential, &cache, None, usize::MAX).unwrap();
+        let first =
+            solve_cached(&a, 4, DpEngine::Sequential, &cache, None, None, usize::MAX).unwrap();
+        let second =
+            solve_cached(&b, 4, DpEngine::Sequential, &cache, None, None, usize::MAX).unwrap();
         assert!(first.cache_misses > 0);
         assert!(
             second.cache_hits > 0,
@@ -271,7 +354,7 @@ mod tests {
 
     #[test]
     fn expired_deadline_degrades() {
-        let cache = DpCache::new(4, 64);
+        let cache = DpCache::new(4, 64 << 10);
         let inst = uniform(1, 24, 3, 1, 50);
         let already_past = Instant::now() - Duration::from_millis(1);
         let err = solve_cached(
@@ -279,6 +362,7 @@ mod tests {
             4,
             DpEngine::Sequential,
             &cache,
+            None,
             Some(already_past),
             usize::MAX,
         )
@@ -288,11 +372,11 @@ mod tests {
 
     #[test]
     fn oversized_tables_degrade() {
-        let cache = DpCache::new(4, 64);
+        let cache = DpCache::new(4, 64 << 10);
         // Few machines, jobs near the target: everything is long, so the
         // DP table has many class dimensions and cannot fit in 8 cells.
         let inst = uniform(2, 12, 6, 50, 100);
-        let err = solve_cached(&inst, 6, DpEngine::Sequential, &cache, None, 8).unwrap_err();
+        let err = solve_cached(&inst, 6, DpEngine::Sequential, &cache, None, None, 8).unwrap_err();
         assert!(matches!(err, Degrade::TableTooLarge { cells } if cells > 8));
     }
 }

@@ -61,9 +61,11 @@ pub struct RequestStats {
 }
 
 /// Liveness snapshot answered by the protocol's `health` verb. The
-/// cluster coordinator's heartbeat consumes exactly these three fields:
+/// cluster coordinator's heartbeat consumes exactly these four fields:
 /// uptime proves the process restarted or not, queue depth is the
-/// load signal, and cache residency is the affinity signal.
+/// load signal, cache residency is the affinity signal, and memory
+/// pressure lets the coordinator deprioritise workers whose caches are
+/// thrashing against their byte budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct HealthReply {
     /// Microseconds since the service started.
@@ -72,6 +74,9 @@ pub struct HealthReply {
     pub queue_depth: u64,
     /// Entries resident in the DP cache across all shards.
     pub cache_entries: u64,
+    /// DP-cache residency as a percentage of its byte budget, clamped
+    /// to 100.
+    pub pressure_pct: u64,
 }
 
 /// Aggregate state of the sharded DP cache.
@@ -83,8 +88,11 @@ pub struct CacheReport {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
-    /// Entries currently resident across all shards.
+    /// Entries currently resident across all shards (derived stat; the
+    /// budget is bytes).
     pub entries: usize,
+    /// Estimated resident bytes across all shards.
+    pub bytes: u64,
 }
 
 impl CacheReport {
@@ -95,6 +103,41 @@ impl CacheReport {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memory-tier snapshot: the RAM cache measured against its byte budget
+/// plus the warm disk tier's counters. All-zero (and `fault_us` empty)
+/// when the service runs without a store directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Total byte budget of the RAM cache across all shards.
+    pub budget_bytes: u64,
+    /// Estimated bytes resident in the RAM cache.
+    pub cache_bytes: u64,
+    /// `cache_bytes` as a percentage of `budget_bytes`, clamped to 100.
+    pub pressure_pct: u64,
+    /// Distinct canonical problems persisted in the warm log.
+    pub warm_entries: u64,
+    /// Warm-log records recovered at open (restart warm-start).
+    pub rehydrated: u64,
+    /// Probes answered from the warm disk tier since open.
+    pub disk_hits: u64,
+    /// Solutions appended to the warm log since open.
+    pub appends: u64,
+    /// Disk-read latency per warm hit, in µs.
+    pub fault_us: HistogramSnapshot,
+}
+
+impl StoreReport {
+    /// Fraction of RAM-cache misses answered by the disk tier instead of
+    /// recomputing the DP (0 when no misses occurred).
+    pub fn disk_hit_rate(&self, ram_misses: u64) -> f64 {
+        if ram_misses == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / ram_misses as f64
         }
     }
 }
@@ -169,6 +212,8 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// DP cache state.
     pub cache: CacheReport,
+    /// Memory tiers: RAM budget/pressure and warm disk-tier counters.
+    pub store: StoreReport,
     /// Latency/size histograms (all-empty unless `pcmax_obs` recording
     /// was enabled).
     pub histograms: ServeHistograms,
@@ -190,9 +235,26 @@ impl ServiceReport {
             .field_u64("misses", self.cache.misses)
             .field_u64("evictions", self.cache.evictions)
             .field_u64("entries", self.cache.entries as u64)
+            .field_u64("bytes", self.cache.bytes)
             .field_f64("hit_rate", self.cache.hit_rate())
             .end_object()
-            .key("histograms");
+            .key("store")
+            .begin_object()
+            .field_u64("budget_bytes", self.store.budget_bytes)
+            .field_u64("cache_bytes", self.store.cache_bytes)
+            .field_u64("pressure_pct", self.store.pressure_pct)
+            .field_u64("warm_entries", self.store.warm_entries)
+            .field_u64("rehydrated", self.store.rehydrated)
+            .field_u64("disk_hits", self.store.disk_hits)
+            .field_u64("appends", self.store.appends)
+            .field_f64("ram_hit_rate", self.cache.hit_rate())
+            .field_f64(
+                "disk_hit_rate",
+                self.store.disk_hit_rate(self.cache.misses),
+            )
+            .key("fault_us");
+        self.store.fault_us.write_json(&mut w);
+        w.end_object().key("histograms");
         self.histograms.write_json(&mut w);
         w.end_object();
         w.finish()
@@ -227,12 +289,30 @@ mod tests {
                 misses: 1,
                 evictions: 0,
                 entries: 4,
+                bytes: 512,
+            },
+            store: StoreReport {
+                budget_bytes: 1024,
+                cache_bytes: 512,
+                pressure_pct: 50,
+                warm_entries: 2,
+                rehydrated: 2,
+                disk_hits: 1,
+                appends: 3,
+                fault_us: HistogramSnapshot::default(),
             },
             histograms: metrics.snapshot(),
         };
         let json = report.to_json();
         assert!(json.contains("\"accepted\":5"), "{json}");
+        assert!(json.contains("\"bytes\":512"), "{json}");
         assert!(json.contains("\"hit_rate\":0.75"), "{json}");
+        assert!(json.contains("\"budget_bytes\":1024"), "{json}");
+        assert!(json.contains("\"pressure_pct\":50"), "{json}");
+        assert!(json.contains("\"rehydrated\":2"), "{json}");
+        assert!(json.contains("\"ram_hit_rate\":0.75"), "{json}");
+        assert!(json.contains("\"disk_hit_rate\":1"), "{json}");
+        assert!(json.contains("\"fault_us\":{\"count\":0"), "{json}");
         assert!(json.contains("\"queue_wait_us\":{\"count\":1"), "{json}");
         assert!(json.contains("\"solve_us\":{\"count\":1"), "{json}");
         assert!(json.contains("\"degraded_lateness_us\":{\"count\":0"), "{json}");
@@ -246,7 +326,19 @@ mod tests {
             misses: 1,
             evictions: 0,
             entries: 4,
+            bytes: 64,
         };
         assert!((report.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_hit_rate_handles_idle_store() {
+        let store = StoreReport::default();
+        assert_eq!(store.disk_hit_rate(0), 0.0);
+        let store = StoreReport {
+            disk_hits: 3,
+            ..StoreReport::default()
+        };
+        assert!((store.disk_hit_rate(4) - 0.75).abs() < 1e-12);
     }
 }

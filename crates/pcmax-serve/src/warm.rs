@@ -1,0 +1,246 @@
+//! Disk-backed warm tier under the DP-solution cache.
+//!
+//! [`WarmTier`] wraps a [`pcmax_store::WarmLog`] with codecs for the
+//! cache's native types: keys are gcd-canonical [`DpKey`]s, values are
+//! [`CachedDp`] entries. The solve path consults it only on a RAM-cache
+//! miss (read-through) and appends every freshly-computed solution
+//! (write-through), so a worker restarted on the same store directory
+//! answers its previously-cached requests from disk instead of
+//! recomputing the DP.
+//!
+//! Because keys are canonical (machine-count independent, gcd-reduced),
+//! the log warms *across* instances: any instance that rounds to a
+//! previously-solved canonical problem hits, not just byte-identical
+//! requests.
+
+use crate::solver::CachedDp;
+use pcmax_obs::{Histogram, HistogramSnapshot};
+use pcmax_ptas::DpKey;
+use pcmax_store::{StoreError, WarmLog};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Persistent key→solution store shared by all service workers.
+#[derive(Debug)]
+pub struct WarmTier {
+    log: WarmLog,
+    /// Disk-read latency per warm hit, µs (recorded while `pcmax_obs`
+    /// recording is enabled).
+    fault_us: Histogram,
+}
+
+impl WarmTier {
+    /// Opens (creating if needed) the warm log under `dir` and
+    /// rehydrates its index.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Ok(Self {
+            log: WarmLog::open(dir)?,
+            fault_us: Histogram::new(),
+        })
+    }
+
+    /// The directory this tier persists under.
+    pub fn dir(&self) -> &Path {
+        self.log.dir()
+    }
+
+    /// Records recovered from disk when the tier was opened.
+    pub fn rehydrated(&self) -> u64 {
+        self.log.rehydrated()
+    }
+
+    /// Distinct canonical problems currently on disk.
+    pub fn entries(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Lookups answered from disk since open.
+    pub fn hits(&self) -> u64 {
+        self.log.hits()
+    }
+
+    /// Solutions appended since open.
+    pub fn appends(&self) -> u64 {
+        self.log.appends()
+    }
+
+    /// Snapshot of the disk-read latency histogram.
+    pub fn fault_latency(&self) -> HistogramSnapshot {
+        self.fault_us.snapshot()
+    }
+
+    /// Reads the cached solution for `key`, if present. I/O errors and
+    /// undecodable values degrade to a miss: the warm tier is an
+    /// accelerator, never a correctness dependency.
+    pub fn get(&self, key: &DpKey) -> Option<CachedDp> {
+        let started = Instant::now();
+        let bytes = self.log.get(&encode_key(key)).ok().flatten()?;
+        let entry = decode_entry(&bytes)?;
+        if pcmax_obs::enabled() {
+            self.fault_us
+                .record(started.elapsed().as_micros() as u64);
+        }
+        Some(entry)
+    }
+
+    /// Persists `entry` under `key`. Disk errors are swallowed (see
+    /// [`Self::get`]); duplicates are no-ops (first write wins).
+    pub fn put(&self, key: &DpKey, entry: &CachedDp) {
+        let _ = self.log.append(&encode_key(key), &encode_entry(entry));
+    }
+}
+
+/// Serializes a [`DpKey`] for use as a log key. Layout (little-endian):
+/// `u32 classes · u64 cap · u64 counts[..] · u64 sizes[..]`. Keys are
+/// compared as raw bytes, never deserialized.
+pub fn encode_key(key: &DpKey) -> Vec<u8> {
+    let classes = key.counts().len();
+    let mut out = Vec::with_capacity(12 + 16 * classes);
+    out.extend_from_slice(&(classes as u32).to_le_bytes());
+    out.extend_from_slice(&key.cap().to_le_bytes());
+    for &c in key.counts() {
+        out.extend_from_slice(&(c as u64).to_le_bytes());
+    }
+    for &s in key.sizes() {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes a [`CachedDp`]: `u32 opt · u8 has_configs ·
+/// [u32 machines · (u32 len · u64 class[..]) per machine]`.
+pub fn encode_entry(entry: &CachedDp) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&entry.opt.to_le_bytes());
+    match &entry.configs {
+        None => out.push(0),
+        Some(configs) => {
+            out.push(1);
+            out.extend_from_slice(&(configs.len() as u32).to_le_bytes());
+            for config in configs.iter() {
+                out.extend_from_slice(&(config.len() as u32).to_le_bytes());
+                for &x in config {
+                    out.extend_from_slice(&(x as u64).to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_entry`]. `None` for any malformed input.
+pub fn decode_entry(bytes: &[u8]) -> Option<CachedDp> {
+    let mut at = 0usize;
+    let opt = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?);
+    at += 4;
+    let configs = match *bytes.get(at)? {
+        0 => {
+            at += 1;
+            None
+        }
+        1 => {
+            at += 1;
+            let machines = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            let mut configs = Vec::with_capacity(machines.min(1 << 16));
+            for _ in 0..machines {
+                let len = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?) as usize;
+                at += 4;
+                let mut config = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    let x = u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?);
+                    at += 8;
+                    config.push(usize::try_from(x).ok()?);
+                }
+                configs.push(config);
+            }
+            Some(Arc::new(configs))
+        }
+        _ => return None,
+    };
+    if at != bytes.len() {
+        return None; // trailing garbage: treat as corrupt
+    }
+    Some(CachedDp { opt, configs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_ptas::dp::INFEASIBLE;
+    use pcmax_ptas::DpProblem;
+
+    fn sample_key() -> DpKey {
+        DpProblem::new(vec![3, 2], vec![10, 4], 20).canonical_key()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcmax-serve-warm-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entry_roundtrips_with_and_without_configs() {
+        let with = CachedDp {
+            opt: 3,
+            configs: Some(Arc::new(vec![vec![2, 0], vec![1, 1], vec![0, 1]])),
+        };
+        let back = decode_entry(&encode_entry(&with)).unwrap();
+        assert_eq!(back.opt, 3);
+        assert_eq!(
+            back.configs.as_deref(),
+            Some(&vec![vec![2, 0], vec![1, 1], vec![0, 1]])
+        );
+        let without = CachedDp {
+            opt: INFEASIBLE,
+            configs: None,
+        };
+        let back = decode_entry(&encode_entry(&without)).unwrap();
+        assert_eq!(back.opt, INFEASIBLE);
+        assert!(back.configs.is_none());
+    }
+
+    #[test]
+    fn malformed_entries_decode_to_none() {
+        let good = encode_entry(&CachedDp {
+            opt: 2,
+            configs: Some(Arc::new(vec![vec![1]])),
+        });
+        assert!(decode_entry(&[]).is_none());
+        assert!(decode_entry(&good[..good.len() - 1]).is_none());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_entry(&trailing).is_none());
+        let mut bad_tag = good;
+        bad_tag[4] = 7;
+        assert!(decode_entry(&bad_tag).is_none());
+    }
+
+    #[test]
+    fn tier_persists_across_reopen() {
+        let dir = tmp_dir("reopen");
+        let key = sample_key();
+        let entry = CachedDp {
+            opt: 2,
+            configs: Some(Arc::new(vec![vec![2, 1], vec![1, 1]])),
+        };
+        {
+            let tier = WarmTier::open(&dir).unwrap();
+            assert!(tier.get(&key).is_none());
+            tier.put(&key, &entry);
+            assert_eq!(tier.appends(), 1);
+        }
+        let tier = WarmTier::open(&dir).unwrap();
+        assert_eq!(tier.rehydrated(), 1);
+        let back = tier.get(&key).expect("rehydrated entry");
+        assert_eq!(back.opt, 2);
+        assert_eq!(back.configs.as_deref(), entry.configs.as_deref());
+        assert_eq!(tier.hits(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! On-disk page format: a checksummed header followed by little-endian
+//! `u32` cells.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "PCPG"
+//! 4       4     format version (1)
+//! 8       4     cell count
+//! 12      8     FNV-1a 64 of the payload bytes
+//! 20      4·n   cells, little-endian u32
+//! ```
+//!
+//! The workspace's `serde` is a no-op shim (no registry access), so the
+//! format is hand-rolled and self-verifying: a torn or bit-flipped spill
+//! file decodes to [`StoreError::Corrupt`], never to wrong cell values.
+
+use crate::StoreError;
+
+/// Magic bytes opening every page file.
+pub const PAGE_MAGIC: [u8; 4] = *b"PCPG";
+/// Current page format version.
+pub const PAGE_VERSION: u32 = 1;
+/// Bytes of header preceding the cell payload.
+pub const PAGE_HEADER_BYTES: usize = 20;
+
+/// FNV-1a 64-bit, the workspace's standalone checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Total serialized size of a page of `cells` cells, in bytes.
+///
+/// This is also the RAM-tier accounting unit, so budget arithmetic and
+/// spill-file sizes agree.
+pub fn page_bytes(cells: usize) -> u64 {
+    PAGE_HEADER_BYTES as u64 + 4 * cells as u64
+}
+
+/// Serializes cells into the checksummed page format.
+pub fn encode_page(cells: &[u32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 * cells.len());
+    for &c in cells {
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(PAGE_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&PAGE_MAGIC);
+    out.extend_from_slice(&PAGE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Deserializes and verifies a page, returning its cells.
+pub fn decode_page(bytes: &[u8]) -> Result<Vec<u32>, StoreError> {
+    if bytes.len() < PAGE_HEADER_BYTES {
+        return Err(StoreError::Corrupt {
+            detail: format!("page truncated: {} bytes < header", bytes.len()),
+        });
+    }
+    if bytes[..4] != PAGE_MAGIC {
+        return Err(StoreError::Corrupt {
+            detail: "bad page magic".into(),
+        });
+    }
+    let version = read_u32(bytes, 4);
+    if version != PAGE_VERSION {
+        return Err(StoreError::Corrupt {
+            detail: format!("unsupported page version {version}"),
+        });
+    }
+    let cells = read_u32(bytes, 8) as usize;
+    let payload = &bytes[PAGE_HEADER_BYTES..];
+    if payload.len() != 4 * cells {
+        return Err(StoreError::Corrupt {
+            detail: format!(
+                "page payload {} bytes, header promises {} cells",
+                payload.len(),
+                cells
+            ),
+        });
+    }
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if fnv1a(payload) != checksum {
+        return Err(StoreError::Corrupt {
+            detail: "page checksum mismatch".into(),
+        });
+    }
+    Ok((0..cells).map(|i| read_u32(payload, 4 * i)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_cells() {
+        for cells in [vec![], vec![0u32], vec![1, u32::MAX, 7, 0, 42]] {
+            let bytes = encode_page(&cells);
+            assert_eq!(bytes.len() as u64, page_bytes(cells.len()));
+            assert_eq!(decode_page(&bytes).unwrap(), cells);
+        }
+    }
+
+    #[test]
+    fn detects_corruption_anywhere() {
+        let bytes = encode_page(&[3, 1, 4, 1, 5]);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_page(&bad).is_err(), "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode_page(&[9, 9, 9]);
+        for len in 0..bytes.len() {
+            assert!(decode_page(&bytes[..len]).is_err(), "truncate to {len}");
+        }
+    }
+}

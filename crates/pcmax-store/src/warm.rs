@@ -1,0 +1,312 @@
+//! Persistent warm-start log: a tiny manifest plus a checksummed append
+//! log of opaque key→value records.
+//!
+//! `pcmax-serve` uses this as the disk tier under its DP-solution cache:
+//! keys are serialized gcd-canonical `DpProblem::canonical_key`s, values
+//! are serialized cached solutions. A restarted worker reopens the same
+//! directory, re-indexes the log, and answers previously-cached requests
+//! from disk instead of recomputing.
+//!
+//! On-disk layout under the log directory:
+//!
+//! ```text
+//! MANIFEST    "pcmax-warm v1\nlog warm.log\n"
+//! warm.log    repeated records:
+//!               u32 key_len · u32 val_len · u64 fnv1a(key‖val) · key · val
+//! ```
+//!
+//! All integers little-endian. Reopening scans the log front to back;
+//! the first corrupt or truncated record ends the scan (a torn tail from
+//! a crash mid-append loses only that record). Duplicate keys keep the
+//! first record — cached DP solutions for one canonical key are
+//! interchangeable, so later appends add no information.
+
+use crate::page::fnv1a;
+use crate::StoreError;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// First line of a valid manifest.
+pub const WARM_MAGIC: &str = "pcmax-warm v1";
+const LOG_NAME: &str = "warm.log";
+const RECORD_HEADER: usize = 16;
+
+/// A persistent key→value log with an in-RAM index.
+#[derive(Debug)]
+pub struct WarmLog {
+    dir: PathBuf,
+    inner: Mutex<WarmInner>,
+    rehydrated: u64,
+    hits: AtomicU64,
+    appends: AtomicU64,
+}
+
+#[derive(Debug)]
+struct WarmInner {
+    /// key bytes → (value offset in the log, value length).
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    file: File,
+}
+
+impl WarmLog {
+    /// Opens (creating if needed) a warm-log directory, validates the
+    /// manifest, and re-indexes the append log. The number of records
+    /// recovered is reported as `store.rehydrated`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        let manifest = dir.join("MANIFEST");
+        if manifest.exists() {
+            let text = fs::read_to_string(&manifest).map_err(|e| StoreError::io(&manifest, e))?;
+            if text.lines().next() != Some(WARM_MAGIC) {
+                return Err(StoreError::Corrupt {
+                    detail: format!("bad warm manifest at {}", manifest.display()),
+                });
+            }
+        } else {
+            fs::write(&manifest, format!("{WARM_MAGIC}\nlog {LOG_NAME}\n"))
+                .map_err(|e| StoreError::io(&manifest, e))?;
+        }
+        let log_path = dir.join(LOG_NAME);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&log_path)
+            .map_err(|e| StoreError::io(&log_path, e))?;
+        let (index, valid_len) = Self::scan(&mut file, &log_path)?;
+        let actual_len = file
+            .metadata()
+            .map_err(|e| StoreError::io(&log_path, e))?
+            .len();
+        if valid_len < actual_len {
+            // Torn tail from a crash mid-append: drop it so later appends
+            // land where the next scan will find them.
+            file.set_len(valid_len)
+                .map_err(|e| StoreError::io(&log_path, e))?;
+        }
+        let rehydrated = index.len() as u64;
+        pcmax_obs::registry::global()
+            .counter("store.rehydrated")
+            .add(rehydrated);
+        Ok(Self {
+            dir,
+            inner: Mutex::new(WarmInner { index, file }),
+            rehydrated,
+            hits: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+        })
+    }
+
+    /// Front-to-back log scan; stops at the first bad record. Returns the
+    /// index plus the byte length of the valid prefix.
+    #[allow(clippy::type_complexity)]
+    fn scan(
+        file: &mut File,
+        path: &Path,
+    ) -> Result<(HashMap<Vec<u8>, (u64, u32)>, u64), StoreError> {
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))
+            .and_then(|_| file.read_to_end(&mut bytes))
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut index = HashMap::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= RECORD_HEADER {
+            let klen = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4")) as usize;
+            let vlen = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4")) as usize;
+            let checksum = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8"));
+            let body = at + RECORD_HEADER;
+            let Some(end) = body.checked_add(klen).and_then(|k| k.checked_add(vlen)) else {
+                break;
+            };
+            if end > bytes.len() || fnv1a(&bytes[body..end]) != checksum {
+                break; // torn or corrupt tail
+            }
+            let key = bytes[body..body + klen].to_vec();
+            index
+                .entry(key)
+                .or_insert(((body + klen) as u64, vlen as u32));
+            at = end;
+        }
+        Ok((index, at as u64))
+    }
+
+    /// The directory this log persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records recovered from disk when this log was opened.
+    pub fn rehydrated(&self) -> u64 {
+        self.rehydrated
+    }
+
+    /// Successful [`Self::get`] lookups since open (disk-tier hits).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Records appended since open.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("warm lock").index.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is indexed (no I/O).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().expect("warm lock").index.contains_key(key)
+    }
+
+    /// Reads the value stored for `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut inner = self.inner.lock().expect("warm lock");
+        let Some(&(offset, vlen)) = inner.index.get(key) else {
+            return Ok(None);
+        };
+        let mut value = vec![0u8; vlen as usize];
+        let path = self.dir.join(LOG_NAME);
+        inner
+            .file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| inner.file.read_exact(&mut value))
+            .map_err(|e| StoreError::io(&path, e))?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(value))
+    }
+
+    /// Appends a record, unless `key` is already indexed (first write
+    /// wins — see the module docs).
+    pub fn append(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("warm lock");
+        if inner.index.contains_key(key) {
+            return Ok(());
+        }
+        let path = self.dir.join(LOG_NAME);
+        let mut frame = Vec::with_capacity(RECORD_HEADER + key.len() + value.len());
+        frame.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        let mut body = Vec::with_capacity(key.len() + value.len());
+        body.extend_from_slice(key);
+        body.extend_from_slice(value);
+        frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        // Append mode: the kernel positions every write at EOF. Record
+        // where the value will land before the write moves the cursor.
+        let end = inner
+            .file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(&path, e))?;
+        inner
+            .file
+            .write_all(&frame)
+            .and_then(|_| inner.file.flush())
+            .map_err(|e| StoreError::io(&path, e))?;
+        let value_at = end + (RECORD_HEADER + key.len()) as u64;
+        inner
+            .index
+            .insert(key.to_vec(), (value_at, value.len() as u32));
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcmax-store-warm-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn appends_then_reads_back() {
+        let dir = tmp_dir("rw");
+        let log = WarmLog::open(&dir).unwrap();
+        assert!(log.is_empty());
+        log.append(b"alpha", b"first value").unwrap();
+        log.append(b"beta", b"").unwrap();
+        assert_eq!(log.get(b"alpha").unwrap().unwrap(), b"first value");
+        assert_eq!(log.get(b"beta").unwrap().unwrap(), b"");
+        assert_eq!(log.get(b"gamma").unwrap(), None);
+        assert_eq!(log.hits(), 2);
+        assert_eq!(log.appends(), 2);
+        // First write wins: a duplicate append is a no-op.
+        log.append(b"alpha", b"second value").unwrap();
+        assert_eq!(log.get(b"alpha").unwrap().unwrap(), b"first value");
+        assert_eq!(log.appends(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_rehydrates_the_index() {
+        let dir = tmp_dir("reopen");
+        {
+            let log = WarmLog::open(&dir).unwrap();
+            log.append(b"k1", b"v1").unwrap();
+            log.append(b"k2", b"v2").unwrap();
+            assert_eq!(log.rehydrated(), 0, "fresh log recovered nothing");
+        }
+        let log = WarmLog::open(&dir).unwrap();
+        assert_eq!(log.rehydrated(), 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(b"k2").unwrap().unwrap(), b"v2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_record() {
+        let dir = tmp_dir("torn");
+        {
+            let log = WarmLog::open(&dir).unwrap();
+            log.append(b"good", b"kept").unwrap();
+            log.append(b"bad", b"torn away").unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let path = dir.join(LOG_NAME);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let log = WarmLog::open(&dir).unwrap();
+        assert_eq!(log.rehydrated(), 1);
+        assert_eq!(log.get(b"good").unwrap().unwrap(), b"kept");
+        assert_eq!(log.get(b"bad").unwrap(), None);
+        // The log keeps accepting appends after recovery, and recovery
+        // truncated the torn bytes so the new record lands scannably.
+        log.append(b"bad", b"rewritten").unwrap();
+        assert_eq!(log.get(b"bad").unwrap().unwrap(), b"rewritten");
+        drop(log);
+        let reopened = WarmLog::open(&dir).unwrap();
+        assert_eq!(reopened.rehydrated(), 2);
+        assert_eq!(reopened.get(b"bad").unwrap().unwrap(), b"rewritten");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_manifest_is_rejected() {
+        let dir = tmp_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("MANIFEST"), "something else\n").unwrap();
+        assert!(matches!(
+            WarmLog::open(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,6 +17,20 @@ cargo test -q
   --out target/BENCH_cluster_smoke.json
 test -s target/BENCH_cluster_smoke.json
 
+# Store smoke: one paged DP solve (k = 6 rounding, a 3072-cell table)
+# through the tiered RAM/disk store under a 256-byte budget — far below
+# the table size, so pages must demote to disk and fault back —
+# differential-checked cell-for-cell against the in-RAM sequential
+# engine. Exits non-zero on divergence.
+./target/release/pcmax store-stats --k 6 --mem-budget 256 \
+  > target/STORE_smoke.json
+test -s target/STORE_smoke.json
+grep -q '"differential":"ok"' target/STORE_smoke.json
+if grep -q '"demotions":0,' target/STORE_smoke.json; then
+  echo "store smoke never spilled" >&2
+  exit 1
+fi
+
 # Overflow audit smoke: the adversarial differential harness (engines,
 # searches, serve solver, oracles, validation gate) across 64 seeds of
 # u64-scale instances. Exits non-zero on any divergence; running it on

@@ -17,6 +17,7 @@ use pcmax::prelude::*;
 use pcmax::serve::{serve_tcp, Client};
 use pcmax::ClusterConfig;
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "bench-serve" => cmd_bench_serve(rest),
         "cluster" => cmd_cluster(rest),
         "bench-cluster" => cmd_bench_cluster(rest),
+        "store-stats" => cmd_store_stats(rest),
         "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -68,12 +70,16 @@ USAGE:
   pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]
   pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
+                      [--mem-budget BYTES] [--store-dir DIR]
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
-                      [--out FILE]
+                      [--mem-budget BYTES] [--store-dir DIR] [--out FILE]
   pcmax cluster       [--workers N] [--addr HOST:PORT] [--threads N]
                       [--queue N] [--deadline-ms N] [--epsilon F]
                       [--heartbeat-ms N] [--max-missed N] [--retries N]
+                      [--mem-budget BYTES] [--store-dir DIR]
+  pcmax store-stats   [--seed N] [--jobs N] [--machines N] [--k N] [--dim N]
+                      [--mem-budget BYTES] [--store-dir DIR]
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
@@ -96,7 +102,15 @@ differential-fuzz harness (u64-scale times, degenerate shapes) across
 `--seeds` seeds, cross-checking the three DP engines cell-for-cell, the
 searches, the serve solver, and the exact oracles; it prints a JSON
 divergence report (optionally to `--out FILE`) and exits non-zero if
-any check diverged.";
+any check diverged. `store-stats` is the paged-store smoke: it rounds a
+generated instance, solves the DP once through the tiered RAM/disk page
+store under `--mem-budget` (default 4096 bytes — small enough to force
+spilling), differential-checks the paged table cell-for-cell against the
+in-RAM sequential engine, prints the store's tier occupancy, hit/fault
+counters, and fault-latency histogram as JSON, and exits non-zero on any
+mismatch. `--mem-budget` accepts `4096`, `64K`, `16M`, or `1G`;
+`--store-dir` on `serve`/`cluster`/`bench-serve` enables the persistent
+warm-start log (cluster workers get per-worker subdirectories).";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -358,6 +372,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn mem_budget_flag(args: &[String], default: pcmax::store::StoreBudget) -> Result<pcmax::store::StoreBudget, String> {
+    match flag(args, "--mem-budget") {
+        Some(v) => pcmax::store::StoreBudget::parse(v),
+        None => Ok(default),
+    }
+}
+
 fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String> {
     let defaults = pcmax::ServeConfig::default();
     Ok(pcmax::ServeConfig {
@@ -370,6 +391,8 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
         )?),
         default_epsilon: flag_parse(args, "--epsilon", defaults.default_epsilon)?,
         engine: parse_engine(flag(args, "--engine").unwrap_or("par"))?,
+        mem_budget: mem_budget_flag(args, defaults.mem_budget)?,
+        store_dir: flag(args, "--store-dir").map(PathBuf::from),
         ..defaults
     })
 }
@@ -668,6 +691,16 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         "service       {} accepted, {} completed, {} rejected",
         report.accepted, report.completed, report.rejected
     );
+    println!(
+        "store         {}/{} cache bytes ({}% pressure), warm tier: {} entries, {} rehydrated, {} disk hits, {} appends",
+        report.store.cache_bytes,
+        report.store.budget_bytes,
+        report.store.pressure_pct,
+        report.store.warm_entries,
+        report.store.rehydrated,
+        report.store.disk_hits,
+        report.store.appends
+    );
 
     // Machine-readable result: client-side latency summary + the full
     // server-side report (counters and histograms).
@@ -684,7 +717,21 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         .field_u64("p99", pct(0.99).as_micros() as u64)
         .field_u64("max", pct(1.0).as_micros() as u64)
         .end_object()
-        .end_object();
+        // Per-tier effectiveness: how often the RAM cache answered, how
+        // often the warm disk tier rescued a RAM miss, and what a disk
+        // fault costs.
+        .key("tiers")
+        .begin_object()
+        .field_f64("ram_hit_rate", report.cache.hit_rate())
+        .field_f64(
+            "disk_hit_rate",
+            report.store.disk_hit_rate(report.cache.misses),
+        )
+        .field_u64("disk_hits", report.store.disk_hits)
+        .field_u64("pressure_pct", report.store.pressure_pct)
+        .key("fault_us");
+    report.store.fault_us.write_json(&mut w);
+    w.end_object().end_object();
     let bench = w.finish();
     let payload = format!(
         "{{\"bench\":{bench},\"service\":{}}}\n",
@@ -696,6 +743,103 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     handle.shutdown();
     service.shutdown();
     Ok(())
+}
+
+/// Paged-store smoke: solve one rounded DP through the tiered RAM/disk
+/// store under a deliberately tiny budget, differential-check it against
+/// the in-RAM sequential engine, and print the store counters as JSON.
+/// Exits non-zero if the paged table diverges — this doubles as the CI
+/// spill check.
+fn cmd_store_stats(args: &[String]) -> Result<(), String> {
+    use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
+    use pcmax::store::{StoreBudget, StoreConfig, TieredStore};
+
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let jobs: usize = flag_parse(args, "--jobs", 18)?;
+    let machines: usize = flag_parse(args, "--machines", 8)?;
+    let k: u64 = flag_parse(args, "--k", 4)?;
+    let dim: usize = flag_parse(args, "--dim", 3)?;
+    // 1 KiB default: a fraction of the default instance's ~3 KB table,
+    // so the sweep must demote pages to disk and fault them back.
+    let budget = mem_budget_flag(args, StoreBudget::bytes(1024))?;
+    let (spill_dir, ephemeral) = match flag(args, "--store-dir") {
+        Some(dir) => (PathBuf::from(dir).join("spill"), false),
+        None => (
+            std::env::temp_dir().join(format!("pcmax-store-stats-{}", std::process::id())),
+            true,
+        ),
+    };
+
+    // Fault latencies only accrue while recording is on.
+    pcmax::obs::set_enabled(true);
+    let inst = pcmax::gen::uniform(seed, jobs, machines, 1, 100);
+    let lb = lower_bound(&inst);
+    let ub = upper_bound(&inst);
+    // The bisection midpoint is the biggest table the search would probe.
+    let target = pcmax::ptas::search::interval::bisection_target(lb, ub);
+    let rounding = match Rounding::compute(&inst, target, k) {
+        RoundingOutcome::Rounded(r) => r,
+        RoundingOutcome::Infeasible { .. } => {
+            return Err(format!("rounding infeasible at target {target} (lb {lb}, ub {ub})"))
+        }
+    };
+    let problem = pcmax::DpProblem::from_rounding(&rounding);
+    let reference = problem.solve(DpEngine::Sequential);
+    let store = Arc::new(
+        TieredStore::open(&StoreConfig {
+            budget,
+            spill_dir: Some(spill_dir.clone()),
+        })
+        .map_err(|e| format!("opening store: {e}"))?,
+    );
+    let paged = problem
+        .solve_paged(dim, Arc::clone(&store))
+        .map_err(|e| format!("paged solve: {e}"))?;
+    let stats = store.stats();
+    let fault_us = store.fault_latency();
+    let matches = paged.values == reference.values && paged.opt == reference.opt;
+
+    let mut w = pcmax::obs::JsonWriter::new();
+    w.begin_object()
+        .field_u64("seed", seed)
+        .field_u64("jobs", jobs as u64)
+        .field_u64("machines", machines as u64)
+        .field_u64("target", target)
+        .field_u64("table_cells", problem.table_size() as u64)
+        .field_u64("opt", u64::from(paged.opt))
+        .field_str("differential", if matches { "ok" } else { "MISMATCH" })
+        .key("store")
+        .begin_object()
+        .field_u64("budget_bytes", stats.budget_bytes)
+        .field_u64("ram_pages", stats.ram_pages as u64)
+        .field_u64("ram_bytes", stats.ram_bytes)
+        .field_u64("disk_pages", stats.disk_pages as u64)
+        .field_u64("disk_bytes", stats.disk_bytes)
+        .field_u64("ram_hits", stats.ram_hits)
+        .field_u64("faults", stats.faults)
+        .field_u64("misses", stats.misses)
+        .field_u64("demotions", stats.demotions)
+        .field_u64("spill_writes", stats.spill_writes)
+        .key("fault_us");
+    fault_us.write_json(&mut w);
+    w.end_object().end_object();
+    println!("{}", w.finish());
+
+    if ephemeral {
+        let _ = fs::remove_dir_all(&spill_dir);
+    }
+    if matches {
+        eprintln!(
+            "store-stats: paged table ({} cells) matches Sequential; {} demotions, {} faults under a {}-byte budget",
+            problem.table_size(),
+            stats.demotions,
+            stats.faults,
+            stats.budget_bytes
+        );
+        Ok(())
+    } else {
+        Err("paged solve diverged from the sequential engine".into())
+    }
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {

@@ -38,6 +38,7 @@
 //! | [`exec_model`] | counted-work descriptors and the multicore cost model |
 //! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
+//! | [`pcmax_store`] | paged table memory: tiered RAM/disk page store, byte budgets, warm-start log |
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
 //! | [`pcmax_cluster`] | sharded multi-worker serving: cache-affinity routing, health checks, failover |
 //! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
@@ -51,11 +52,15 @@ pub use pcmax_ptas::{self as ptas, DpEngine, DpProblem, DpSolution, Ptas, PtasRe
 
 pub use exec_model::{self as model, CpuModel, DpWorkload, ModelTime};
 pub use gpu_sim::{self as sim, DeviceSpec, GpuSim, KernelDesc, SimReport};
-pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, Shape};
+pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, PagedTable, Shape};
+pub use pcmax_store::{
+    self as store, StoreBudget, StoreConfig, StoreError, StoreStats, TieredStore, WarmLog,
+};
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
 pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
     self as serve, Client, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
+    StoreReport, WarmTier,
 };
 pub use pcmax_cluster::{
     self as cluster, ClusterConfig, ClusterReport, Coordinator, LocalCluster, RouteKey,

@@ -184,6 +184,70 @@ fn killing_a_worker_mid_load_loses_no_requests() {
 }
 
 #[test]
+fn pressured_workers_are_demoted_in_routing_order() {
+    // A 512-byte budget means a single cached DP solution already puts
+    // the worker far past a 1% pressure threshold.
+    let serve_config = ServeConfig {
+        mem_budget: pcmax::StoreBudget::bytes(512),
+        ..ServeConfig::default()
+    };
+    let cluster_config = ClusterConfig {
+        pressure_threshold_pct: 1,
+        ..fast_cluster_config()
+    };
+    let cluster =
+        LocalCluster::start(3, serve_config, cluster_config).expect("start cluster");
+    let coordinator = cluster.coordinator();
+
+    // The first solve lands on the affinity primary and fills its cache.
+    let inst = uniform(17, 28, 4, 1, 60);
+    let first = coordinator.solve(request(&inst)).expect("first solve");
+    let primary = first.worker.clone().expect("served remotely");
+    let primary_idx = cluster.index_of(&primary).expect("known worker");
+    let direct = cluster.service(primary_idx).expect("worker alive");
+    assert!(
+        direct.pressure_pct() >= 1,
+        "one cached solution must pressure a 512-byte budget: {}%",
+        direct.pressure_pct()
+    );
+
+    // The next heartbeat carries the pressure to the coordinator.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = coordinator.report();
+        let seen = report
+            .workers
+            .iter()
+            .find(|w| w.id == primary)
+            .map(|w| w.pressure_pct)
+            .unwrap_or(0);
+        if seen >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never reported pressure for {primary}: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Same key again: the pressured primary now ranks behind both idle
+    // workers, so cache affinity yields and the request routes away.
+    let second = coordinator.solve(request(&inst)).expect("second solve");
+    let relief = second.worker.clone().expect("served remotely");
+    assert_ne!(
+        relief, primary,
+        "a pressured worker must be demoted in routing order"
+    );
+    second.response.schedule.validate(&inst).expect("valid schedule");
+
+    // The demotion is observable: the aggregated report carries each
+    // worker's pressure.
+    let json = coordinator.report().to_json();
+    assert!(json.contains("\"pressure_pct\""), "{json}");
+}
+
+#[test]
 fn cluster_front_end_speaks_the_serve_protocol() {
     let cluster = LocalCluster::start(2, ServeConfig::default(), fast_cluster_config())
         .expect("start cluster");

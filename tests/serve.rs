@@ -225,6 +225,63 @@ fn protocol_errors_do_not_kill_the_connection() {
 }
 
 #[test]
+fn restarted_server_answers_from_the_disk_tier_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("pcmax-e2e-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let inst = uniform(33, 30, 4, 1, 60);
+
+    // First life: a cold solve runs the DP and appends it to the warm log.
+    let (service, addr, handle) = start_service(config.clone());
+    let mut client = Client::connect(addr).expect("connect");
+    let cold = client.solve(&inst, Some(0.3), None).expect("cold solve");
+    assert!(cold.cache_misses > 0, "cold solve must run the DP");
+    let first_life = service.report();
+    assert!(
+        first_life.store.appends > 0,
+        "cold solves must persist to the warm log: {first_life:?}"
+    );
+    assert_eq!(first_life.store.rehydrated, 0, "first boot starts empty");
+    handle.shutdown();
+    service.shutdown();
+
+    // Second life on the same store dir: the manifest rehydrates, and the
+    // same request is answered from the disk tier — the DP never reruns.
+    let (service, addr, handle) = start_service(config);
+    assert!(
+        service.report().store.rehydrated > 0,
+        "restart must rehydrate the warm log"
+    );
+    let mut client = Client::connect(addr).expect("reconnect");
+    let warm = client.solve(&inst, Some(0.3), None).expect("warm solve");
+    assert_eq!(warm.target, cold.target, "same instance, same T*");
+    assert_eq!(warm.makespan, cold.makespan);
+    assert_eq!(
+        warm.cache_misses, 0,
+        "a restarted worker must answer its old hot set without recomputing"
+    );
+    assert!(warm.cache_hits > 0);
+    let report = service.report();
+    assert!(
+        report.store.disk_hits > 0,
+        "the answer must have faulted in from disk: {report:?}"
+    );
+
+    // The counters that prove it travel over the wire too.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"store\""), "{stats}");
+    assert!(stats.contains("\"rehydrated\""), "{stats}");
+    assert!(stats.contains("\"disk_hit_rate\""), "{stats}");
+
+    handle.shutdown();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn overflowing_total_work_is_rejected_at_the_wire_and_the_connection_survives() {
     use std::io::{BufRead, BufReader, Write};
 
