@@ -12,7 +12,8 @@ use pcmax_ptas::dp::{DpEngine, DpProblem};
 use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
 use pcmax_ptas::search::{self, interval};
 use pcmax_ptas::{Ptas, SearchStrategy};
-use pcmax_serve::solver::{solve_cached, DpCache};
+use pcmax_serve::solver::{solve_cached, DpCache, SolverOptions};
+use pcmax_sparse::SparseError;
 use pcmax_serve::WarmTier;
 use pcmax_store::{StoreBudget, StoreConfig, StoreError, TieredStore};
 use std::path::PathBuf;
@@ -158,15 +159,12 @@ pub fn check_serve_solver(inst: &Instance, ctx: &mut CheckCtx<'_>) {
     // Skip when even a single probe's table would blow the budget; the
     // serve path degrades by design there.
     let cache = DpCache::new(2, 64 << 10);
-    match solve_cached(
-        inst,
-        ctx.k,
-        DpEngine::Sequential,
-        &cache,
-        None,
-        None,
-        ctx.max_table_cells,
-    ) {
+    let opts = SolverOptions {
+        engine: DpEngine::Sequential,
+        max_table_cells: ctx.max_table_cells,
+        ..SolverOptions::default()
+    };
+    match solve_cached(inst, ctx.k, &opts, &cache, None, None) {
         Ok(outcome) => {
             let reference = search::bisection(inst, ctx.k, DpEngine::Sequential);
             if outcome.target != reference.target {
@@ -370,6 +368,135 @@ pub fn check_paged_store(inst: &Instance, ctx: &mut CheckCtx<'_>) {
     }
 }
 
+/// Differential check of the sparse frontier engine against every dense
+/// engine: `OPT(N)` must agree across all five, every retained frontier
+/// cell must carry exactly the dense table's value at that index, an
+/// extracted assignment must be a valid cover, and a starvation-level
+/// resident-cell bound must fail fast with [`SparseError::FrontierOverflow`]
+/// — never a wrong answer.
+pub fn check_sparse_engine(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    let target = interval::bisection_target(lb, ub);
+    let rounding = match Rounding::compute(inst, target, ctx.k) {
+        RoundingOutcome::Infeasible { .. } => return,
+        RoundingOutcome::Rounded(r) => r,
+    };
+    let problem = DpProblem::from_rounding(&rounding);
+    // The cell-for-cell comparison needs the dense table in RAM, so the
+    // cap is capacity of the *reference*, not of the engine under test.
+    if problem.table_size() > (1 << 16) || problem.table_size() > ctx.max_table_cells {
+        return;
+    }
+    ctx.bump();
+    let sparse = problem.solve_sparse();
+    let reference = problem.solve(ENGINES[0]);
+    for &engine in &ENGINES {
+        let dense = problem.solve(engine);
+        if sparse.opt != dense.opt {
+            ctx.diverge(
+                "sparse-opt",
+                format!(
+                    "target {target}: sparse OPT {} vs {engine:?} {}",
+                    sparse.opt, dense.opt
+                ),
+            );
+        }
+    }
+    // Every cell the frontier retained must be *exact* — equal to the
+    // dense value at the same index. (Dominance may drop cells, never
+    // rewrite them.)
+    for (cell, value) in sparse.cells() {
+        let flat = if cell.is_empty() {
+            0
+        } else {
+            problem.shape().flatten(&cell)
+        };
+        if reference.values[flat] != value {
+            ctx.diverge(
+                "sparse-cells",
+                format!(
+                    "target {target}: frontier cell {cell:?} carries {value} but dense table has {}",
+                    reference.values[flat]
+                ),
+            );
+            break;
+        }
+    }
+    match sparse.extract_configs() {
+        Some(configs) => {
+            if configs.len() as u32 != sparse.opt {
+                ctx.diverge(
+                    "sparse-extract",
+                    format!(
+                        "extraction yields {} configs for OPT {}",
+                        configs.len(),
+                        sparse.opt
+                    ),
+                );
+            }
+            let mut used = vec![0usize; problem.counts().len()];
+            for config in &configs {
+                let weight: u64 = config
+                    .iter()
+                    .zip(problem.sizes())
+                    .map(|(&c, &s)| c as u64 * s)
+                    .sum();
+                if weight > problem.cap() {
+                    ctx.diverge(
+                        "sparse-extract",
+                        format!("extracted config {config:?} weighs {weight} > cap"),
+                    );
+                }
+                for (u, &c) in used.iter_mut().zip(config) {
+                    *u += c;
+                }
+            }
+            if used != problem.counts() {
+                ctx.diverge(
+                    "sparse-extract",
+                    format!("extraction covers {used:?}, instance needs {:?}", problem.counts()),
+                );
+            }
+        }
+        None => {
+            if sparse.opt != pcmax_sparse::INFEASIBLE {
+                ctx.diverge(
+                    "sparse-extract",
+                    format!("no extraction despite feasible OPT {}", sparse.opt),
+                );
+            }
+        }
+    }
+
+    // Fail-fast contract: an impossible resident budget must surface as
+    // a structured overflow, not a silently truncated frontier.
+    ctx.bump();
+    match problem.solve_sparse_bounded(2) {
+        // Degenerate frontiers (≤ 2 resident cells) may legitimately
+        // fit — then the answer must still be right.
+        Ok(sol) => {
+            if sol.opt != reference.opt {
+                ctx.diverge(
+                    "sparse-failfast",
+                    format!(
+                        "bounded solve fit 2 cells but OPT {} vs Sequential {}",
+                        sol.opt, reference.opt
+                    ),
+                );
+            }
+        }
+        Err(SparseError::FrontierOverflow { resident, limit }) => {
+            if resident <= limit {
+                ctx.diverge(
+                    "sparse-failfast",
+                    format!("FrontierOverflow with resident {resident} <= limit {limit}"),
+                );
+            }
+        }
+    }
+}
+
 /// Kill-and-rehydrate: solve through a warm store, drop every in-RAM
 /// structure (the "process exit"), reopen the same directory, and
 /// assert the rehydrated solve answers entirely from disk with the
@@ -385,15 +512,12 @@ pub fn check_warm_rehydrate(inst: &Instance, ctx: &mut CheckCtx<'_>) {
         }
     };
     let cache = DpCache::new(2, 64 << 10);
-    let first = match solve_cached(
-        inst,
-        ctx.k,
-        DpEngine::Sequential,
-        &cache,
-        Some(&warm),
-        None,
-        ctx.max_table_cells,
-    ) {
+    let opts = SolverOptions {
+        engine: DpEngine::Sequential,
+        max_table_cells: ctx.max_table_cells,
+        ..SolverOptions::default()
+    };
+    let first = match solve_cached(inst, ctx.k, &opts, &cache, Some(&warm), None) {
         Ok(outcome) => outcome,
         Err(_) => {
             // Table over budget: capacity, not correctness.
@@ -411,15 +535,7 @@ pub fn check_warm_rehydrate(inst: &Instance, ctx: &mut CheckCtx<'_>) {
         }
     };
     let fresh = DpCache::new(2, 64 << 10);
-    match solve_cached(
-        inst,
-        ctx.k,
-        DpEngine::Sequential,
-        &fresh,
-        Some(&warm),
-        None,
-        ctx.max_table_cells,
-    ) {
+    match solve_cached(inst, ctx.k, &opts, &fresh, Some(&warm), None) {
         Ok(second) => {
             if second.cache_misses != 0 {
                 ctx.diverge(

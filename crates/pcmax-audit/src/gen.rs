@@ -104,6 +104,27 @@ pub fn single_machine(seed: u64) -> AdversarialCase {
     case("single-machine", seed, Instance::new(times, 1))
 }
 
+/// Adversarial frontier growth for the sparse engine: near-uniform
+/// times (a handful of size classes with high multiplicity) packed many
+/// per machine. The dense DP box `Π(nᵢ+1)` grows with the counts while
+/// the reachable frontier stays thin, which is exactly where the
+/// sparsified sweep must both *win on memory* and stay cell-for-cell
+/// exact — dominance pruning is most aggressive (and a wrong prune most
+/// likely) when many configs reach the same residual cell.
+pub fn sparse_frontier(seed: u64) -> AdversarialCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x51de_f007).wrapping_add(8));
+    let m = rng.gen_range(2..=4usize);
+    // Many jobs per machine: the regime where the frontier estimate
+    // `(M+2)·width` undercuts the dense box.
+    let per_machine = rng.gen_range(6..=10usize);
+    let base = rng.gen_range(40..=120u64);
+    let spread = rng.gen_range(1..=2u64);
+    let times = (0..m * per_machine)
+        .map(|_| base + rng.gen_range(0..=spread))
+        .collect::<Vec<_>>();
+    case("sparse-frontier", seed, Instance::new(times, m))
+}
+
 /// Small uniform instance for which `brute_force_makespan` and
 /// `subset_dp_makespan` are affordable — the ground-truth family.
 pub fn small_oracle(seed: u64) -> AdversarialCase {
@@ -123,6 +144,7 @@ pub fn adversarial_suite(seed: u64) -> Vec<AdversarialCase> {
         single_class_flood(seed),
         gcd_scaled(seed),
         single_machine(seed),
+        sparse_frontier(seed),
         small_oracle(seed),
     ]
 }
@@ -170,6 +192,14 @@ mod tests {
         );
         let sm = single_machine(3);
         assert_eq!(sm.instance.machines(), 1);
+        let sf = sparse_frontier(3);
+        assert!(sf.instance.num_jobs() >= 6 * sf.instance.machines());
+        let (min, max) = sf
+            .instance
+            .times()
+            .iter()
+            .fold((u64::MAX, 0), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        assert!(max - min <= 2, "near-uniform family must stay tight");
         let so = small_oracle(3);
         assert!(so.instance.num_jobs() <= 9);
     }

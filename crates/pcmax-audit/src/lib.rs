@@ -13,6 +13,10 @@
 //! * the serve layer's cache-backed solver vs the plain search,
 //! * the paged (spill-to-disk) DP engine vs the in-RAM sequential
 //!   engine cell-for-cell, plus the no-spill fail-fast contract,
+//! * the sparse frontier engine vs every dense engine — `OPT`
+//!   agreement, exactness of every retained cell against the dense
+//!   table, extraction validity, and the bounded-frontier fail-fast
+//!   contract,
 //! * kill-and-rehydrate: a solve replayed through a reopened warm store
 //!   must answer entirely from disk with an identical schedule,
 //! * heuristics and the PTAS vs `brute_force_makespan` /
@@ -46,6 +50,12 @@ pub struct AuditConfig {
     /// DP tables larger than this are skipped (capacity, not
     /// correctness); keeps adversarial cases within memory bounds.
     pub max_table_cells: usize,
+    /// Restrict the sweep to the checks exercising one engine
+    /// (`--engine sparse` on the CLI). `None` runs everything;
+    /// `Some("sparse")` runs only [`checks::check_sparse_engine`] per
+    /// case. Unrecognised names run nothing and are rejected by the CLI
+    /// before reaching here.
+    pub engine_filter: Option<String>,
 }
 
 impl Default for AuditConfig {
@@ -54,6 +64,7 @@ impl Default for AuditConfig {
             seeds: 16,
             k: 4,
             max_table_cells: 1 << 20,
+            engine_filter: None,
         }
     }
 }
@@ -66,10 +77,11 @@ pub fn run(config: &AuditConfig) -> AuditReport {
     };
     let mut checks_run = 0u64;
     let mut divergences = Vec::new();
+    let sparse_only = config.engine_filter.as_deref() == Some("sparse");
     for seed in 0..config.seeds {
         // The gate check is instance-independent; audit it once per seed
         // so a regression still fails fast on `--seeds 1`.
-        {
+        if !sparse_only {
             let mut ctx = checks::CheckCtx {
                 family: "validation-gate",
                 seed,
@@ -90,10 +102,15 @@ pub fn run(config: &AuditConfig) -> AuditReport {
                 checks_run: &mut checks_run,
                 out: &mut divergences,
             };
+            if sparse_only {
+                checks::check_sparse_engine(&case.instance, &mut ctx);
+                continue;
+            }
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
             checks::check_paged_store(&case.instance, &mut ctx);
+            checks::check_sparse_engine(&case.instance, &mut ctx);
             checks::check_warm_rehydrate(&case.instance, &mut ctx);
             checks::check_ptas_invariant(&case.instance, &mut ctx);
             checks::check_small_oracle(&case.instance, &mut ctx);
@@ -115,13 +132,35 @@ mod tests {
             seeds: 8,
             ..AuditConfig::default()
         });
-        assert_eq!(report.cases, 8 * 7);
+        assert_eq!(report.cases, 8 * 8);
         assert!(report.checks > report.cases as u64);
         assert!(
             report.is_clean(),
             "divergences: {:#?}",
             report.divergences
         );
+    }
+
+    #[test]
+    fn sparse_filter_runs_only_the_sparse_check() {
+        let full = run(&AuditConfig {
+            seeds: 4,
+            ..AuditConfig::default()
+        });
+        let filtered = run(&AuditConfig {
+            seeds: 4,
+            engine_filter: Some("sparse".to_string()),
+            ..AuditConfig::default()
+        });
+        assert_eq!(filtered.cases, full.cases);
+        assert!(filtered.checks > 0, "filter must still exercise cases");
+        assert!(
+            filtered.checks < full.checks,
+            "filtered {} vs full {}",
+            filtered.checks,
+            full.checks
+        );
+        assert!(filtered.is_clean(), "divergences: {:#?}", filtered.divergences);
     }
 
     #[test]

@@ -514,6 +514,40 @@ impl DpProblem {
         ))
     }
 
+    /// Sparse value-layer sweep (the workspace's fifth engine, from
+    /// `pcmax-sparse`): instead of materialising the `∏(nᵢ+1)` table,
+    /// breadth-first layers of dominance-pruned *reachable* cells are
+    /// grown until `N` settles. Returns the retained frontier, whose
+    /// cells carry exact `OPT` values — [`pcmax_sparse::SparseSolution::cells`]
+    /// is cell-for-cell comparable against the dense engines on the
+    /// retained set.
+    pub fn solve_sparse(&self) -> pcmax_sparse::SparseSolution {
+        self.sparse_problem().solve()
+    }
+
+    /// Sparse sweep with a hard cap on resident cells. Fails with
+    /// [`pcmax_sparse::SparseError::FrontierOverflow`] instead of
+    /// allocating past the cap — the runtime backstop behind the
+    /// [`Self::predict_sparse`] admission estimate.
+    pub fn solve_sparse_bounded(
+        &self,
+        max_resident_cells: usize,
+    ) -> Result<pcmax_sparse::SparseSolution, pcmax_sparse::SparseError> {
+        self.sparse_problem().solve_bounded(max_resident_cells)
+    }
+
+    /// Cheap per-representation cost estimates for this problem (dense
+    /// table bytes under the store page codec vs predicted resident
+    /// frontier cells). [`pcmax_sparse::SparsePrediction::choose`] turns
+    /// this into the dense → sparse → paged admission ladder.
+    pub fn predict_sparse(&self) -> pcmax_sparse::SparsePrediction {
+        pcmax_sparse::predict(&self.counts, &self.sizes, self.cap)
+    }
+
+    fn sparse_problem(&self) -> pcmax_sparse::SparseProblem {
+        pcmax_sparse::SparseProblem::new(self.counts.clone(), self.sizes.clone(), self.cap)
+    }
+
     /// Cell computation against the page store: own-block reads hit the
     /// scratch buffer, cross-block reads fault the dependency's page.
     #[allow(clippy::too_many_arguments)]
@@ -999,6 +1033,90 @@ mod tests {
         let (store, _dir) = tiny_store("roomy", 1 << 20, false);
         let sol = p.solve_paged(2, store).expect("paged solve");
         assert_eq!(sol.values, p.solve_sequential().values);
+    }
+
+    #[test]
+    fn sparse_engine_agrees_with_dense_on_opt_and_retained_cells() {
+        let cases: Vec<(Vec<usize>, Vec<u64>, u64)> = vec![
+            (vec![4], vec![5], 10),
+            (vec![2, 3], vec![4, 6], 12),
+            (vec![3, 2, 2], vec![3, 5, 7], 14),
+            (vec![1, 1], vec![5, 20], 10), // infeasible
+            (vec![], vec![], 10),
+        ];
+        for (counts, sizes, cap) in cases {
+            let p = DpProblem::new(counts.clone(), sizes.clone(), cap);
+            let dense = p.solve_sequential();
+            let sparse = p.solve_sparse();
+            assert_eq!(
+                sparse.opt, dense.opt,
+                "counts {counts:?} sizes {sizes:?} cap {cap}"
+            );
+            // Every retained cell must carry the dense table's value —
+            // the sparsification lemma's exactness guarantee.
+            for (cell, value) in sparse.cells() {
+                // The empty problem's only cell is the 0-dim origin; the
+                // dense side stores it behind a 1-extent placeholder shape.
+                let flat = if cell.is_empty() {
+                    0
+                } else {
+                    p.shape().flatten(&cell)
+                };
+                assert_eq!(value, dense.values[flat], "cell {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_extraction_matches_dense_machine_count() {
+        let p = DpProblem::new(vec![3, 2, 1], vec![4, 6, 9], 13);
+        let dense = p.solve_sequential();
+        let sparse = p.solve_sparse();
+        let machines = sparse.extract_configs().expect("feasible");
+        assert_eq!(machines.len() as u32, dense.opt);
+        let mut total = vec![0usize; 3];
+        for m in &machines {
+            let w: u64 = m.iter().zip(p.sizes()).map(|(&c, &s)| c as u64 * s).sum();
+            assert!(w <= p.cap());
+            for i in 0..3 {
+                total[i] += m[i];
+            }
+        }
+        assert_eq!(total, p.counts());
+    }
+
+    #[test]
+    fn sparse_bounded_overflows_then_succeeds_unbounded() {
+        let p = DpProblem::new(vec![6, 6, 6], vec![3, 4, 5], 12);
+        match p.solve_sparse_bounded(3) {
+            Err(pcmax_sparse::SparseError::FrontierOverflow { resident, limit }) => {
+                assert!(resident > limit);
+                assert_eq!(limit, 3);
+            }
+            Ok(sol) => panic!("expected overflow, solved with opt {}", sol.opt),
+        }
+        let sparse = p.solve_sparse_bounded(usize::MAX).expect("unbounded");
+        assert_eq!(sparse.opt, p.solve_sequential().opt);
+    }
+
+    #[test]
+    fn predict_sparse_follows_the_admission_ladder() {
+        let small = DpProblem::new(vec![2, 2], vec![4, 6], 10);
+        assert_eq!(
+            small.predict_sparse().choose(small.table_size() as u64, false),
+            Some(pcmax_sparse::PlannedRepr::Dense)
+        );
+        let big = DpProblem::new(vec![9; 8], (31..47).step_by(2).collect(), 96);
+        let pred = big.predict_sparse();
+        assert!(pred.dense_cells > pred.est_sparse_cells);
+        assert_eq!(
+            pred.choose(pred.est_sparse_cells, false),
+            Some(pcmax_sparse::PlannedRepr::Sparse)
+        );
+        assert_eq!(
+            pred.choose(1, true),
+            Some(pcmax_sparse::PlannedRepr::Paged)
+        );
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! * **Batching** — workers drain requests in batches and bucket them by
 //!   the rounding parameter `k`, maximising cache-key locality; buckets
 //!   run on the rayon pool.
+//! * **Representation ladder** — under [`solver::ReprPolicy::Auto`] each
+//!   probe is *predicted* into the cheapest representation that fits the
+//!   cell budget: a dense in-RAM table, the sparse frontier of
+//!   [`pcmax_sparse`], or a paged table through a tiered store; only a
+//!   probe over budget in every representation degrades.
 //!
 //! Use [`Service`] in-process, or [`serve_tcp`] + [`Client`] for the
 //! line-protocol TCP front-end (`pcmax serve` on the command line).
@@ -33,9 +38,12 @@ pub use client::{Client, ClientError, ClientReply};
 pub use service::{
     heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };
-pub use solver::{entry_cost, solve_cached, CachedDp, Degrade, DpCache, SolveOutcome};
+pub use solver::{
+    entry_cost, solve_cached, CachedDp, Degrade, DpCache, ReprCounts, ReprPolicy, SolveOutcome,
+    SolverOptions,
+};
 pub use stats::{
-    CacheReport, EngineUsed, HealthReply, RequestStats, ServeHistograms, ServeMetrics,
+    CacheReport, EngineUsed, HealthReply, ReprReport, RequestStats, ServeHistograms, ServeMetrics,
     ServiceReport, StoreReport,
 };
 pub use tcp::{serve_tcp, TcpHandle};

@@ -10,9 +10,9 @@
 //! (or whose DP table would blow the cell budget) is *not* an error: it
 //! degrades to the better of LPT and MULTIFIT and the response says so.
 
-use crate::solver::{solve_cached, Degrade, DpCache};
+use crate::solver::{solve_cached, Degrade, DpCache, ReprPolicy, SolverOptions};
 use crate::stats::{
-    EngineUsed, HealthReply, RequestStats, ServeMetrics, ServiceReport, StoreReport,
+    EngineUsed, HealthReply, ReprReport, RequestStats, ServeMetrics, ServiceReport, StoreReport,
 };
 use crate::warm::WarmTier;
 use pcmax_core::heuristics::{lpt, multifit};
@@ -55,6 +55,13 @@ pub struct ServeConfig {
     /// Largest DP table (in cells) a probe may allocate before the
     /// request degrades to a heuristic.
     pub max_table_cells: usize,
+    /// Which DP representations probes may use. Under [`ReprPolicy::Auto`]
+    /// each probe is predicted into dense, sparse, or (when a store
+    /// directory exists) paged before anything is allocated.
+    pub repr: ReprPolicy,
+    /// RAM budget of each paged solve's tiered store (only used when a
+    /// store directory enables the paged arm).
+    pub pages_budget: StoreBudget,
     /// Read/write timeout applied to every TCP stream the front-end
     /// accepts, so a hung peer can never wedge a connection thread.
     /// `None` disables the timeout (streams block forever, the
@@ -75,6 +82,8 @@ impl Default for ServeConfig {
             mem_budget: StoreBudget::default(),
             store_dir: None,
             max_table_cells: 10_000_000,
+            repr: ReprPolicy::Auto,
+            pages_budget: StoreBudget::default(),
             io_timeout: Some(Duration::from_secs(30)),
         }
     }
@@ -235,6 +244,9 @@ struct Counters {
     completed: AtomicU64,
     degraded: AtomicU64,
     rejected: AtomicU64,
+    repr_dense: AtomicU64,
+    repr_sparse: AtomicU64,
+    repr_paged: AtomicU64,
 }
 
 /// Everything a worker thread needs. Workers deliberately do NOT hold
@@ -248,9 +260,8 @@ struct WorkerCtx {
     warm: Option<Arc<WarmTier>>,
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
-    engine: DpEngine,
+    solver: SolverOptions,
     batch_max: usize,
-    max_table_cells: usize,
 }
 
 /// The solver service. Create with [`Service::start`]; share via `Arc`.
@@ -289,15 +300,23 @@ impl Service {
         });
         let counters = Arc::new(Counters::default());
         let metrics = Arc::new(ServeMetrics::default());
+        // The paged arm spills per-solve scratch pages next to the warm
+        // log; without a store directory the Auto ladder ends at sparse.
+        let solver = SolverOptions {
+            engine: config.engine,
+            repr: config.repr,
+            max_table_cells: config.max_table_cells,
+            pages_dir: config.store_dir.as_ref().map(|dir| dir.join("pages")),
+            pages_budget: config.pages_budget,
+        };
         let ctx = WorkerCtx {
             queue: Arc::clone(&queue),
             cache: Arc::clone(&cache),
             warm: warm.clone(),
             counters: Arc::clone(&counters),
             metrics: Arc::clone(&metrics),
-            engine: config.engine,
+            solver,
             batch_max: config.batch_max,
-            max_table_cells: config.max_table_cells,
         };
         let handles: Vec<JoinHandle<()>> = (0..config.workers)
             .map(|i| {
@@ -368,6 +387,11 @@ impl Service {
             completed: self.counters.completed.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
+            repr: ReprReport {
+                dense_probes: self.counters.repr_dense.load(Ordering::Relaxed),
+                sparse_probes: self.counters.repr_sparse.load(Ordering::Relaxed),
+                paged_probes: self.counters.repr_paged.load(Ordering::Relaxed),
+            },
             cache: self.cache.report(),
             store: self.store_report(),
             histograms: self.metrics.snapshot(),
@@ -483,16 +507,24 @@ impl WorkerCtx {
             solve_cached(
                 &job.instance,
                 job.k,
-                self.engine,
+                &self.solver,
                 &self.cache,
                 self.warm.as_deref(),
                 Some(job.deadline),
-                self.max_table_cells,
             )
         };
         let response = match ptas {
             Ok(outcome) => {
                 let makespan = outcome.schedule.makespan(&job.instance);
+                self.counters
+                    .repr_dense
+                    .fetch_add(outcome.repr.dense, Ordering::Relaxed);
+                self.counters
+                    .repr_sparse
+                    .fetch_add(outcome.repr.sparse, Ordering::Relaxed);
+                self.counters
+                    .repr_paged
+                    .fetch_add(outcome.repr.paged, Ordering::Relaxed);
                 SolveResponse {
                     schedule: outcome.schedule,
                     makespan,

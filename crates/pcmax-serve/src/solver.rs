@@ -20,6 +20,10 @@ use pcmax_ptas::dp::INFEASIBLE;
 use pcmax_ptas::ptas::assemble_schedule;
 use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
 use pcmax_ptas::{DpEngine, DpKey, DpProblem};
+use pcmax_sparse::{PlannedRepr, SparseError};
+use pcmax_store::{StoreBudget, StoreConfig, TieredStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,11 +61,96 @@ pub fn entry_cost(key: &DpKey, entry: &CachedDp) -> u64 {
 pub enum Degrade {
     /// The per-request deadline expired mid-search.
     DeadlineExceeded,
-    /// A probe's DP table exceeded the configured cell budget.
+    /// A probe's DP exceeded the configured cell budget under *every*
+    /// admitted representation (dense, sparse, paged).
     TableTooLarge {
-        /// Cells the offending probe would have allocated.
+        /// Cells the cheapest attempted representation would have held
+        /// resident.
         cells: usize,
     },
+}
+
+/// Which DP representations a solve may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReprPolicy {
+    /// Dense in-RAM tables only — the pre-sparsification behaviour:
+    /// a table over the cell budget degrades immediately.
+    DenseOnly,
+    /// Sparse frontier only (useful for differential testing); the
+    /// runtime cell cap still applies.
+    SparseOnly,
+    /// Predict per probe: dense while the table fits the cell budget,
+    /// else sparse while the estimated frontier fits, else paged when a
+    /// pages directory is configured.
+    #[default]
+    Auto,
+}
+
+/// Everything the solve path needs to know beyond the instance: engine,
+/// representation policy, admission budget, and the page store used by
+/// the paged arm.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// DP engine for dense cache misses.
+    pub engine: DpEngine,
+    /// Which representations a probe may use.
+    pub repr: ReprPolicy,
+    /// Largest resident cell count any representation may allocate.
+    pub max_table_cells: usize,
+    /// Spill directory for the paged arm. `None` disables paged solves
+    /// (the `Auto` ladder then ends at sparse).
+    pub pages_dir: Option<PathBuf>,
+    /// RAM budget of each paged solve's tiered store.
+    pub pages_budget: StoreBudget,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            engine: DpEngine::AntiDiagonal,
+            repr: ReprPolicy::Auto,
+            max_table_cells: usize::MAX,
+            pages_dir: None,
+            pages_budget: StoreBudget::default(),
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options with the given engine and everything else default —
+    /// unbounded, `Auto` representation, no page store.
+    pub fn new(engine: DpEngine) -> Self {
+        Self {
+            engine,
+            ..Self::default()
+        }
+    }
+}
+
+/// How many cache-missing probes ran under each representation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReprCounts {
+    /// Probes solved by a dense in-RAM engine.
+    pub dense: u64,
+    /// Probes solved by the sparse frontier sweep.
+    pub sparse: u64,
+    /// Probes solved by the paged engine against a tiered store.
+    pub paged: u64,
+}
+
+impl ReprCounts {
+    fn bump(&mut self, repr: PlannedRepr) {
+        match repr {
+            PlannedRepr::Dense => self.dense += 1,
+            PlannedRepr::Sparse => self.sparse += 1,
+            PlannedRepr::Paged => self.paged += 1,
+        }
+    }
+
+    /// Total probes that ran a DP (any representation).
+    pub fn total(&self) -> u64 {
+        self.dense + self.sparse + self.paged
+    }
 }
 
 /// A completed cache-backed PTAS solve.
@@ -77,6 +166,8 @@ pub struct SolveOutcome {
     pub cache_hits: u64,
     /// Probes that ran the DP.
     pub cache_misses: u64,
+    /// Representation each cache-missing probe ran under.
+    pub repr: ReprCounts,
 }
 
 /// One probe's feasibility plus the configs needed to build a schedule.
@@ -85,19 +176,134 @@ struct ProbeOutcome {
     configs: Option<Arc<Vec<Vec<usize>>>>,
 }
 
+/// Plans the representation for one problem under the options' policy.
+/// `Err` when every admitted representation exceeds the cell budget —
+/// checked *before* the cache so admission control is representation-
+/// aware even on the hit path.
+fn plan_repr(problem: &DpProblem, opts: &SolverOptions) -> Result<PlannedRepr, Degrade> {
+    let prediction = problem.predict_sparse();
+    match opts.repr {
+        ReprPolicy::DenseOnly => {
+            if problem.table_size() > opts.max_table_cells {
+                Err(Degrade::TableTooLarge {
+                    cells: problem.table_size(),
+                })
+            } else {
+                Ok(PlannedRepr::Dense)
+            }
+        }
+        ReprPolicy::SparseOnly => {
+            if prediction.est_sparse_cells > opts.max_table_cells as u64 {
+                Err(Degrade::TableTooLarge {
+                    cells: prediction.est_sparse_cells.min(usize::MAX as u64) as usize,
+                })
+            } else {
+                Ok(PlannedRepr::Sparse)
+            }
+        }
+        ReprPolicy::Auto => prediction
+            .choose(opts.max_table_cells as u64, opts.pages_dir.is_some())
+            .ok_or(Degrade::TableTooLarge {
+                cells: prediction.min_predicted_cells().min(usize::MAX as u64) as usize,
+            }),
+    }
+}
+
+/// Runs the DP under the planned representation, returning the cache
+/// entry and the representation that actually produced it (the sparse
+/// arm falls back to paged when the frontier overflows its cell cap and
+/// a pages directory exists).
+fn run_planned(
+    problem: &DpProblem,
+    planned: PlannedRepr,
+    opts: &SolverOptions,
+) -> Result<(CachedDp, PlannedRepr), Degrade> {
+    match planned {
+        PlannedRepr::Dense => {
+            let sol = problem.solve(opts.engine);
+            let configs = problem.extract_configs(&sol.values).map(Arc::new);
+            Ok((
+                CachedDp {
+                    opt: sol.opt,
+                    configs,
+                },
+                PlannedRepr::Dense,
+            ))
+        }
+        PlannedRepr::Sparse => match problem.solve_sparse_bounded(opts.max_table_cells) {
+            Ok(sol) => {
+                let configs = sol.extract_configs().map(Arc::new);
+                Ok((
+                    CachedDp {
+                        opt: sol.opt,
+                        configs,
+                    },
+                    PlannedRepr::Sparse,
+                ))
+            }
+            // The prediction under-estimated the frontier: page the dense
+            // table if we can, otherwise degrade at the true resident size.
+            Err(SparseError::FrontierOverflow { resident, .. }) => {
+                if opts.pages_dir.is_some() {
+                    run_planned(problem, PlannedRepr::Paged, opts)
+                } else {
+                    Err(Degrade::TableTooLarge { cells: resident })
+                }
+            }
+        },
+        PlannedRepr::Paged => {
+            let entry = solve_paged_fresh(problem, opts).ok_or(Degrade::TableTooLarge {
+                cells: problem.table_size(),
+            })?;
+            Ok((entry, PlannedRepr::Paged))
+        }
+    }
+}
+
+/// One paged solve against a *fresh* tiered store in a unique
+/// subdirectory (page ids are table-relative, so stores must never be
+/// shared across problems). The directory is removed afterwards; any
+/// store error collapses to `None` and the caller degrades.
+fn solve_paged_fresh(problem: &DpProblem, opts: &SolverOptions) -> Option<CachedDp> {
+    static NEXT_PAGED_SOLVE: AtomicU64 = AtomicU64::new(0);
+    let base = opts.pages_dir.as_ref()?;
+    let dir = base.join(format!(
+        "solve-{}-{}",
+        std::process::id(),
+        NEXT_PAGED_SOLVE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let dim_limit = match opts.engine {
+        DpEngine::Blocked { dim_limit } => dim_limit,
+        _ => 3,
+    };
+    let result = TieredStore::open(&StoreConfig {
+        budget: opts.pages_budget,
+        spill_dir: Some(dir.clone()),
+    })
+    .and_then(|store| problem.solve_paged(dim_limit, Arc::new(store)));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sol = result.ok()?;
+    let configs = problem.extract_configs(&sol.values).map(Arc::new);
+    Some(CachedDp {
+        opt: sol.opt,
+        configs,
+    })
+}
+
 /// Probes target `t` through the cache (RAM, then the optional warm
-/// disk tier). `Err` only for oversized tables.
+/// disk tier). `Err` only when every admitted representation is over
+/// budget.
 #[allow(clippy::too_many_arguments)]
 fn probe_cached(
     inst: &Instance,
     t: u64,
     k: u64,
-    engine: DpEngine,
+    opts: &SolverOptions,
     cache: &DpCache,
     warm: Option<&WarmTier>,
-    max_table_cells: usize,
     hits: &mut u64,
     misses: &mut u64,
+    repr: &mut ReprCounts,
 ) -> Result<ProbeOutcome, Degrade> {
     let rounding = match Rounding::compute(inst, t, k) {
         // A job longer than `t` cannot be scheduled at all under `t`.
@@ -110,11 +316,7 @@ fn probe_cached(
         RoundingOutcome::Rounded(r) => r,
     };
     let problem = DpProblem::from_rounding(&rounding);
-    if problem.table_size() > max_table_cells {
-        return Err(Degrade::TableTooLarge {
-            cells: problem.table_size(),
-        });
-    }
+    let planned = plan_repr(&problem, opts)?;
     let m = inst.machines();
     let key = problem.canonical_key();
     let entry = match cache.get(&key) {
@@ -133,12 +335,8 @@ fn probe_cached(
             }
             None => {
                 *misses += 1;
-                let sol = problem.solve(engine);
-                let configs = problem.extract_configs(&sol.values).map(Arc::new);
-                let entry = CachedDp {
-                    opt: sol.opt,
-                    configs,
-                };
+                let (entry, ran) = run_planned(&problem, planned, opts)?;
+                repr.bump(ran);
                 if let Some(w) = warm {
                     w.put(&key, &entry);
                 }
@@ -159,20 +357,19 @@ fn probe_cached(
 /// `deadline` is checked before every probe; expiry returns
 /// [`Degrade::DeadlineExceeded`] and the caller falls back to a
 /// heuristic. A `deadline` of `None` never expires.
-#[allow(clippy::too_many_arguments)]
 pub fn solve_cached(
     inst: &Instance,
     k: u64,
-    engine: DpEngine,
+    opts: &SolverOptions,
     cache: &DpCache,
     warm: Option<&WarmTier>,
     deadline: Option<Instant>,
-    max_table_cells: usize,
 ) -> Result<SolveOutcome, Degrade> {
     let mut lb = bounds::lower_bound(inst);
     let mut ub = bounds::upper_bound(inst);
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut repr = ReprCounts::default();
 
     let expired = |now: Instant| deadline.is_some_and(|d| now >= d);
 
@@ -186,7 +383,7 @@ pub fn solve_cached(
         // plain sum wraps for u64-scale instances admitted by the gate.
         let t = lb + (ub - lb) / 2;
         let outcome = probe_cached(
-            inst, t, k, engine, cache, warm, max_table_cells, &mut hits, &mut misses,
+            inst, t, k, opts, cache, warm, &mut hits, &mut misses, &mut repr,
         )?;
         if outcome.feasible {
             ub = t;
@@ -200,7 +397,7 @@ pub fn solve_cached(
     }
     let target = ub;
     let final_probe = probe_cached(
-        inst, target, k, engine, cache, warm, max_table_cells, &mut hits, &mut misses,
+        inst, target, k, opts, cache, warm, &mut hits, &mut misses, &mut repr,
     )?;
     let configs = final_probe
         .configs
@@ -218,6 +415,7 @@ pub fn solve_cached(
         machines_used: configs.len(),
         cache_hits: hits,
         cache_misses: misses,
+        repr,
     })
 }
 
@@ -232,21 +430,16 @@ mod tests {
         (1.0 / eps).ceil() as u64
     }
 
+    fn seq() -> SolverOptions {
+        SolverOptions::new(DpEngine::Sequential)
+    }
+
     #[test]
     fn matches_the_plain_ptas() {
         let cache = DpCache::new(4, 64 << 10);
         for seed in 0..4 {
             let inst = uniform(seed, 24, 3, 1, 50);
-            let cached = solve_cached(
-                &inst,
-                k_of(0.3),
-                DpEngine::Sequential,
-                &cache,
-                None,
-                None,
-                usize::MAX,
-            )
-            .unwrap();
+            let cached = solve_cached(&inst, k_of(0.3), &seq(), &cache, None, None).unwrap();
             let plain = Ptas::new(0.3)
                 .with_engine(DpEngine::Sequential)
                 .solve(&inst);
@@ -264,29 +457,13 @@ mod tests {
     fn repeat_solves_hit_the_cache() {
         let cache = DpCache::new(4, 64 << 10);
         let inst = uniform(9, 24, 3, 1, 50);
-        let first = solve_cached(
-            &inst,
-            k_of(0.3),
-            DpEngine::Sequential,
-            &cache,
-            None,
-            None,
-            usize::MAX,
-        )
-        .unwrap();
-        let second = solve_cached(
-            &inst,
-            k_of(0.3),
-            DpEngine::Sequential,
-            &cache,
-            None,
-            None,
-            usize::MAX,
-        )
-        .unwrap();
+        let first = solve_cached(&inst, k_of(0.3), &seq(), &cache, None, None).unwrap();
+        let second = solve_cached(&inst, k_of(0.3), &seq(), &cache, None, None).unwrap();
         assert_eq!(first.target, second.target);
         assert_eq!(second.cache_misses, 0, "second run must be all hits");
         assert!(second.cache_hits > 0);
+        assert_eq!(second.repr.total(), 0, "cache hits run no DP");
+        assert_eq!(first.repr.total(), first.cache_misses);
         assert!(cache.bytes() > 0, "entries carry a byte cost");
     }
 
@@ -300,16 +477,7 @@ mod tests {
         let warm = WarmTier::open(&dir).unwrap();
         let inst = uniform(11, 24, 3, 1, 50);
         let cold_cache = DpCache::new(4, 64 << 10);
-        let cold = solve_cached(
-            &inst,
-            k_of(0.3),
-            DpEngine::Sequential,
-            &cold_cache,
-            Some(&warm),
-            None,
-            usize::MAX,
-        )
-        .unwrap();
+        let cold = solve_cached(&inst, k_of(0.3), &seq(), &cold_cache, Some(&warm), None).unwrap();
         assert!(cold.cache_misses > 0);
         assert!(warm.appends() > 0, "misses must persist to the warm tier");
         // Fresh RAM cache, same warm dir reopened: every probe faults the
@@ -317,16 +485,8 @@ mod tests {
         let reopened = WarmTier::open(&dir).unwrap();
         assert_eq!(reopened.rehydrated(), warm.appends());
         let fresh_cache = DpCache::new(4, 64 << 10);
-        let rehydrated = solve_cached(
-            &inst,
-            k_of(0.3),
-            DpEngine::Sequential,
-            &fresh_cache,
-            Some(&reopened),
-            None,
-            usize::MAX,
-        )
-        .unwrap();
+        let rehydrated =
+            solve_cached(&inst, k_of(0.3), &seq(), &fresh_cache, Some(&reopened), None).unwrap();
         assert_eq!(rehydrated.target, cold.target);
         assert_eq!(rehydrated.cache_misses, 0, "no DP may run after rehydration");
         assert!(reopened.hits() > 0, "probes must be answered from disk");
@@ -341,10 +501,8 @@ mod tests {
         let times: Vec<u64> = uniform(3, 24, 3, 1, 50).times().to_vec();
         let a = Instance::new(times.clone(), 3);
         let b = Instance::new(times, 4);
-        let first =
-            solve_cached(&a, 4, DpEngine::Sequential, &cache, None, None, usize::MAX).unwrap();
-        let second =
-            solve_cached(&b, 4, DpEngine::Sequential, &cache, None, None, usize::MAX).unwrap();
+        let first = solve_cached(&a, 4, &seq(), &cache, None, None).unwrap();
+        let second = solve_cached(&b, 4, &seq(), &cache, None, None).unwrap();
         assert!(first.cache_misses > 0);
         assert!(
             second.cache_hits > 0,
@@ -357,16 +515,7 @@ mod tests {
         let cache = DpCache::new(4, 64 << 10);
         let inst = uniform(1, 24, 3, 1, 50);
         let already_past = Instant::now() - Duration::from_millis(1);
-        let err = solve_cached(
-            &inst,
-            4,
-            DpEngine::Sequential,
-            &cache,
-            None,
-            Some(already_past),
-            usize::MAX,
-        )
-        .unwrap_err();
+        let err = solve_cached(&inst, 4, &seq(), &cache, None, Some(already_past)).unwrap_err();
         assert_eq!(err, Degrade::DeadlineExceeded);
     }
 
@@ -374,9 +523,106 @@ mod tests {
     fn oversized_tables_degrade() {
         let cache = DpCache::new(4, 64 << 10);
         // Few machines, jobs near the target: everything is long, so the
-        // DP table has many class dimensions and cannot fit in 8 cells.
+        // DP table has many class dimensions and cannot fit in 8 cells —
+        // not even as a sparse frontier, whose floor is one cell per job.
         let inst = uniform(2, 12, 6, 50, 100);
-        let err = solve_cached(&inst, 6, DpEngine::Sequential, &cache, None, None, 8).unwrap_err();
+        let opts = SolverOptions {
+            max_table_cells: 8,
+            ..seq()
+        };
+        let err = solve_cached(&inst, 6, &opts, &cache, None, None).unwrap_err();
         assert!(matches!(err, Degrade::TableTooLarge { cells } if cells > 8));
+        // The pre-sparsification policy degrades identically.
+        let dense_opts = SolverOptions {
+            repr: ReprPolicy::DenseOnly,
+            ..opts
+        };
+        let err = solve_cached(&inst, 6, &dense_opts, &cache, None, None).unwrap_err();
+        assert!(matches!(err, Degrade::TableTooLarge { cells } if cells > 8));
+    }
+
+    #[test]
+    fn sparse_only_matches_dense_only_answers() {
+        let dense_cache = DpCache::new(4, 64 << 10);
+        let sparse_cache = DpCache::new(4, 64 << 10);
+        let sparse_opts = SolverOptions {
+            repr: ReprPolicy::SparseOnly,
+            ..seq()
+        };
+        for seed in 0..4 {
+            let inst = uniform(seed, 24, 3, 1, 50);
+            let dense = solve_cached(&inst, 4, &seq(), &dense_cache, None, None).unwrap();
+            let sparse = solve_cached(&inst, 4, &sparse_opts, &sparse_cache, None, None).unwrap();
+            assert_eq!(dense.target, sparse.target, "seed {seed}");
+            assert_eq!(dense.machines_used, sparse.machines_used, "seed {seed}");
+            let ms = sparse.schedule.validate(&inst).unwrap();
+            assert_eq!(ms, sparse.schedule.makespan(&inst));
+            assert!(sparse.repr.sparse > 0, "sparse probes must be counted");
+            assert_eq!(sparse.repr.dense, 0);
+        }
+    }
+
+    #[test]
+    fn auto_switches_to_sparse_when_the_dense_table_is_over_budget() {
+        // 24 long jobs of sizes {10, 11} on 4 machines with k=8: every
+        // probe rounds to the class vector (12, 12) — a 169-cell dense
+        // box whose sparse estimate ((M̂+2) surfaces of twice the mean
+        // anti-diagonal width) is 98 cells. A budget between the two
+        // forces the Auto ladder onto the sparse arm for every probe.
+        let times: Vec<u64> = std::iter::repeat_n(10u64, 12)
+            .chain(std::iter::repeat_n(11u64, 12))
+            .collect();
+        let inst = Instance::new(times, 4);
+        let unbounded = solve_cached(&inst, 8, &seq(), &DpCache::new(4, 64 << 10), None, None)
+            .unwrap();
+        assert!(unbounded.repr.dense > 0);
+        assert_eq!(unbounded.repr.sparse, 0);
+        let opts = SolverOptions {
+            max_table_cells: 120,
+            ..seq()
+        };
+        let cache = DpCache::new(4, 64 << 10);
+        let outcome = solve_cached(&inst, 8, &opts, &cache, None, None).unwrap();
+        assert_eq!(outcome.target, unbounded.target);
+        assert!(
+            outcome.repr.sparse > 0,
+            "a 120-cell budget must push probes sparse: {:?}",
+            outcome.repr
+        );
+        assert_eq!(outcome.repr.dense, 0, "no probe fits 120 cells dense");
+        let ms = outcome.schedule.validate(&inst).unwrap();
+        assert_eq!(ms, outcome.schedule.makespan(&inst));
+    }
+
+    #[test]
+    fn auto_falls_back_to_paged_when_sparse_is_over_budget() {
+        let dir = std::env::temp_dir().join(format!("pcmax-solver-pages-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = DpCache::new(4, 64 << 10);
+        // The oversized regime again, but now a pages directory exists:
+        // instead of degrading, every over-budget probe pages its dense
+        // table through a fresh tiered store and still answers exactly.
+        let inst = uniform(2, 12, 6, 50, 100);
+        let opts = SolverOptions {
+            max_table_cells: 8,
+            pages_dir: Some(dir.clone()),
+            pages_budget: StoreBudget::bytes(1 << 10),
+            ..seq()
+        };
+        let paged = solve_cached(&inst, 6, &opts, &cache, None, None).unwrap();
+        assert!(paged.repr.paged > 0, "probes must page: {:?}", paged.repr);
+        let reference = solve_cached(&inst, 6, &seq(), &DpCache::new(4, 64 << 10), None, None)
+            .unwrap();
+        assert_eq!(paged.target, reference.target);
+        let ms = paged.schedule.validate(&inst).unwrap();
+        assert_eq!(ms, paged.schedule.makespan(&inst));
+        // Per-solve page directories are cleaned up afterwards.
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "paged solves must remove their scratch directories"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

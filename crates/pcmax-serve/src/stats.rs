@@ -79,6 +79,19 @@ pub struct HealthReply {
     pub pressure_pct: u64,
 }
 
+/// Which DP representation cache-missing probes ran under, service-wide.
+/// All-zero when every probe was a cache hit (or the service degraded
+/// before running any DP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReprReport {
+    /// Probes solved by a dense in-RAM engine.
+    pub dense_probes: u64,
+    /// Probes solved by the sparse frontier sweep.
+    pub sparse_probes: u64,
+    /// Probes solved by the paged engine against a tiered store.
+    pub paged_probes: u64,
+}
+
 /// Aggregate state of the sharded DP cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheReport {
@@ -210,6 +223,8 @@ pub struct ServiceReport {
     pub degraded: u64,
     /// Requests rejected because the queue was full.
     pub rejected: u64,
+    /// Representation selection counts for probes that ran a DP.
+    pub repr: ReprReport,
     /// DP cache state.
     pub cache: CacheReport,
     /// Memory tiers: RAM budget/pressure and warm disk-tier counters.
@@ -229,6 +244,12 @@ impl ServiceReport {
             .field_u64("completed", self.completed)
             .field_u64("degraded", self.degraded)
             .field_u64("rejected", self.rejected)
+            .key("repr")
+            .begin_object()
+            .field_u64("dense_probes", self.repr.dense_probes)
+            .field_u64("sparse_probes", self.repr.sparse_probes)
+            .field_u64("paged_probes", self.repr.paged_probes)
+            .end_object()
             .key("cache")
             .begin_object()
             .field_u64("hits", self.cache.hits)
@@ -284,6 +305,11 @@ mod tests {
             completed: 4,
             degraded: 1,
             rejected: 1,
+            repr: ReprReport {
+                dense_probes: 6,
+                sparse_probes: 2,
+                paged_probes: 1,
+            },
             cache: CacheReport {
                 hits: 3,
                 misses: 1,
@@ -307,6 +333,10 @@ mod tests {
         assert!(json.contains("\"accepted\":5"), "{json}");
         assert!(json.contains("\"bytes\":512"), "{json}");
         assert!(json.contains("\"hit_rate\":0.75"), "{json}");
+        assert!(
+            json.contains("\"repr\":{\"dense_probes\":6,\"sparse_probes\":2,\"paged_probes\":1}"),
+            "{json}"
+        );
         assert!(json.contains("\"budget_bytes\":1024"), "{json}");
         assert!(json.contains("\"pressure_pct\":50"), "{json}");
         assert!(json.contains("\"rehydrated\":2"), "{json}");

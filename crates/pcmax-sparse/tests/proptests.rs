@@ -1,0 +1,200 @@
+//! Property tests for the sparse frontier and the value-layer sweep.
+//!
+//! Three families, matching the crate's correctness story:
+//! insertion/dominance idempotence on the [`Frontier`] itself,
+//! permutation invariance of the level sweep (class order is
+//! presentation, not semantics), and sparse-vs-dense equality on the
+//! full retained set against an in-test dense oracle.
+
+use pcmax_sparse::{Frontier, Insert, SparseProblem, INFEASIBLE};
+use proptest::prelude::*;
+
+/// Dense reference oracle: the full `∏(nᵢ+1)` table, row-major, computed
+/// by the textbook recurrence `OPT(v) = 1 + min over configs s ≤ v`.
+fn dense_table(counts: &[usize], sizes: &[u64], cap: u64) -> Vec<u32> {
+    let shape: Vec<usize> = counts.iter().map(|&c| c + 1).collect();
+    let total: usize = shape.iter().product();
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    let mut table = vec![INFEASIBLE; total];
+    if total > 0 {
+        table[0] = 0;
+    }
+    let mut cell = vec![0usize; shape.len()];
+    for idx in 1..total {
+        let mut rem = idx;
+        for (i, &s) in strides.iter().enumerate() {
+            cell[i] = rem / s;
+            rem %= s;
+        }
+        let mut best = INFEASIBLE;
+        // Enumerate every config s ≤ cell with Σ sᵢ·sizeᵢ ≤ cap.
+        let mut config = vec![0usize; shape.len()];
+        loop {
+            // advance odometer
+            let mut d = shape.len();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                if config[d] < cell[d] {
+                    config[d] += 1;
+                    for c in config.iter_mut().skip(d + 1) {
+                        *c = 0;
+                    }
+                    break;
+                } else if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX || shape.is_empty() {
+                break;
+            }
+            let weight: u64 = config
+                .iter()
+                .zip(sizes)
+                .map(|(&c, &s)| c as u64 * s)
+                .sum();
+            if weight > cap {
+                continue;
+            }
+            let pred: usize = cell
+                .iter()
+                .zip(&config)
+                .zip(&strides)
+                .map(|((&c, &s), &st)| (c - s) * st)
+                .sum();
+            let sub = table[pred];
+            if sub != INFEASIBLE && sub + 1 < best {
+                best = sub + 1;
+            }
+        }
+        table[idx] = best;
+    }
+    table
+}
+
+fn dense_value(table: &[u32], counts: &[usize], cell: &[usize]) -> u32 {
+    let shape: Vec<usize> = counts.iter().map(|&c| c + 1).collect();
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    let idx: usize = cell.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+    table[idx]
+}
+
+/// A small random instance: 1–3 classes, counts 0–3, sizes 1–9, cap 4–20.
+fn small_instance() -> impl Strategy<Value = (Vec<usize>, Vec<u64>, u64)> {
+    (1usize..=3)
+        .prop_flat_map(|d| {
+            (
+                prop::collection::vec(0usize..=3, d),
+                prop::collection::vec(1u64..=9, d),
+                4u64..=20,
+            )
+        })
+}
+
+/// Arbitrary cells/values to exercise the frontier in isolation.
+fn cell_batch() -> impl Strategy<Value = Vec<(Vec<u32>, u32)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0u32..=4, 3), 0u32..=5),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insertion_is_idempotent_and_dominance_is_stable(batch in cell_batch()) {
+        let mut f = Frontier::new(3);
+        for (cell, value) in &batch {
+            let first = f.insert(cell, *value, None);
+            // Re-inserting the same cell is always a settled no-op once
+            // retained, and a retained cell keeps its original value.
+            match first {
+                Insert::Retained => {
+                    prop_assert_eq!(f.insert(cell, *value, None), Insert::AlreadySettled);
+                    prop_assert_eq!(f.value_of(cell), Some(*value));
+                }
+                Insert::AlreadySettled => {
+                    prop_assert!(f.value_of(cell).is_some());
+                }
+                Insert::Dominated => {
+                    // A dominated candidate stays dominated: the frontier
+                    // only grows, never evicts.
+                    prop_assert!(f.is_dominated(cell, *value));
+                    prop_assert_eq!(f.insert(cell, *value, None), Insert::Dominated);
+                }
+            }
+        }
+        // The bucket-scan dominance check must agree with a brute-force
+        // scan over the retained set, for arbitrary probe cells.
+        for (cell, value) in &batch {
+            let brute = f.iter().any(|(u, info)| {
+                u != cell.as_slice()
+                    && info.value <= *value
+                    && u.iter().zip(cell).all(|(&a, &b)| a >= b)
+            });
+            prop_assert_eq!(f.is_dominated(cell, *value), brute);
+        }
+    }
+
+    #[test]
+    fn level_sweep_is_permutation_invariant((counts, sizes, cap) in small_instance()) {
+        let fwd = SparseProblem::new(counts.clone(), sizes.clone(), cap).solve();
+        let rev_counts: Vec<usize> = counts.iter().rev().copied().collect();
+        let rev_sizes: Vec<u64> = sizes.iter().rev().copied().collect();
+        let rev = SparseProblem::new(rev_counts, rev_sizes, cap).solve();
+        prop_assert_eq!(fwd.opt, rev.opt);
+        // The retained sets are mirror images with identical values.
+        let mut fwd_cells = fwd.cells();
+        for (cell, _) in fwd_cells.iter_mut() {
+            cell.reverse();
+        }
+        fwd_cells.sort();
+        let mut rev_cells = rev.cells();
+        rev_cells.sort();
+        prop_assert_eq!(fwd_cells, rev_cells);
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_every_retained_cell((counts, sizes, cap) in small_instance()) {
+        let table = dense_table(&counts, &sizes, cap);
+        let solution = SparseProblem::new(counts.clone(), sizes.clone(), cap).solve();
+        let goal_idx = table.len() - 1;
+        prop_assert_eq!(solution.opt, table[goal_idx]);
+        for (cell, value) in solution.cells() {
+            prop_assert_eq!(
+                value,
+                dense_value(&table, &counts, &cell),
+                "cell {:?} disagrees with the dense oracle",
+                cell
+            );
+        }
+        // And a feasible answer must extract to a valid packing.
+        if solution.opt != INFEASIBLE {
+            let configs = solution.extract_configs().expect("feasible must extract");
+            prop_assert_eq!(configs.len(), solution.opt as usize);
+            let mut used = vec![0usize; counts.len()];
+            for config in &configs {
+                let weight: u64 = config
+                    .iter()
+                    .zip(&sizes)
+                    .map(|(&c, &s)| c as u64 * s)
+                    .sum();
+                prop_assert!(weight <= cap);
+                for (u, &c) in used.iter_mut().zip(config) {
+                    *u += c;
+                }
+            }
+            prop_assert_eq!(used, counts);
+        }
+    }
+}

@@ -31,6 +31,26 @@ if grep -q '"demotions":0,' target/STORE_smoke.json; then
   exit 1
 fi
 
+# Sparse smoke, two invocations gating tier-1:
+# 1. The frontier-friendly default (k = 16, 12 jobs/machine on 48
+#    machines): the dense table would spill under the 64 KiB budget,
+#    the sparse frontier solves entirely in RAM, every retained cell is
+#    differential-checked against the dense table, and the run exits
+#    non-zero unless peak resident cells stay under 10% of the dense
+#    cell count.
+./target/release/pcmax bench-sparse --out target/BENCH_sparse.json
+test -s target/BENCH_sparse.json
+grep -q '"differential":"ok"' target/BENCH_sparse.json
+grep -q '"spills":true' target/BENCH_sparse.json
+# 2. A k = 8 instance whose dense table (596 bytes) exceeds the store
+#    smoke's 256-byte budget — dense would have to page to disk, sparse
+#    solves resident — held to the looser ratio this small box allows.
+./target/release/pcmax bench-sparse --k 8 --machines 4 --jobs 24 \
+  --mem-budget 256 --max-resident-pct 60 \
+  --out target/BENCH_sparse_smoke.json
+test -s target/BENCH_sparse_smoke.json
+grep -q '"differential":"ok"' target/BENCH_sparse_smoke.json
+
 # Overflow audit smoke: the adversarial differential harness (engines,
 # searches, serve solver, oracles, validation gate) across 64 seeds of
 # u64-scale instances. Exits non-zero on any divergence; running it on
@@ -38,3 +58,10 @@ fi
 # DESIGN.md §"Numeric ranges & overflow policy").
 ./target/release/pcmax audit --seeds 64 --out target/AUDIT.json
 test -s target/AUDIT.json
+
+# Sparse-only audit sweep: the same 64 seeds filtered to the sparse
+# engine's differential checks (`--engine sparse`), so a sparse
+# regression is attributable in one line of CI output.
+./target/release/pcmax audit --seeds 64 --engine sparse \
+  --out target/AUDIT_sparse.json
+test -s target/AUDIT_sparse.json

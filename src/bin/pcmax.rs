@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
         "bench-serve" => cmd_bench_serve(rest),
+        "bench-sparse" => cmd_bench_sparse(rest),
         "cluster" => cmd_cluster(rest),
         "bench-cluster" => cmd_bench_cluster(rest),
         "store-stats" => cmd_store_stats(rest),
@@ -70,10 +71,14 @@ USAGE:
   pcmax simulate FILE [--epsilon F] [--dim N] [--trace FILE]
   pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
-                      [--mem-budget BYTES] [--store-dir DIR]
+                      [--repr auto|dense|sparse] [--mem-budget BYTES] [--store-dir DIR]
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
-                      [--mem-budget BYTES] [--store-dir DIR] [--out FILE]
+                      [--repr auto|dense|sparse] [--mem-budget BYTES]
+                      [--store-dir DIR] [--out FILE]
+  pcmax bench-sparse  [--seed N] [--jobs N] [--machines N] [--k N]
+                      [--base N] [--spread N] [--mem-budget BYTES]
+                      [--max-resident-pct F] [--out FILE]
   pcmax cluster       [--workers N] [--addr HOST:PORT] [--threads N]
                       [--queue N] [--deadline-ms N] [--epsilon F]
                       [--heartbeat-ms N] [--max-missed N] [--retries N]
@@ -83,7 +88,8 @@ USAGE:
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
-  pcmax audit         [--seeds N] [--k N] [--max-cells N] [--out FILE]
+  pcmax audit         [--seeds N] [--k N] [--max-cells N] [--engine sparse]
+                      [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -102,7 +108,16 @@ differential-fuzz harness (u64-scale times, degenerate shapes) across
 `--seeds` seeds, cross-checking the three DP engines cell-for-cell, the
 searches, the serve solver, and the exact oracles; it prints a JSON
 divergence report (optionally to `--out FILE`) and exits non-zero if
-any check diverged. `store-stats` is the paged-store smoke: it rounds a
+any check diverged; `--engine sparse` restricts the sweep to the sparse
+frontier engine's differential checks. `bench-sparse` is the sparse
+smoke: it rounds one near-uniform instance at precision `--k`, solves
+the same DP densely and through the sparse frontier, differential-checks
+every retained cell, and writes BENCH_sparse.json with the memory and
+latency comparison plus the representation predictor's verdict; it exits
+non-zero on divergence or when peak resident cells reach
+`--max-resident-pct` of the dense table. `--repr` on `serve` and
+`bench-serve` pins the table representation (`auto` predicts
+dense/sparse/paged per probe). `store-stats` is the paged-store smoke: it rounds a
 generated instance, solves the DP once through the tiered RAM/disk page
 store under `--mem-budget` (default 4096 bytes — small enough to force
 spilling), differential-checks the paged table cell-for-cell against the
@@ -379,6 +394,15 @@ fn mem_budget_flag(args: &[String], default: pcmax::store::StoreBudget) -> Resul
     }
 }
 
+fn parse_repr(s: &str) -> Result<pcmax::ReprPolicy, String> {
+    match s {
+        "auto" => Ok(pcmax::ReprPolicy::Auto),
+        "dense" => Ok(pcmax::ReprPolicy::DenseOnly),
+        "sparse" => Ok(pcmax::ReprPolicy::SparseOnly),
+        other => Err(format!("unknown repr `{other}` (auto|dense|sparse)")),
+    }
+}
+
 fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String> {
     let defaults = pcmax::ServeConfig::default();
     Ok(pcmax::ServeConfig {
@@ -391,6 +415,7 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
         )?),
         default_epsilon: flag_parse(args, "--epsilon", defaults.default_epsilon)?,
         engine: parse_engine(flag(args, "--engine").unwrap_or("par"))?,
+        repr: parse_repr(flag(args, "--repr").unwrap_or("auto"))?,
         mem_budget: mem_budget_flag(args, defaults.mem_budget)?,
         store_dir: flag(args, "--store-dir").map(PathBuf::from),
         ..defaults
@@ -672,6 +697,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
     let mean: Duration = latencies.iter().sum::<Duration>() / total as u32;
     let report = service.report();
+    let reg = pcmax::obs::registry::global();
     println!("requests      {total} ({degraded} degraded)");
     println!(
         "latency       mean {mean:.1?}  p50 {:.1?}  p90 {:.1?}  max {:.1?}",
@@ -690,6 +716,10 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     println!(
         "service       {} accepted, {} completed, {} rejected",
         report.accepted, report.completed, report.rejected
+    );
+    println!(
+        "repr          {} dense, {} sparse, {} paged probe solves",
+        report.repr.dense_probes, report.repr.sparse_probes, report.repr.paged_probes
     );
     println!(
         "store         {}/{} cache bytes ({}% pressure), warm tier: {} entries, {} rehydrated, {} disk hits, {} appends",
@@ -731,6 +761,27 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         .field_u64("pressure_pct", report.store.pressure_pct)
         .key("fault_us");
     report.store.fault_us.write_json(&mut w);
+    w.end_object()
+        // Which representation each cache-missing probe actually ran
+        // under the `--repr` policy, plus the sparse engine's frontier
+        // behaviour across the whole run (global registry snapshot).
+        .key("repr")
+        .begin_object()
+        .field_u64("dense_probes", report.repr.dense_probes)
+        .field_u64("sparse_probes", report.repr.sparse_probes)
+        .field_u64("paged_probes", report.repr.paged_probes)
+        .end_object()
+        .key("sparse")
+        .begin_object()
+        .field_u64("solves", reg.counter("sparse.solves").get())
+        .field_u64("settled_cells", reg.counter("sparse.settled_cells").get())
+        .field_u64("pruned", reg.counter("sparse.pruned").get())
+        .key("frontier_cells");
+    reg.histogram("sparse.frontier_cells").snapshot().write_json(&mut w);
+    w.key("level_us");
+    reg.histogram("sparse.level_us").snapshot().write_json(&mut w);
+    w.key("prune_pct");
+    reg.histogram("sparse.prune_pct").snapshot().write_json(&mut w);
     w.end_object().end_object();
     let bench = w.finish();
     let payload = format!(
@@ -742,6 +793,162 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
 
     handle.shutdown();
     service.shutdown();
+    Ok(())
+}
+
+/// Sparse-engine smoke and memory benchmark: round one near-uniform
+/// instance (the frontier-friendly regime — many jobs per machine, a
+/// handful of size classes), solve the same DP densely and through the
+/// sparse frontier, differential-check every retained cell against the
+/// dense table, and write the dense-vs-sparse memory/latency comparison
+/// to BENCH_sparse.json. Exits non-zero on any divergence, or when the
+/// sparse engine's peak resident cells reach `--max-resident-pct` of
+/// the dense cell count — this doubles as the CI sparse check.
+fn cmd_bench_sparse(args: &[String]) -> Result<(), String> {
+    use pcmax::ptas::rounding::{Rounding, RoundingOutcome};
+
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    // Defaults pick the frontier-friendly regime deliberately: 12 jobs
+    // per machine at k = 16 keeps every job "long" (q < k) while the
+    // dense box `Π(nᵢ+1)` grows quadratically with the machine count —
+    // the sweep settles under 10% of the dense cells.
+    let jobs: usize = flag_parse(args, "--jobs", 576)?;
+    let machines: usize = flag_parse(args, "--machines", 48)?;
+    let k: u64 = flag_parse(args, "--k", 16)?;
+    let base: u64 = flag_parse(args, "--base", 1_000)?;
+    let spread: u64 = flag_parse(args, "--spread", 40)?;
+    let max_resident_pct: f64 = flag_parse(args, "--max-resident-pct", 10.0)?;
+    // The RAM line the dense table is measured against: under the
+    // default the dense bytes of the default instance exceed the budget
+    // (the paged path would spill to disk) while the sparse frontier
+    // never needs a disk tier at all.
+    let budget = mem_budget_flag(args, pcmax::store::StoreBudget::bytes(64 << 10))?;
+    let out_path = flag(args, "--out").unwrap_or("BENCH_sparse.json");
+    if jobs == 0 || machines == 0 || k == 0 {
+        return Err("--jobs, --machines, and --k must be positive".into());
+    }
+
+    // Frontier statistics (per-level timings, prune rates) only accrue
+    // while recording is on.
+    pcmax::obs::set_enabled(true);
+    let inst = pcmax::gen::near_equal(seed, jobs, machines, base, spread);
+    let lb = lower_bound(&inst);
+    let ub = upper_bound(&inst);
+    // The bisection midpoint is the biggest table the search would probe.
+    let target = pcmax::ptas::search::interval::bisection_target(lb, ub);
+    let rounding = match Rounding::compute(&inst, target, k) {
+        RoundingOutcome::Rounded(r) => r,
+        RoundingOutcome::Infeasible { .. } => {
+            return Err(format!("rounding infeasible at target {target} (lb {lb}, ub {ub})"))
+        }
+    };
+    let problem = pcmax::DpProblem::from_rounding(&rounding);
+    let prediction = problem.predict_sparse();
+
+    let dense_start = Instant::now();
+    let dense = problem.solve(DpEngine::Sequential);
+    let dense_us = dense_start.elapsed().as_micros() as u64;
+    let sparse_start = Instant::now();
+    let sparse = problem.solve_sparse();
+    let sparse_us = sparse_start.elapsed().as_micros() as u64;
+
+    // Differential: the final answer and every retained frontier cell.
+    let mut matches = sparse.opt == dense.opt;
+    for (cell, value) in sparse.cells() {
+        let flat = if cell.is_empty() {
+            0
+        } else {
+            problem.shape().flatten(&cell)
+        };
+        if dense.values[flat] != value {
+            matches = false;
+            break;
+        }
+    }
+
+    let dense_cells = problem.table_size() as u64;
+    let peak = sparse.stats.peak_resident_cells as u64;
+    let resident_pct = if dense_cells == 0 {
+        0.0
+    } else {
+        peak as f64 * 100.0 / dense_cells as f64
+    };
+    let ndim = problem.counts().len();
+    let sparse_peak_bytes =
+        peak.saturating_mul(pcmax::sparse::predict::bytes_per_sparse_cell(ndim));
+    let budget_bytes = budget.bytes;
+    let dense_spills = prediction.dense_bytes > budget_bytes;
+
+    let mut w = pcmax::obs::JsonWriter::new();
+    w.begin_object()
+        .field_u64("seed", seed)
+        .field_u64("jobs", jobs as u64)
+        .field_u64("machines", machines as u64)
+        .field_u64("k", k)
+        .field_u64("target", target)
+        .field_u64("classes", ndim as u64)
+        .field_u64("mem_budget_bytes", budget_bytes)
+        .field_str("differential", if matches { "ok" } else { "MISMATCH" })
+        .key("dense")
+        .begin_object()
+        .field_u64("cells", dense_cells)
+        .field_u64("bytes", prediction.dense_bytes)
+        .field_u64("solve_us", dense_us)
+        .field_u64("opt", u64::from(dense.opt))
+        .field_bool("spills", dense_spills)
+        .end_object()
+        .key("sparse")
+        .begin_object()
+        .field_u64("settled_cells", sparse.stats.settled_cells as u64)
+        .field_u64("peak_resident_cells", peak)
+        .field_u64("peak_resident_bytes", sparse_peak_bytes)
+        .field_u64("candidates", sparse.stats.candidates)
+        .field_u64("pruned", sparse.stats.pruned)
+        .field_u64("layers", sparse.stats.layers as u64)
+        .field_u64("solve_us", sparse_us)
+        .field_u64("opt", u64::from(sparse.opt))
+        .field_f64("resident_pct_of_dense", resident_pct)
+        // The frontier engine has no spill path: the whole solve is
+        // resident, bounded by `peak_resident_cells`.
+        .field_bool("spills", false)
+        .end_object()
+        .key("predictor")
+        .begin_object()
+        .field_u64("dense_cells", prediction.dense_cells)
+        .field_u64("dense_bytes", prediction.dense_bytes)
+        .field_u64("est_sparse_cells", prediction.est_sparse_cells)
+        .field_u64("est_sparse_bytes", prediction.est_sparse_bytes)
+        .field_u64("est_machines", prediction.est_machines)
+        .end_object()
+        .end_object();
+    let payload = format!("{}\n", w.finish());
+    fs::write(out_path, &payload).map_err(|e| format!("writing {out_path}: {e}"))?;
+    print!("{payload}");
+    eprintln!("wrote {out_path}");
+    eprintln!(
+        "bench-sparse: dense {} cells ({} bytes{}) in {dense_us}us vs sparse peak {} cells \
+         ({:.1}% of dense, {} bytes, all resident) in {sparse_us}us",
+        dense_cells,
+        prediction.dense_bytes,
+        if dense_spills {
+            ", spills under the budget"
+        } else {
+            ", fits the budget"
+        },
+        peak,
+        resident_pct,
+        sparse_peak_bytes,
+    );
+
+    if !matches {
+        return Err("sparse solve diverged from the sequential engine".into());
+    }
+    if resident_pct >= max_resident_pct {
+        return Err(format!(
+            "sparse peak resident {peak} cells is {resident_pct:.1}% of the dense table \
+             (limit {max_resident_pct}%)"
+        ));
+    }
     Ok(())
 }
 
@@ -784,6 +991,7 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
         }
     };
     let problem = pcmax::DpProblem::from_rounding(&rounding);
+    let prediction = problem.predict_sparse();
     let reference = problem.solve(DpEngine::Sequential);
     let store = Arc::new(
         TieredStore::open(&StoreConfig {
@@ -808,6 +1016,46 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
         .field_u64("table_cells", problem.table_size() as u64)
         .field_u64("opt", u64::from(paged.opt))
         .field_str("differential", if matches { "ok" } else { "MISMATCH" })
+        // What the representation predictor would do with this table
+        // under the same byte budget: the reported pressure is that of
+        // the representation that would actually run, not a blanket
+        // dense-bytes estimate.
+        .key("predictor")
+        .begin_object()
+        .field_u64("dense_cells", prediction.dense_cells)
+        .field_u64("dense_bytes", prediction.dense_bytes)
+        .field_u64("est_sparse_cells", prediction.est_sparse_cells)
+        .field_u64("est_sparse_bytes", prediction.est_sparse_bytes)
+        .field_u64("est_machines", prediction.est_machines)
+        .field_str(
+            "would_run",
+            if prediction.dense_bytes <= stats.budget_bytes {
+                "dense"
+            } else if prediction.est_sparse_bytes <= stats.budget_bytes {
+                "sparse"
+            } else {
+                "paged"
+            },
+        )
+        .field_u64(
+            "pressure_pct",
+            {
+                let resident = if prediction.dense_bytes <= stats.budget_bytes {
+                    prediction.dense_bytes
+                } else if prediction.est_sparse_bytes <= stats.budget_bytes {
+                    prediction.est_sparse_bytes
+                } else {
+                    // Paged tables cap resident bytes at the budget.
+                    stats.budget_bytes
+                };
+                if stats.budget_bytes == 0 {
+                    0
+                } else {
+                    resident.saturating_mul(100) / stats.budget_bytes
+                }
+            },
+        )
+        .end_object()
         .key("store")
         .begin_object()
         .field_u64("budget_bytes", stats.budget_bytes)
@@ -852,11 +1100,17 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     if k == 0 {
         return Err("--k must be at least 1".into());
     }
+    let engine_filter = match flag(args, "--engine") {
+        None => None,
+        Some("sparse") => Some("sparse".to_string()),
+        Some(other) => return Err(format!("unknown audit engine filter `{other}` (sparse)")),
+    };
     let started = Instant::now();
     let report = pcmax::audit::run(&pcmax::AuditConfig {
         seeds,
         k,
         max_table_cells: max_cells,
+        engine_filter,
     });
     let json = report.to_json();
     match flag(args, "--out") {

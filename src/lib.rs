@@ -39,6 +39,7 @@
 //! | [`gpu_sim`] | the deterministic discrete-event GPU simulator |
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
 //! | [`pcmax_store`] | paged table memory: tiered RAM/disk page store, byte budgets, warm-start log |
+//! | [`pcmax_sparse`] | sparsified configuration DP: reachable-cell frontier, dominance pruning, representation predictor |
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
 //! | [`pcmax_cluster`] | sharded multi-worker serving: cache-affinity routing, health checks, failover |
 //! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
@@ -56,11 +57,14 @@ pub use ndtable::{self as table, BlockedLayout, Divisor, NdTable, PagedTable, Sh
 pub use pcmax_store::{
     self as store, StoreBudget, StoreConfig, StoreError, StoreStats, TieredStore, WarmLog,
 };
+pub use pcmax_sparse::{
+    self as sparse, PlannedRepr, SparsePrediction, SparseProblem, SparseSolution,
+};
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
 pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
-    self as serve, Client, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
-    StoreReport, WarmTier,
+    self as serve, Client, ReprPolicy, ServeConfig, ServeError, Service, SolveRequest,
+    SolveResponse, StoreReport, WarmTier,
 };
 pub use pcmax_cluster::{
     self as cluster, ClusterConfig, ClusterReport, Coordinator, LocalCluster, RouteKey,

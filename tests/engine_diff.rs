@@ -1,8 +1,10 @@
 //! Differential tests across the DP engines.
 //!
-//! The three scheduling engines (Sequential, AntiDiagonal, Blocked) fill
+//! The dense scheduling engines (Sequential, AntiDiagonal, Blocked) fill
 //! the same `OPT(N)` table and must agree *cell for cell*, not just on
-//! the corner value; on small instances the corner is additionally pinned
+//! the corner value; the sparse frontier engine must agree on the final
+//! answer and on every cell it retains; on small instances the corner is
+//! additionally pinned
 //! to the exact bin-packing oracle `pcmax_core::exact::min_bins`, and the
 //! extracted machine configurations must repack the multiset exactly.
 //! The knapsack engines get the same treatment against the `2ⁿ`
@@ -58,6 +60,29 @@ fn assert_engines_agree(p: &DpProblem) -> pcmax::ptas::DpSolution {
             sol.stats.configs_enumerated,
             reference.stats.configs_enumerated,
             "{engine:?} enumerated a different configuration set"
+        );
+    }
+    // The sparse frontier engine materialises no dense table; its
+    // contract is the final answer plus exactness of every cell it
+    // retains (dominance may drop cells, never rewrite them).
+    let sparse = p.solve_sparse();
+    assert_eq!(
+        sparse.opt,
+        reference.opt,
+        "sparse engine diverged from Sequential on counts={:?} sizes={:?} cap={}",
+        p.counts(),
+        p.sizes(),
+        p.cap()
+    );
+    for (cell, value) in sparse.cells() {
+        let flat = if cell.is_empty() {
+            0
+        } else {
+            p.shape().flatten(&cell)
+        };
+        assert_eq!(
+            reference.values[flat], value,
+            "sparse frontier cell {cell:?} disagrees with the dense table"
         );
     }
     reference
