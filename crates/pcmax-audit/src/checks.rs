@@ -6,13 +6,14 @@
 
 use crate::report::Divergence;
 use pcmax_core::exact::{brute_force_makespan, subset_dp_makespan};
-use pcmax_core::heuristics::{lpt, multifit};
+use pcmax_core::heuristics::{lpt, multifit, multifit_with_guarantee};
 use pcmax_core::{bounds, Instance};
 use pcmax_ptas::dp::{DpEngine, DpProblem};
 use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
 use pcmax_ptas::search::{self, interval};
 use pcmax_ptas::{Ptas, SearchStrategy};
 use pcmax_serve::solver::{solve_cached, DpCache, SolverOptions};
+use pcmax_serve::{solve_portfolio, Arm, PortfolioCounters, PortfolioPolicy};
 use pcmax_sparse::SparseError;
 use pcmax_serve::WarmTier;
 use pcmax_store::{StoreBudget, StoreConfig, StoreError, TieredStore};
@@ -565,6 +566,159 @@ pub fn check_warm_rehydrate(inst: &Instance, ctx: &mut CheckCtx<'_>) {
         ),
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The portfolio gauntlet (ISSUE 7): every arm, pinned via
+/// `PortfolioPolicy::Fixed`, plus the Auto policy and one explicit race,
+/// on every adversarial case. For each answer:
+///
+/// * the schedule is valid and realises the reported makespan,
+/// * the makespan is never below `LB` (and never below exact `OPT` when
+///   the small-`n` oracle is available),
+/// * the reported [`pcmax_core::Guarantee`] *holds* — against `OPT` when
+///   the oracle runs, and against `UB ≥ OPT` always (`holds` evaluates
+///   in `u128`, so u64-scale adversarial times cannot wrap the check),
+/// * a pinned arm that answered non-degraded really is that arm, and its
+///   `chosen`/`runs` counters prove it executed,
+/// * a race never invents a value: the racer's answer equals a
+///   standalone run of the same heuristic.
+pub fn check_portfolio(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    let ub = bounds::upper_bound(inst);
+    let lb = bounds::lower_bound(inst);
+    let oracle = (inst.num_jobs() <= 10).then(|| brute_force_makespan(inst));
+    let opts = SolverOptions {
+        engine: DpEngine::Sequential,
+        max_table_cells: ctx.max_table_cells,
+        ..SolverOptions::default()
+    };
+    let policies = [
+        PortfolioPolicy::Auto,
+        PortfolioPolicy::Fixed(Arm::LptRev),
+        PortfolioPolicy::Fixed(Arm::Multifit),
+        PortfolioPolicy::Fixed(Arm::Exact),
+        PortfolioPolicy::Fixed(Arm::DenseDp),
+        PortfolioPolicy::Fixed(Arm::SparseDp),
+        PortfolioPolicy::Race(Arm::DenseDp, Arm::Multifit),
+    ];
+    for policy in policies {
+        ctx.bump();
+        let cache = DpCache::new(2, 64 << 10);
+        let counters = PortfolioCounters::default();
+        let out = solve_portfolio(inst, ctx.k, &opts, &cache, None, None, policy, &counters);
+        let ms = match out.schedule.validate(inst) {
+            Ok(ms) => ms,
+            Err(e) => {
+                ctx.diverge("portfolio-schedule", format!("{policy}: invalid schedule: {e}"));
+                continue;
+            }
+        };
+        if ms != out.makespan {
+            ctx.diverge(
+                "portfolio-makespan",
+                format!("{policy}: reported {} but schedule realises {ms}", out.makespan),
+            );
+        }
+        if (ms as u128) < lb as u128 {
+            ctx.diverge(
+                "portfolio-below-lb",
+                format!("{policy}: makespan {ms} below lower bound {lb}"),
+            );
+        }
+        if let Some(opt) = oracle {
+            if ms < opt {
+                ctx.diverge(
+                    "portfolio-beats-opt",
+                    format!("{policy}: makespan {ms} below optimum {opt}"),
+                );
+            }
+            if !out.guarantee.holds(ms, opt) {
+                ctx.diverge(
+                    "portfolio-guarantee",
+                    format!(
+                        "{policy} ({}): bound {} violated, ms={ms} opt={opt}",
+                        out.arm, out.guarantee
+                    ),
+                );
+            }
+        }
+        // OPT ≤ UB, so a bound that held against OPT must also hold
+        // against UB — checkable on every instance, oracle or not.
+        if !out.guarantee.holds(ms, ub) {
+            ctx.diverge(
+                "portfolio-guarantee-ub",
+                format!(
+                    "{policy} ({}): bound {} violated even against UB {ub}, ms={ms}",
+                    out.arm, out.guarantee
+                ),
+            );
+        }
+        let report = counters.report();
+        let total_won: u64 = report.arms.iter().map(|a| a.won).sum();
+        let total_chosen: u64 = report.arms.iter().map(|a| a.chosen).sum();
+        if total_won != 1 || total_chosen != 1 {
+            ctx.diverge(
+                "portfolio-counters",
+                format!("{policy}: won {total_won}, chosen {total_chosen} (expected 1/1)"),
+            );
+        }
+        if report.races != report.race_primary_wins + report.race_racer_wins {
+            ctx.diverge(
+                "portfolio-counters",
+                format!(
+                    "{policy}: races {} != primary {} + racer {}",
+                    report.races, report.race_primary_wins, report.race_racer_wins
+                ),
+            );
+        }
+        match policy {
+            PortfolioPolicy::Fixed(arm) => {
+                let pinned = report.arms.iter().find(|a| a.arm == arm.name()).unwrap();
+                if pinned.chosen != 1 || pinned.runs == 0 {
+                    ctx.diverge(
+                        "portfolio-attribution",
+                        format!(
+                            "fixed:{arm} never executed (chosen {}, runs {})",
+                            pinned.chosen, pinned.runs
+                        ),
+                    );
+                }
+                if !out.degraded && out.arm != arm {
+                    ctx.diverge(
+                        "portfolio-attribution",
+                        format!("fixed:{arm} answered non-degraded via {}", out.arm),
+                    );
+                }
+                if out.degraded && !matches!(out.arm, Arm::LptRev | Arm::Multifit) {
+                    ctx.diverge(
+                        "portfolio-attribution",
+                        format!("fixed:{arm} degraded to non-net arm {}", out.arm),
+                    );
+                }
+            }
+            PortfolioPolicy::Race(_, racer) => {
+                if !out.raced {
+                    ctx.diverge(
+                        "portfolio-race",
+                        format!("{policy}: race policy answered without racing"),
+                    );
+                }
+                if out.arm == racer {
+                    // Racing must never invent a value: the racer's
+                    // makespan equals a standalone run of that arm.
+                    let (standalone, _) =
+                        multifit_with_guarantee(inst, pcmax_serve::portfolio::MULTIFIT_ITERS);
+                    let reference = standalone.makespan(inst);
+                    if ms != reference {
+                        ctx.diverge(
+                            "portfolio-race",
+                            format!("racer answered {ms}, standalone multifit {reference}"),
+                        );
+                    }
+                }
+            }
+            PortfolioPolicy::Auto => {}
+        }
+    }
 }
 
 /// The validation gate itself: raw shapes that must be rejected, and the

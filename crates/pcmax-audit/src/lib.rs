@@ -21,6 +21,9 @@
 //!   must answer entirely from disk with an identical schedule,
 //! * heuristics and the PTAS vs `brute_force_makespan` /
 //!   `subset_dp_makespan` on small instances,
+//! * the solver portfolio's gauntlet: every arm (pinned, auto, raced)
+//!   answers validly, never beats the oracle, and its certified
+//!   guarantee holds in `u128`,
 //! * the dual-approximation invariant `LB ≤ T* ≤ OPT` and the
 //!   `(1 + 1/k + 1/k²)` guarantee evaluated in `u128`,
 //! * the `Instance::try_new` validation gate itself.
@@ -51,9 +54,11 @@ pub struct AuditConfig {
     /// correctness); keeps adversarial cases within memory bounds.
     pub max_table_cells: usize,
     /// Restrict the sweep to the checks exercising one engine
-    /// (`--engine sparse` on the CLI). `None` runs everything;
-    /// `Some("sparse")` runs only [`checks::check_sparse_engine`] per
-    /// case. Unrecognised names run nothing and are rejected by the CLI
+    /// (`--engine sparse` / `--engine portfolio` on the CLI). `None`
+    /// runs everything; `Some("sparse")` runs only
+    /// [`checks::check_sparse_engine`] per case; `Some("portfolio")`
+    /// runs only [`checks::check_portfolio`] (every arm on every case).
+    /// Unrecognised names run nothing and are rejected by the CLI
     /// before reaching here.
     pub engine_filter: Option<String>,
 }
@@ -78,10 +83,12 @@ pub fn run(config: &AuditConfig) -> AuditReport {
     let mut checks_run = 0u64;
     let mut divergences = Vec::new();
     let sparse_only = config.engine_filter.as_deref() == Some("sparse");
+    let portfolio_only = config.engine_filter.as_deref() == Some("portfolio");
+    let filtered = sparse_only || portfolio_only;
     for seed in 0..config.seeds {
         // The gate check is instance-independent; audit it once per seed
         // so a regression still fails fast on `--seeds 1`.
-        if !sparse_only {
+        if !filtered {
             let mut ctx = checks::CheckCtx {
                 family: "validation-gate",
                 seed,
@@ -106,6 +113,10 @@ pub fn run(config: &AuditConfig) -> AuditReport {
                 checks::check_sparse_engine(&case.instance, &mut ctx);
                 continue;
             }
+            if portfolio_only {
+                checks::check_portfolio(&case.instance, &mut ctx);
+                continue;
+            }
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
@@ -114,6 +125,7 @@ pub fn run(config: &AuditConfig) -> AuditReport {
             checks::check_warm_rehydrate(&case.instance, &mut ctx);
             checks::check_ptas_invariant(&case.instance, &mut ctx);
             checks::check_small_oracle(&case.instance, &mut ctx);
+            checks::check_portfolio(&case.instance, &mut ctx);
         }
     }
     report.checks = checks_run;
@@ -139,6 +151,19 @@ mod tests {
             "divergences: {:#?}",
             report.divergences
         );
+    }
+
+    #[test]
+    fn portfolio_filter_runs_only_the_gauntlet() {
+        let filtered = run(&AuditConfig {
+            seeds: 2,
+            engine_filter: Some("portfolio".to_string()),
+            ..AuditConfig::default()
+        });
+        assert!(filtered.checks > 0);
+        // 7 policies per case, nothing else.
+        assert_eq!(filtered.checks, filtered.cases as u64 * 7);
+        assert!(filtered.is_clean(), "divergences: {:#?}", filtered.divergences);
     }
 
     #[test]

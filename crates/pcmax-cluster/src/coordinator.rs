@@ -373,6 +373,7 @@ impl Coordinator {
                     cache_misses: reply.cache_misses,
                     degraded: reply.degraded,
                     engine: reply.engine,
+                    guarantee: reply.guarantee,
                 },
             },
             worker: Some(worker.id.clone()),
@@ -381,8 +382,9 @@ impl Coordinator {
         }
     }
 
-    /// The ladder's bottom rung: the better of LPT and MULTIFIT,
-    /// computed in-process. Always a valid schedule.
+    /// The ladder's bottom rung: the better of LPT-revisited and
+    /// MULTIFIT, computed in-process. Always a valid schedule, carrying
+    /// the winning heuristic's certified guarantee.
     fn degrade_local(
         &self,
         inst: &Instance,
@@ -390,7 +392,7 @@ impl Coordinator {
         retries: u32,
         started: Instant,
     ) -> ClusterReply {
-        let (schedule, engine) = heuristic_best(inst);
+        let (schedule, engine, guarantee) = heuristic_best(inst);
         let makespan = schedule.makespan(inst);
         self.stats.completed.inc();
         self.stats.degraded_local.inc();
@@ -412,6 +414,7 @@ impl Coordinator {
                     cache_misses: 0,
                     degraded: true,
                     engine,
+                    guarantee,
                 },
             },
             worker: None,

@@ -14,11 +14,13 @@
 pub mod bounds;
 pub mod exact;
 pub mod gen;
+pub mod guarantee;
 pub mod heuristics;
 pub mod io;
 pub mod instance;
 pub mod schedule;
 
 pub use bounds::{lower_bound, upper_bound};
+pub use guarantee::Guarantee;
 pub use instance::{Instance, InstanceError};
 pub use schedule::Schedule;

@@ -1,0 +1,114 @@
+//! Property-based tests for LPT-revisited (ISSUE 7 satellite): never
+//! worse than plain LPT, invariant under job permutation and uniform
+//! time scaling, guarantee sound against the exact oracle on small
+//! instances, and always a structurally valid schedule.
+
+use pcmax_core::exact::brute_force_makespan;
+use pcmax_core::heuristics::{lpt, lpt_revisited, multifit_with_guarantee};
+use pcmax_core::{Guarantee, Instance};
+use proptest::prelude::*;
+
+/// Arbitrary instances: 1–6 machines, 1–30 jobs, times up to 1000.
+/// Small times keep the scaling property (`× g ≤ 1000`) overflow-free:
+/// 30 jobs × 10⁶ ≪ u64::MAX.
+fn any_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=6, 1usize..=30).prop_flat_map(|(m, n)| {
+        prop::collection::vec(1u64..=1000, n).prop_map(move |times| Instance::new(times, m))
+    })
+}
+
+/// Instances small enough for the branch-and-bound oracle.
+fn oracle_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=4, 1usize..=12).prop_flat_map(|(m, n)| {
+        prop::collection::vec(1u64..=60, n).prop_map(move |times| Instance::new(times, m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lpt_revisited_never_worse_than_lpt(inst in any_instance()) {
+        let plain = lpt(&inst).makespan(&inst);
+        let r = lpt_revisited(&inst);
+        let ms = r.schedule.validate(&inst).unwrap();
+        prop_assert!(ms <= plain, "lptrev={ms} > lpt={plain}");
+    }
+
+    #[test]
+    fn lpt_revisited_schedule_is_valid_and_conserves_work(inst in any_instance()) {
+        let r = lpt_revisited(&inst);
+        // validate(): every job placed exactly once on a real machine.
+        let ms = r.schedule.validate(&inst).unwrap();
+        let loads = r.schedule.loads(&inst);
+        prop_assert_eq!(loads.len(), inst.machines());
+        // Loads sum to total work — no job lost or double-counted.
+        let total: u64 = (0..inst.num_jobs()).map(|j| inst.time(j)).sum();
+        prop_assert_eq!(loads.iter().sum::<u64>(), total);
+        prop_assert_eq!(*loads.iter().max().unwrap(), ms);
+    }
+
+    #[test]
+    fn lpt_revisited_is_permutation_invariant(inst in any_instance(), salt in 0u64..997) {
+        // The makespan and guarantee depend only on the time multiset:
+        // LPT sorts stably by decreasing time, and both the heap and the
+        // tail search see only times, never job ids.
+        let n = inst.num_jobs();
+        let mut times: Vec<u64> = (0..n).map(|j| inst.time(j)).collect();
+        let rot = (salt as usize) % n;
+        times.rotate_left(rot);
+        let permuted = Instance::new(times, inst.machines());
+        let a = lpt_revisited(&inst);
+        let b = lpt_revisited(&permuted);
+        prop_assert_eq!(a.schedule.makespan(&inst), b.schedule.makespan(&permuted));
+        prop_assert_eq!(a.guarantee, b.guarantee);
+        prop_assert_eq!(a.critical_index, b.critical_index);
+    }
+
+    #[test]
+    fn lpt_revisited_makespan_scales_with_gcd(inst in any_instance(), g in 1u64..=1000) {
+        // Scaling every time by g scales every subset sum — and hence
+        // every comparison the algorithm makes — by g, so the makespan
+        // scales exactly. (The guarantee may tighten: ⌈W/m⌉ does not
+        // scale linearly, so the a-posteriori LB can shift.)
+        let n = inst.num_jobs();
+        let scaled = Instance::new(
+            (0..n).map(|j| inst.time(j) * g).collect(),
+            inst.machines(),
+        );
+        let base = lpt_revisited(&inst).schedule.makespan(&inst);
+        let big = lpt_revisited(&scaled).schedule.makespan(&scaled);
+        prop_assert_eq!(big, base * g);
+    }
+
+    #[test]
+    fn lpt_revisited_guarantee_holds_vs_oracle(inst in oracle_instance()) {
+        let opt = brute_force_makespan(&inst);
+        let r = lpt_revisited(&inst);
+        let ms = r.schedule.makespan(&inst);
+        prop_assert!(ms >= opt);
+        prop_assert!(
+            r.guarantee.holds(ms, opt),
+            "guarantee {} violated: ms={ms} opt={opt}", r.guarantee
+        );
+    }
+
+    #[test]
+    fn multifit_guarantee_holds_vs_oracle(inst in oracle_instance()) {
+        let opt = brute_force_makespan(&inst);
+        let (s, g) = multifit_with_guarantee(&inst, 10);
+        let ms = s.validate(&inst).unwrap();
+        prop_assert!(ms >= opt);
+        prop_assert!(g.holds(ms, opt), "guarantee {g} violated: ms={ms} opt={opt}");
+    }
+
+    #[test]
+    fn reported_guarantee_never_looser_than_graham(inst in any_instance()) {
+        // The degraded-mode fix in this PR threads per-arm bounds through
+        // the serve path; the arm-side contract is that LPT-revisited
+        // always reports a bound at least as tight as plain LPT's.
+        let r = lpt_revisited(&inst);
+        let graham = Guarantee::lpt(inst.machines());
+        prop_assert_eq!(r.guarantee.tighter(graham), r.guarantee);
+    }
+}

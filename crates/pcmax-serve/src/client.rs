@@ -51,6 +51,9 @@ pub struct ClientReply {
     pub queue_wait_us: u64,
     /// Solve time in microseconds.
     pub solve_us: u64,
+    /// Certified bound of the arm that answered:
+    /// `makespan ≤ (num/den)·OPT + slack`.
+    pub guarantee: pcmax_core::Guarantee,
     /// The schedule, rebuilt from the wire assignment.
     pub schedule: Schedule,
 }
@@ -160,6 +163,7 @@ impl Client {
             cache_misses: reply.cache_misses,
             queue_wait_us: reply.queue_wait_us,
             solve_us: reply.solve_us,
+            guarantee: reply.guarantee,
             schedule: Schedule::new(reply.assignment, inst.machines()),
         })
     }

@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod portfolio;
 pub mod proto;
 pub mod service;
 pub mod solver;
@@ -35,16 +36,19 @@ pub mod warm;
 
 pub use cache::ShardedCache;
 pub use client::{Client, ClientError, ClientReply};
+pub use portfolio::{
+    solve_portfolio, Arm, PortfolioCounters, PortfolioOutcome, PortfolioPolicy,
+};
 pub use service::{
     heuristic_best, PendingSolve, ServeConfig, ServeError, Service, SolveRequest, SolveResponse,
 };
 pub use solver::{
-    entry_cost, solve_cached, CachedDp, Degrade, DpCache, ReprCounts, ReprPolicy, SolveOutcome,
-    SolverOptions,
+    entry_cost, probe_features, solve_cached, CachedDp, Degrade, DpCache, InstanceFeatures,
+    ReprCounts, ReprPolicy, SolveOutcome, SolverOptions,
 };
 pub use stats::{
-    CacheReport, EngineUsed, HealthReply, ReprReport, RequestStats, ServeHistograms, ServeMetrics,
-    ServiceReport, StoreReport,
+    ArmReport, CacheReport, EngineUsed, HealthReply, PortfolioReport, ReprReport, RequestStats,
+    ServeHistograms, ServeMetrics, ServiceReport, StoreReport,
 };
 pub use tcp::{serve_tcp, TcpHandle};
 pub use warm::WarmTier;

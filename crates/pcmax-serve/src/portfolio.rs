@@ -1,0 +1,946 @@
+//! Instance-adaptive solver portfolio (ISSUE 7 tentpole).
+//!
+//! Replaces the hardcoded `cache → DP → heuristic` ladder with a
+//! feature-driven selection over five *arms*:
+//!
+//! | arm        | algorithm                         | guarantee reported        |
+//! |------------|-----------------------------------|---------------------------|
+//! | `lptrev`   | LPT-revisited (split-and-solve)   | critical-index refinement |
+//! | `multifit` | MULTIFIT, 10 FFD iterations       | 13/11 + interval residue  |
+//! | `exact`    | branch-and-bound (tiny `n` only)  | 1/1                       |
+//! | `dense`    | cache-backed PTAS, dense tables   | `1 + 1/k + 1/k²` + 2      |
+//! | `sparse`   | cache-backed PTAS, sparse frontier| `1 + 1/k + 1/k²` + 2      |
+//!
+//! A cheap [`InstanceFeatures`] probe (no DP cells allocated) feeds a
+//! deadline-aware policy: tiny instances go exact, uniform instances go
+//! LPT (provably optimal there), affordable DPs run alone, *marginally*
+//! affordable DPs race the heuristic safety net on the rayon pool, and
+//! hopeless budgets go straight to the net. Races are resolved
+//! deterministically: the DP arm wins iff it finished within the
+//! deadline (the DP self-aborts at expiry), otherwise the racer's answer
+//! — already computed, no second wait — is returned. Every answer
+//! carries the [`Guarantee`] of the arm that actually produced it.
+
+use crate::solver::{
+    probe_features, solve_cached, Degrade, DpCache, InstanceFeatures, ReprCounts, ReprPolicy,
+    SolverOptions,
+};
+use crate::stats::{ArmReport, EngineUsed, PortfolioReport};
+use crate::warm::WarmTier;
+use pcmax_core::exact::brute_force_schedule;
+use pcmax_core::heuristics::{lpt_revisited, multifit_with_guarantee};
+use pcmax_core::{bounds, Guarantee, Instance, Schedule};
+use pcmax_obs::Histogram;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// FFD binary-search depth of the MULTIFIT arm (matches the pre-portfolio
+/// fallback).
+pub const MULTIFIT_ITERS: usize = 10;
+/// Auto policy routes instances this small to the exact arm.
+const EXACT_SELECT_MAX_JOBS: usize = 10;
+/// Hard ceiling of the exact arm even under `fixed:exact` — above this
+/// the branch-and-bound is not reliably cheap and the arm declines.
+const EXACT_HARD_MAX_JOBS: usize = 12;
+/// Minimum remaining budget (µs) before Auto is willing to run exact.
+const EXACT_MIN_BUDGET_US: u64 = 2_000;
+/// Below this remaining budget (µs) the safety net runs only *one*
+/// heuristic, picked by the time CV, instead of both.
+const TIGHT_BUDGET_US: u64 = 200;
+/// CV (×100) above which a tight-budget net prefers LPT-revisited (its
+/// critical-tail repair shines on skewed times); below it MULTIFIT's FFD
+/// handles near-uniform times just as well, slightly cheaper.
+const CV_SPLIT_PCT: u64 = 40;
+
+/// One solver arm of the portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arm {
+    /// LPT-revisited split-and-solve heuristic.
+    LptRev,
+    /// MULTIFIT heuristic.
+    Multifit,
+    /// Exact branch-and-bound (tiny instances).
+    Exact,
+    /// Cache-backed PTAS restricted to dense tables.
+    DenseDp,
+    /// Cache-backed PTAS restricted to the sparse frontier.
+    SparseDp,
+}
+
+impl Arm {
+    /// All arms, in canonical report order.
+    pub const ALL: [Arm; 5] = [
+        Arm::LptRev,
+        Arm::Multifit,
+        Arm::Exact,
+        Arm::DenseDp,
+        Arm::SparseDp,
+    ];
+
+    /// Wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arm::LptRev => "lptrev",
+            Arm::Multifit => "multifit",
+            Arm::Exact => "exact",
+            Arm::DenseDp => "dense",
+            Arm::SparseDp => "sparse",
+        }
+    }
+
+    /// Position in [`Arm::ALL`] (counter index).
+    fn idx(self) -> usize {
+        match self {
+            Arm::LptRev => 0,
+            Arm::Multifit => 1,
+            Arm::Exact => 2,
+            Arm::DenseDp => 3,
+            Arm::SparseDp => 4,
+        }
+    }
+
+    /// The engine tag responses report for this arm.
+    pub fn engine(self) -> EngineUsed {
+        match self {
+            Arm::LptRev => EngineUsed::LptRev,
+            Arm::Multifit => EngineUsed::Multifit,
+            Arm::Exact => EngineUsed::Exact,
+            Arm::DenseDp | Arm::SparseDp => EngineUsed::Ptas,
+        }
+    }
+}
+
+impl fmt::Display for Arm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Arm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lptrev" => Ok(Arm::LptRev),
+            "multifit" => Ok(Arm::Multifit),
+            "exact" => Ok(Arm::Exact),
+            "dense" => Ok(Arm::DenseDp),
+            "sparse" => Ok(Arm::SparseDp),
+            other => Err(format!(
+                "unknown arm `{other}` (expected lptrev|multifit|exact|dense|sparse)"
+            )),
+        }
+    }
+}
+
+/// How the service picks an arm per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortfolioPolicy {
+    /// Feature-driven selection with racing when the cost prediction is
+    /// marginal — the production default.
+    #[default]
+    Auto,
+    /// Always run one arm (degrading to the heuristic net if it fails) —
+    /// for benchmarking and the audit gauntlet.
+    Fixed(Arm),
+    /// Always race two explicit arms; the first wins ties. Primarily a
+    /// deterministic harness for the race machinery.
+    Race(Arm, Arm),
+}
+
+impl fmt::Display for PortfolioPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortfolioPolicy::Auto => f.write_str("auto"),
+            PortfolioPolicy::Fixed(arm) => write!(f, "fixed:{arm}"),
+            PortfolioPolicy::Race(a, b) => write!(f, "race:{a},{b}"),
+        }
+    }
+}
+
+impl FromStr for PortfolioPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(PortfolioPolicy::Auto);
+        }
+        if let Some(arm) = s.strip_prefix("fixed:") {
+            return Ok(PortfolioPolicy::Fixed(arm.parse()?));
+        }
+        if let Some(pair) = s.strip_prefix("race:") {
+            let (a, b) = pair
+                .split_once(',')
+                .ok_or_else(|| format!("race policy needs two arms, got `{pair}`"))?;
+            return Ok(PortfolioPolicy::Race(a.parse()?, b.parse()?));
+        }
+        Err(format!(
+            "unknown portfolio policy `{s}` (expected auto, fixed:<arm> or race:<arm>,<arm>)"
+        ))
+    }
+}
+
+/// Lifetime portfolio counters, shared by all workers of one service.
+/// Latency histograms record only while `pcmax_obs` recording is enabled
+/// (same convention as [`crate::stats::ServeMetrics`]); the `chosen` /
+/// `won` / `runs` / race counters are unconditional.
+#[derive(Debug)]
+pub struct PortfolioCounters {
+    chosen: [AtomicU64; 5],
+    won: [AtomicU64; 5],
+    runs: [AtomicU64; 5],
+    races: AtomicU64,
+    race_primary_wins: AtomicU64,
+    race_racer_wins: AtomicU64,
+    arm_us: [Histogram; 5],
+}
+
+impl Default for PortfolioCounters {
+    fn default() -> Self {
+        Self {
+            chosen: Default::default(),
+            won: Default::default(),
+            runs: Default::default(),
+            races: AtomicU64::new(0),
+            race_primary_wins: AtomicU64::new(0),
+            race_racer_wins: AtomicU64::new(0),
+            arm_us: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+}
+
+impl PortfolioCounters {
+    fn note_chosen(&self, arm: Arm) {
+        self.chosen[arm.idx()].fetch_add(1, Ordering::Relaxed);
+        if pcmax_obs::enabled() {
+            pcmax_obs::registry::global()
+                .counter(&format!("portfolio.chosen.{arm}"))
+                .inc();
+        }
+    }
+
+    fn note_won(&self, arm: Arm) {
+        self.won[arm.idx()].fetch_add(1, Ordering::Relaxed);
+        if pcmax_obs::enabled() {
+            pcmax_obs::registry::global()
+                .counter(&format!("portfolio.won.{arm}"))
+                .inc();
+        }
+    }
+
+    fn note_run(&self, arm: Arm, us: u64) {
+        self.runs[arm.idx()].fetch_add(1, Ordering::Relaxed);
+        if pcmax_obs::enabled() {
+            self.arm_us[arm.idx()].record(us);
+            pcmax_obs::registry::global()
+                .histogram(&format!("portfolio.arm_us.{arm}"))
+                .record(us);
+        }
+    }
+
+    fn note_race(&self, primary_won: bool) {
+        self.races.fetch_add(1, Ordering::Relaxed);
+        let bucket = if primary_won {
+            &self.race_primary_wins
+        } else {
+            &self.race_racer_wins
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+        if pcmax_obs::enabled() {
+            let reg = pcmax_obs::registry::global();
+            reg.counter("portfolio.races").inc();
+            reg.counter(if primary_won {
+                "portfolio.race_primary_wins"
+            } else {
+                "portfolio.race_racer_wins"
+            })
+            .inc();
+        }
+    }
+
+    /// Point-in-time snapshot for the stats JSON.
+    pub fn report(&self) -> PortfolioReport {
+        PortfolioReport {
+            arms: Arm::ALL
+                .iter()
+                .map(|arm| ArmReport {
+                    arm: arm.name().to_string(),
+                    chosen: self.chosen[arm.idx()].load(Ordering::Relaxed),
+                    won: self.won[arm.idx()].load(Ordering::Relaxed),
+                    runs: self.runs[arm.idx()].load(Ordering::Relaxed),
+                    latency_us: self.arm_us[arm.idx()].snapshot(),
+                })
+                .collect(),
+            races: self.races.load(Ordering::Relaxed),
+            race_primary_wins: self.race_primary_wins.load(Ordering::Relaxed),
+            race_racer_wins: self.race_racer_wins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One answered request: the winning arm's schedule, attribution, and
+/// certified guarantee.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Valid schedule of all jobs.
+    pub schedule: Schedule,
+    /// Its makespan (precomputed; equals `schedule.makespan(inst)`).
+    pub makespan: u64,
+    /// Converged PTAS target — `None` for non-DP arms.
+    pub target: Option<u64>,
+    /// Machines the DP used for the long jobs — `None` for non-DP arms.
+    pub machines_used: Option<usize>,
+    /// Engine tag for the response line.
+    pub engine: EngineUsed,
+    /// Certified guarantee of the arm that produced the schedule.
+    pub guarantee: Guarantee,
+    /// The arm that produced the schedule.
+    pub arm: Arm,
+    /// Whether this answer is a degradation: the picked arm failed (or
+    /// the budget admitted no arm) and the safety net answered instead.
+    pub degraded: bool,
+    /// DP cache hits (0 for non-DP arms).
+    pub cache_hits: u64,
+    /// DP cache misses (0 for non-DP arms).
+    pub cache_misses: u64,
+    /// Representation of each cache-missing probe (empty for non-DP).
+    pub repr: ReprCounts,
+    /// Whether two arms raced for this request.
+    pub raced: bool,
+}
+
+impl PortfolioOutcome {
+    fn heuristic(inst: &Instance, schedule: Schedule, arm: Arm, guarantee: Guarantee) -> Self {
+        let makespan = schedule.makespan(inst);
+        PortfolioOutcome {
+            schedule,
+            makespan,
+            target: None,
+            machines_used: None,
+            engine: arm.engine(),
+            guarantee,
+            arm,
+            degraded: false,
+            cache_hits: 0,
+            cache_misses: 0,
+            repr: ReprCounts::default(),
+            raced: false,
+        }
+    }
+}
+
+/// What the Auto policy decided for one request.
+enum Selection {
+    /// Tiny instance: branch-and-bound, guarantee 1/1.
+    Exact,
+    /// All times equal: LPT balances perfectly and is provably optimal —
+    /// no DP needed, answer is *not* degraded.
+    Uniform,
+    /// The DP is comfortably affordable: run it alone.
+    Dp(Arm),
+    /// The DP is marginal: race it against the heuristic net.
+    RaceDp(Arm),
+    /// No affordable DP (budget or admission): heuristic net only.
+    HeuristicOnly,
+}
+
+fn select(f: &InstanceFeatures, budget_us: Option<u64>) -> Selection {
+    if f.n <= EXACT_SELECT_MAX_JOBS && budget_us.is_none_or(|b| b >= EXACT_MIN_BUDGET_US) {
+        return Selection::Exact;
+    }
+    if f.min_time == f.max_time {
+        return Selection::Uniform;
+    }
+    let Some(planned) = f.planned else {
+        return Selection::HeuristicOnly;
+    };
+    // Paged probes still run the PTAS ladder; they are accounted under
+    // the sparse arm (the ladder only reaches paged past sparse).
+    let dp = match planned {
+        pcmax_sparse::PlannedRepr::Dense => Arm::DenseDp,
+        pcmax_sparse::PlannedRepr::Sparse | pcmax_sparse::PlannedRepr::Paged => Arm::SparseDp,
+    };
+    match budget_us {
+        None => Selection::Dp(dp),
+        Some(0) => Selection::HeuristicOnly,
+        Some(b) => {
+            if f.est_dp_us <= b / 2 {
+                Selection::Dp(dp)
+            } else if f.est_dp_us <= b.saturating_mul(2) {
+                Selection::RaceDp(dp)
+            } else {
+                Selection::HeuristicOnly
+            }
+        }
+    }
+}
+
+/// Runs one arm, timing it into the counters. DP arms may fail
+/// (deadline, admission); heuristic arms never do.
+#[allow(clippy::too_many_arguments)]
+fn run_timed(
+    arm: Arm,
+    repr_override: Option<ReprPolicy>,
+    inst: &Instance,
+    k: u64,
+    opts: &SolverOptions,
+    cache: &DpCache,
+    warm: Option<&WarmTier>,
+    deadline: Option<Instant>,
+    counters: &PortfolioCounters,
+) -> Result<PortfolioOutcome, Degrade> {
+    let start = Instant::now();
+    let result = run_arm(arm, repr_override, inst, k, opts, cache, warm, deadline);
+    counters.note_run(arm, start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    arm: Arm,
+    repr_override: Option<ReprPolicy>,
+    inst: &Instance,
+    k: u64,
+    opts: &SolverOptions,
+    cache: &DpCache,
+    warm: Option<&WarmTier>,
+    deadline: Option<Instant>,
+) -> Result<PortfolioOutcome, Degrade> {
+    match arm {
+        Arm::LptRev => {
+            let r = lpt_revisited(inst);
+            Ok(PortfolioOutcome::heuristic(
+                inst,
+                r.schedule,
+                Arm::LptRev,
+                r.guarantee,
+            ))
+        }
+        Arm::Multifit => {
+            let (schedule, guarantee) = multifit_with_guarantee(inst, MULTIFIT_ITERS);
+            Ok(PortfolioOutcome::heuristic(
+                inst,
+                schedule,
+                Arm::Multifit,
+                guarantee,
+            ))
+        }
+        Arm::Exact => {
+            if inst.num_jobs() > EXACT_HARD_MAX_JOBS {
+                // The arm declines rather than blowing the latency
+                // budget on an exponential search; the caller degrades.
+                return Err(Degrade::TableTooLarge { cells: usize::MAX });
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(Degrade::DeadlineExceeded);
+            }
+            let schedule = brute_force_schedule(inst);
+            Ok(PortfolioOutcome::heuristic(
+                inst,
+                schedule,
+                Arm::Exact,
+                Guarantee::EXACT,
+            ))
+        }
+        Arm::DenseDp | Arm::SparseDp => {
+            let opts = match repr_override {
+                Some(repr) => SolverOptions {
+                    repr,
+                    ..opts.clone()
+                },
+                None => opts.clone(),
+            };
+            let out = solve_cached(inst, k, &opts, cache, warm, deadline)?;
+            let makespan = out.schedule.makespan(inst);
+            let guarantee = Guarantee::ptas(k)
+                .tighter(Guarantee::a_posteriori(makespan, bounds::lower_bound(inst)));
+            Ok(PortfolioOutcome {
+                schedule: out.schedule,
+                makespan,
+                target: Some(out.target),
+                machines_used: Some(out.machines_used),
+                engine: EngineUsed::Ptas,
+                guarantee,
+                arm,
+                degraded: false,
+                cache_hits: out.cache_hits,
+                cache_misses: out.cache_misses,
+                repr: out.repr,
+                raced: false,
+            })
+        }
+    }
+}
+
+/// The strict representation a *fixed or explicitly raced* DP arm runs
+/// under; the Auto policy instead keeps the service's configured ladder
+/// (so e.g. a sparse probe can still fall back to paged) and only labels
+/// the arm from the prediction.
+fn strict_override(arm: Arm) -> Option<ReprPolicy> {
+    match arm {
+        Arm::DenseDp => Some(ReprPolicy::DenseOnly),
+        Arm::SparseDp => Some(ReprPolicy::SparseOnly),
+        _ => None,
+    }
+}
+
+/// The heuristic safety net: the best of LPT-revisited and MULTIFIT,
+/// attributed to the winning arm — or, when the remaining budget is
+/// below [`TIGHT_BUDGET_US`], a *single* heuristic picked by the time
+/// CV (skewed times → LPT-revisited, near-uniform → MULTIFIT) so even
+/// the net respects the deadline. Ties prefer LPT-revisited, whose
+/// certificate is tighter.
+fn heuristic_net(
+    inst: &Instance,
+    budget_us: Option<u64>,
+    k: u64,
+    opts: &SolverOptions,
+    cache: &DpCache,
+    warm: Option<&WarmTier>,
+    counters: &PortfolioCounters,
+) -> PortfolioOutcome {
+    let run = |arm: Arm| {
+        run_timed(arm, None, inst, k, opts, cache, warm, None, counters)
+            .expect("heuristic arms never fail")
+    };
+    if budget_us.is_some_and(|b| b < TIGHT_BUDGET_US) {
+        let arm = if crate::solver::cv_pct(inst) >= CV_SPLIT_PCT {
+            Arm::LptRev
+        } else {
+            Arm::Multifit
+        };
+        return run(arm);
+    }
+    let rev = run(Arm::LptRev);
+    let mf = run(Arm::Multifit);
+    if mf.makespan < rev.makespan {
+        mf
+    } else {
+        rev
+    }
+}
+
+/// Answers one request under the portfolio policy. Never fails: every
+/// path ends in an answer (worst case the heuristic net, flagged
+/// `degraded`).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_portfolio(
+    inst: &Instance,
+    k: u64,
+    opts: &SolverOptions,
+    cache: &DpCache,
+    warm: Option<&WarmTier>,
+    deadline: Option<Instant>,
+    policy: PortfolioPolicy,
+    counters: &PortfolioCounters,
+) -> PortfolioOutcome {
+    let budget_us = deadline.map(|d| {
+        d.saturating_duration_since(Instant::now())
+            .as_micros()
+            .min(u64::MAX as u128) as u64
+    });
+    let net = |counters: &PortfolioCounters| {
+        heuristic_net(inst, budget_us, k, opts, cache, warm, counters)
+    };
+    match policy {
+        PortfolioPolicy::Fixed(arm) => {
+            counters.note_chosen(arm);
+            match run_timed(
+                arm,
+                strict_override(arm),
+                inst,
+                k,
+                opts,
+                cache,
+                warm,
+                deadline,
+                counters,
+            ) {
+                Ok(ans) => {
+                    counters.note_won(ans.arm);
+                    ans
+                }
+                Err(_) => {
+                    let mut fb = net(counters);
+                    fb.degraded = true;
+                    counters.note_won(fb.arm);
+                    fb
+                }
+            }
+        }
+        PortfolioPolicy::Race(a, b) => {
+            counters.note_chosen(a);
+            let (ra, rb) = rayon::join(
+                || run_timed(a, strict_override(a), inst, k, opts, cache, warm, deadline, counters),
+                || run_timed(b, strict_override(b), inst, k, opts, cache, warm, deadline, counters),
+            );
+            match (ra, rb) {
+                (Ok(mut ans), _) => {
+                    counters.note_race(true);
+                    counters.note_won(ans.arm);
+                    ans.raced = true;
+                    ans
+                }
+                (Err(_), Ok(mut ans)) => {
+                    counters.note_race(false);
+                    counters.note_won(ans.arm);
+                    ans.raced = true;
+                    ans.degraded = true;
+                    ans
+                }
+                (Err(_), Err(_)) => {
+                    counters.note_race(false);
+                    let mut fb = net(counters);
+                    fb.raced = true;
+                    fb.degraded = true;
+                    counters.note_won(fb.arm);
+                    fb
+                }
+            }
+        }
+        PortfolioPolicy::Auto => {
+            let features = probe_features(inst, k, opts);
+            match select(&features, budget_us) {
+                Selection::Exact => {
+                    counters.note_chosen(Arm::Exact);
+                    match run_timed(
+                        Arm::Exact,
+                        None,
+                        inst,
+                        k,
+                        opts,
+                        cache,
+                        warm,
+                        deadline,
+                        counters,
+                    ) {
+                        Ok(ans) => {
+                            counters.note_won(Arm::Exact);
+                            ans
+                        }
+                        Err(_) => {
+                            let mut fb = net(counters);
+                            fb.degraded = true;
+                            counters.note_won(fb.arm);
+                            fb
+                        }
+                    }
+                }
+                Selection::Uniform => {
+                    counters.note_chosen(Arm::LptRev);
+                    let mut ans = run_timed(
+                        Arm::LptRev,
+                        None,
+                        inst,
+                        k,
+                        opts,
+                        cache,
+                        warm,
+                        deadline,
+                        counters,
+                    )
+                    .expect("heuristic arms never fail");
+                    // All times equal: LPT's ⌈n/m⌉·t load is the
+                    // pigeonhole optimum, so the certificate is exact.
+                    ans.guarantee = Guarantee::EXACT;
+                    counters.note_won(Arm::LptRev);
+                    ans
+                }
+                Selection::Dp(arm) => {
+                    counters.note_chosen(arm);
+                    match run_timed(arm, None, inst, k, opts, cache, warm, deadline, counters) {
+                        Ok(ans) => {
+                            counters.note_won(ans.arm);
+                            ans
+                        }
+                        Err(_) => {
+                            let mut fb = net(counters);
+                            fb.degraded = true;
+                            counters.note_won(fb.arm);
+                            fb
+                        }
+                    }
+                }
+                Selection::RaceDp(arm) => {
+                    counters.note_chosen(arm);
+                    let (dp, hedge) = rayon::join(
+                        || run_timed(arm, None, inst, k, opts, cache, warm, deadline, counters),
+                        || net(counters),
+                    );
+                    match dp {
+                        Ok(mut ans) => {
+                            counters.note_race(true);
+                            counters.note_won(ans.arm);
+                            ans.raced = true;
+                            ans
+                        }
+                        Err(_) => {
+                            counters.note_race(false);
+                            let mut ans = hedge;
+                            ans.raced = true;
+                            ans.degraded = true;
+                            counters.note_won(ans.arm);
+                            ans
+                        }
+                    }
+                }
+                Selection::HeuristicOnly => {
+                    let mut fb = net(counters);
+                    // No viable primary: the pick *is* the net's winner.
+                    counters.note_chosen(fb.arm);
+                    counters.note_won(fb.arm);
+                    fb.degraded = true;
+                    fb
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::gen::uniform;
+    use pcmax_ptas::DpEngine;
+    use std::time::Duration;
+
+    fn seq() -> SolverOptions {
+        SolverOptions::new(DpEngine::Sequential)
+    }
+
+    fn fresh() -> (DpCache, PortfolioCounters) {
+        (DpCache::new(4, 64 << 10), PortfolioCounters::default())
+    }
+
+    #[test]
+    fn policy_strings_roundtrip() {
+        for p in [
+            PortfolioPolicy::Auto,
+            PortfolioPolicy::Fixed(Arm::LptRev),
+            PortfolioPolicy::Fixed(Arm::SparseDp),
+            PortfolioPolicy::Race(Arm::DenseDp, Arm::Multifit),
+        ] {
+            assert_eq!(p.to_string().parse::<PortfolioPolicy>().unwrap(), p);
+        }
+        assert!("fixed:gpu".parse::<PortfolioPolicy>().is_err());
+        assert!("race:dense".parse::<PortfolioPolicy>().is_err());
+        assert!("never".parse::<PortfolioPolicy>().is_err());
+    }
+
+    #[test]
+    fn auto_picks_exact_for_tiny_instances() {
+        let (cache, counters) = fresh();
+        let inst = uniform(1, 8, 3, 1, 30);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            None,
+            PortfolioPolicy::Auto,
+            &counters,
+        );
+        assert_eq!(out.arm, Arm::Exact);
+        assert_eq!(out.engine, EngineUsed::Exact);
+        assert_eq!(out.guarantee, Guarantee::EXACT);
+        assert!(!out.degraded);
+        assert_eq!(
+            out.makespan,
+            pcmax_core::exact::brute_force_makespan(&inst)
+        );
+        let report = counters.report();
+        assert_eq!(report.arms[Arm::Exact.idx()].won, 1);
+    }
+
+    #[test]
+    fn auto_runs_the_dp_with_a_generous_deadline() {
+        let (cache, counters) = fresh();
+        let inst = uniform(2, 24, 3, 1, 50);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            Some(deadline),
+            PortfolioPolicy::Auto,
+            &counters,
+        );
+        assert_eq!(out.engine, EngineUsed::Ptas);
+        assert!(out.target.is_some());
+        assert!(!out.degraded);
+        out.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn auto_uniform_times_short_circuit_to_lpt() {
+        let (cache, counters) = fresh();
+        let inst = Instance::new(vec![7; 30], 4);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            None,
+            PortfolioPolicy::Auto,
+            &counters,
+        );
+        assert_eq!(out.arm, Arm::LptRev);
+        assert_eq!(out.guarantee, Guarantee::EXACT);
+        assert!(!out.degraded);
+        // ⌈30/4⌉·7: the pigeonhole optimum.
+        assert_eq!(out.makespan, 8 * 7);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_a_single_heuristic() {
+        let (cache, counters) = fresh();
+        let inst = uniform(3, 40, 4, 1, 80);
+        let past = Instant::now() - Duration::from_millis(1);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            Some(past),
+            PortfolioPolicy::Auto,
+            &counters,
+        );
+        assert!(out.degraded);
+        assert!(matches!(out.arm, Arm::LptRev | Arm::Multifit));
+        out.schedule.validate(&inst).unwrap();
+        let report = counters.report();
+        let total_runs: u64 = report.arms.iter().map(|a| a.runs).sum();
+        assert_eq!(total_runs, 1, "tight budgets must run exactly one arm");
+    }
+
+    #[test]
+    fn fixed_arm_runs_that_arm() {
+        let inst = uniform(4, 24, 3, 1, 50);
+        for arm in [Arm::LptRev, Arm::Multifit, Arm::DenseDp, Arm::SparseDp] {
+            let (cache, counters) = fresh();
+            let out = solve_portfolio(
+                &inst,
+                4,
+                &seq(),
+                &cache,
+                None,
+                None,
+                PortfolioPolicy::Fixed(arm),
+                &counters,
+            );
+            assert_eq!(out.arm, arm, "{arm}");
+            assert_eq!(out.engine, arm.engine());
+            assert!(!out.degraded);
+            out.schedule.validate(&inst).unwrap();
+            let report = counters.report();
+            assert_eq!(report.arms[arm.idx()].chosen, 1);
+            assert_eq!(report.arms[arm.idx()].won, 1);
+        }
+    }
+
+    #[test]
+    fn fixed_exact_declines_large_instances_and_degrades() {
+        let (cache, counters) = fresh();
+        let inst = uniform(5, 40, 4, 1, 80);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            None,
+            PortfolioPolicy::Fixed(Arm::Exact),
+            &counters,
+        );
+        assert!(out.degraded);
+        assert!(matches!(out.arm, Arm::LptRev | Arm::Multifit));
+        let report = counters.report();
+        assert_eq!(report.arms[Arm::Exact.idx()].chosen, 1);
+        assert_eq!(report.arms[Arm::Exact.idx()].won, 0);
+    }
+
+    #[test]
+    fn explicit_race_prefers_the_primary_and_counts_it() {
+        let (cache, counters) = fresh();
+        let inst = uniform(6, 24, 3, 1, 50);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            None,
+            PortfolioPolicy::Race(Arm::DenseDp, Arm::Multifit),
+            &counters,
+        );
+        assert!(out.raced);
+        assert_eq!(out.arm, Arm::DenseDp);
+        assert!(!out.degraded);
+        let report = counters.report();
+        assert_eq!(report.races, 1);
+        assert_eq!(report.race_primary_wins, 1);
+        assert_eq!(report.race_racer_wins, 0);
+        // Both arms executed exactly once.
+        assert_eq!(report.arms[Arm::DenseDp.idx()].runs, 1);
+        assert_eq!(report.arms[Arm::Multifit.idx()].runs, 1);
+    }
+
+    #[test]
+    fn race_with_dead_primary_returns_the_racer() {
+        let (cache, counters) = fresh();
+        let inst = uniform(7, 24, 3, 1, 50);
+        let past = Instant::now() - Duration::from_millis(1);
+        let out = solve_portfolio(
+            &inst,
+            4,
+            &seq(),
+            &cache,
+            None,
+            Some(past),
+            PortfolioPolicy::Race(Arm::DenseDp, Arm::Multifit),
+            &counters,
+        );
+        assert!(out.raced);
+        assert!(out.degraded);
+        assert_eq!(out.arm, Arm::Multifit);
+        // The racer's value equals a standalone MULTIFIT run: racing
+        // never invents values.
+        let (mf, _) = multifit_with_guarantee(&inst, MULTIFIT_ITERS);
+        assert_eq!(out.makespan, mf.makespan(&inst));
+        let report = counters.report();
+        assert_eq!(report.races, 1);
+        assert_eq!(report.race_racer_wins, 1);
+    }
+
+    #[test]
+    fn guarantees_are_certified_against_the_oracle() {
+        for seed in 0..6 {
+            let inst = uniform(40 + seed, 11, 3, 1, 40);
+            let opt = pcmax_core::exact::brute_force_makespan(&inst);
+            for policy in [
+                PortfolioPolicy::Auto,
+                PortfolioPolicy::Fixed(Arm::LptRev),
+                PortfolioPolicy::Fixed(Arm::Multifit),
+                PortfolioPolicy::Fixed(Arm::DenseDp),
+                PortfolioPolicy::Fixed(Arm::SparseDp),
+            ] {
+                let (cache, counters) = fresh();
+                let out = solve_portfolio(
+                    &inst, 4, &seq(), &cache, None, None, policy, &counters,
+                );
+                assert!(out.makespan >= opt);
+                assert!(
+                    out.guarantee.holds(out.makespan, opt),
+                    "{policy}: {} violated, ms={} opt={opt}",
+                    out.guarantee,
+                    out.makespan
+                );
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! Responses:
 //!
 //! ```text
-//! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <a1,a2,...,an>
+//! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <num/den/slack> <a1,a2,...,an>
 //! err <message>
 //! pong
 //! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
@@ -33,11 +33,14 @@
 //! [`ServiceReport::to_json`]); histograms carry non-zero data only
 //! while `pcmax_obs` recording is enabled on the server.
 //!
-//! where `a_j` is the machine index job `j` is assigned to.
+//! `num/den/slack` is the certified [`Guarantee`] of the arm that
+//! answered — the claim `makespan ≤ (num/den)·OPT + slack` — so a
+//! degraded reply carries the bound of the heuristic that actually ran,
+//! not the PTAS's. `a_j` is the machine index job `j` is assigned to.
 
 use crate::service::{SolveRequest, SolveResponse};
 use crate::stats::{EngineUsed, HealthReply, ServiceReport};
-use pcmax_core::Instance;
+use pcmax_core::{Guarantee, Instance};
 use std::time::Duration;
 
 /// A parsed request line.
@@ -124,7 +127,7 @@ pub fn format_solve_request(req: &SolveRequest) -> String {
 /// Formats the `ok …` line for a solved request.
 pub fn format_response(res: &SolveResponse) -> String {
     format!(
-        "ok {} {} {} {} {} {} {} {} {}",
+        "ok {} {} {} {} {} {} {} {} {}/{}/{} {}",
         res.makespan,
         res.target.map_or("-".to_string(), |t| t.to_string()),
         res.stats.engine,
@@ -133,6 +136,9 @@ pub fn format_response(res: &SolveResponse) -> String {
         res.stats.cache_misses,
         res.stats.queue_wait_us,
         res.stats.solve_us,
+        res.stats.guarantee.num,
+        res.stats.guarantee.den,
+        res.stats.guarantee.slack,
         res.schedule
             .assignment()
             .iter()
@@ -217,6 +223,9 @@ pub struct OkReply {
     pub queue_wait_us: u64,
     /// Solve time in microseconds.
     pub solve_us: u64,
+    /// Certified bound of the arm that answered:
+    /// `makespan ≤ (num/den)·OPT + slack`.
+    pub guarantee: Guarantee,
     /// Machine index per job.
     pub assignment: Vec<usize>,
 }
@@ -248,6 +257,7 @@ pub fn parse_response(line: &str) -> Result<OkReply, String> {
             let solve_us = field("solve_us")?
                 .parse()
                 .map_err(|e| format!("bad solve_us: {e}"))?;
+            let guarantee = parse_guarantee(field("guarantee")?)?;
             let assignment = field("assignment")?
                 .split(',')
                 .map(|w| w.parse::<usize>().map_err(|e| format!("bad assignment: {e}")))
@@ -261,6 +271,7 @@ pub fn parse_response(line: &str) -> Result<OkReply, String> {
                 cache_misses,
                 queue_wait_us,
                 solve_us,
+                guarantee,
                 assignment,
             })
         }
@@ -275,6 +286,29 @@ pub fn parse_response(line: &str) -> Result<OkReply, String> {
         Some(other) => Err(format!("unexpected response `{other}`")),
         None => Err("empty response".into()),
     }
+}
+
+fn parse_guarantee(word: &str) -> Result<Guarantee, String> {
+    let mut parts = word.split('/');
+    let mut field = |name: &str| {
+        parts
+            .next()
+            .ok_or(format!("guarantee missing {name}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad guarantee {name}: {e}"))
+    };
+    let g = Guarantee {
+        num: field("num")?,
+        den: field("den")?,
+        slack: field("slack")?,
+    };
+    if parts.next().is_some() {
+        return Err("trailing guarantee fields".into());
+    }
+    if g.den == 0 || g.num < g.den {
+        return Err(format!("nonsensical guarantee `{word}`"));
+    }
+    Ok(g)
 }
 
 fn parse_opt<T: std::str::FromStr>(word: &str) -> Result<Option<T>, T::Err> {
@@ -359,10 +393,16 @@ mod tests {
                 cache_misses: 2,
                 degraded: false,
                 engine: EngineUsed::Ptas,
+                guarantee: Guarantee {
+                    num: 21,
+                    den: 16,
+                    slack: 2,
+                },
             },
             schedule,
         };
         let line = format_response(&res);
+        assert!(line.contains(" 21/16/2 "), "{line}");
         let reply = parse_response(&line).unwrap();
         assert_eq!(reply.makespan, 9);
         assert_eq!(reply.target, Some(8));
@@ -370,6 +410,14 @@ mod tests {
         assert!(!reply.degraded);
         assert_eq!(reply.cache_hits, 4);
         assert_eq!(reply.cache_misses, 2);
+        assert_eq!(
+            reply.guarantee,
+            Guarantee {
+                num: 21,
+                den: 16,
+                slack: 2
+            }
+        );
         assert_eq!(reply.assignment, vec![0, 1, 0]);
     }
 
@@ -386,14 +434,26 @@ mod tests {
                 cache_hits: 0,
                 cache_misses: 0,
                 degraded: true,
-                engine: EngineUsed::Lpt,
+                engine: EngineUsed::LptRev,
+                guarantee: Guarantee::lpt(1),
             },
             schedule: Schedule::new(vec![0], 1),
         };
         let reply = parse_response(&format_response(&res)).unwrap();
         assert_eq!(reply.target, None);
         assert!(reply.degraded);
-        assert_eq!(reply.engine, EngineUsed::Lpt);
+        assert_eq!(reply.engine, EngineUsed::LptRev);
+        // Degraded replies carry the *heuristic's* bound, not the
+        // PTAS's — the ISSUE 7 attribution fix. lpt(1) reduces to 1/1.
+        assert_eq!(reply.guarantee, Guarantee::EXACT);
+    }
+
+    #[test]
+    fn malformed_guarantees_are_rejected() {
+        for g in ["4/3", "4/3/0/9", "4/0/1", "2/3/0", "x/3/0"] {
+            let line = format!("ok 9 - ptas 0 0 0 0 0 {g} 0,1");
+            assert!(parse_response(&line).is_err(), "`{g}` should be rejected");
+        }
     }
 
     #[test]

@@ -5,18 +5,22 @@
 //! tries to enqueue (full queue ⇒ immediate [`ServeError::Overloaded`] —
 //! the service sheds load at the door rather than letting latency grow
 //! unbounded). A worker drains a batch, groups it by the rounding
-//! parameter `k` so consecutive solves share cache keys, and solves each
-//! request through the shared DP cache. A request whose deadline expires
-//! (or whose DP table would blow the cell budget) is *not* an error: it
-//! degrades to the better of LPT and MULTIFIT and the response says so.
+//! parameter `k` so consecutive solves share cache keys, and answers each
+//! request through the [`crate::portfolio`] — a feature-driven pick over
+//! exact / DP / heuristic arms that may *race* two arms when the cost
+//! prediction is marginal. A request whose deadline expires (or whose DP
+//! table would blow the cell budget) is *not* an error: it degrades to
+//! the heuristic safety net and the response says so, carrying the
+//! [`pcmax_core::Guarantee`] of the arm that actually answered.
 
-use crate::solver::{solve_cached, Degrade, DpCache, ReprPolicy, SolverOptions};
+use crate::portfolio::{solve_portfolio, PortfolioCounters, PortfolioPolicy, MULTIFIT_ITERS};
+use crate::solver::{DpCache, ReprPolicy, SolverOptions};
 use crate::stats::{
     EngineUsed, HealthReply, ReprReport, RequestStats, ServeMetrics, ServiceReport, StoreReport,
 };
 use crate::warm::WarmTier;
-use pcmax_core::heuristics::{lpt, multifit};
-use pcmax_core::{Instance, Schedule};
+use pcmax_core::heuristics::{lpt_revisited, multifit_with_guarantee};
+use pcmax_core::{Guarantee, Instance, Schedule};
 use pcmax_ptas::DpEngine;
 use pcmax_store::StoreBudget;
 use rayon::prelude::*;
@@ -67,6 +71,10 @@ pub struct ServeConfig {
     /// `None` disables the timeout (streams block forever, the
     /// pre-cluster behaviour).
     pub io_timeout: Option<Duration>,
+    /// How the per-request solver arm is picked: feature-driven
+    /// [`PortfolioPolicy::Auto`] (the default), one pinned arm, or an
+    /// explicit two-arm race.
+    pub portfolio: PortfolioPolicy,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +93,7 @@ impl Default for ServeConfig {
             repr: ReprPolicy::Auto,
             pages_budget: StoreBudget::default(),
             io_timeout: Some(Duration::from_secs(30)),
+            portfolio: PortfolioPolicy::Auto,
         }
     }
 }
@@ -260,7 +269,9 @@ struct WorkerCtx {
     warm: Option<Arc<WarmTier>>,
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
+    arms: Arc<PortfolioCounters>,
     solver: SolverOptions,
+    portfolio: PortfolioPolicy,
     batch_max: usize,
 }
 
@@ -272,6 +283,7 @@ pub struct Service {
     warm: Option<Arc<WarmTier>>,
     counters: Arc<Counters>,
     metrics: Arc<ServeMetrics>,
+    arms: Arc<PortfolioCounters>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
 }
@@ -300,6 +312,7 @@ impl Service {
         });
         let counters = Arc::new(Counters::default());
         let metrics = Arc::new(ServeMetrics::default());
+        let arms = Arc::new(PortfolioCounters::default());
         // The paged arm spills per-solve scratch pages next to the warm
         // log; without a store directory the Auto ladder ends at sparse.
         let solver = SolverOptions {
@@ -315,7 +328,9 @@ impl Service {
             warm: warm.clone(),
             counters: Arc::clone(&counters),
             metrics: Arc::clone(&metrics),
+            arms: Arc::clone(&arms),
             solver,
+            portfolio: config.portfolio,
             batch_max: config.batch_max,
         };
         let handles: Vec<JoinHandle<()>> = (0..config.workers)
@@ -334,6 +349,7 @@ impl Service {
             warm,
             counters,
             metrics,
+            arms,
             workers: Mutex::new(handles),
             started: Instant::now(),
         })
@@ -392,6 +408,7 @@ impl Service {
                 sparse_probes: self.counters.repr_sparse.load(Ordering::Relaxed),
                 paged_probes: self.counters.repr_paged.load(Ordering::Relaxed),
             },
+            portfolio: self.arms.report(),
             cache: self.cache.report(),
             store: self.store_report(),
             histograms: self.metrics.snapshot(),
@@ -500,67 +517,43 @@ impl WorkerCtx {
         let picked_up = Instant::now();
         let queue_wait_us = picked_up.duration_since(job.enqueued).as_micros() as u64;
         let solve_started = Instant::now();
-        let ptas = if picked_up >= job.deadline {
-            // Expired while queued: skip straight to the heuristic.
-            Err(Degrade::DeadlineExceeded)
-        } else {
-            solve_cached(
-                &job.instance,
-                job.k,
-                &self.solver,
-                &self.cache,
-                self.warm.as_deref(),
-                Some(job.deadline),
-            )
-        };
-        let response = match ptas {
-            Ok(outcome) => {
-                let makespan = outcome.schedule.makespan(&job.instance);
-                self.counters
-                    .repr_dense
-                    .fetch_add(outcome.repr.dense, Ordering::Relaxed);
-                self.counters
-                    .repr_sparse
-                    .fetch_add(outcome.repr.sparse, Ordering::Relaxed);
-                self.counters
-                    .repr_paged
-                    .fetch_add(outcome.repr.paged, Ordering::Relaxed);
-                SolveResponse {
-                    schedule: outcome.schedule,
-                    makespan,
-                    target: Some(outcome.target),
-                    machines_used: Some(outcome.machines_used),
-                    degraded: false,
-                    stats: RequestStats {
-                        queue_wait_us,
-                        solve_us: solve_started.elapsed().as_micros() as u64,
-                        cache_hits: outcome.cache_hits,
-                        cache_misses: outcome.cache_misses,
-                        degraded: false,
-                        engine: EngineUsed::Ptas,
-                    },
-                }
-            }
-            Err(_why) => {
-                let (schedule, engine) = heuristic_best(&job.instance);
-                let makespan = schedule.makespan(&job.instance);
-                self.counters.degraded.fetch_add(1, Ordering::Relaxed);
-                SolveResponse {
-                    schedule,
-                    makespan,
-                    target: None,
-                    machines_used: None,
-                    degraded: true,
-                    stats: RequestStats {
-                        queue_wait_us,
-                        solve_us: solve_started.elapsed().as_micros() as u64,
-                        cache_hits: 0,
-                        cache_misses: 0,
-                        degraded: true,
-                        engine,
-                    },
-                }
-            }
+        let out = solve_portfolio(
+            &job.instance,
+            job.k,
+            &self.solver,
+            &self.cache,
+            self.warm.as_deref(),
+            Some(job.deadline),
+            self.portfolio,
+            &self.arms,
+        );
+        self.counters
+            .repr_dense
+            .fetch_add(out.repr.dense, Ordering::Relaxed);
+        self.counters
+            .repr_sparse
+            .fetch_add(out.repr.sparse, Ordering::Relaxed);
+        self.counters
+            .repr_paged
+            .fetch_add(out.repr.paged, Ordering::Relaxed);
+        if out.degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let response = SolveResponse {
+            schedule: out.schedule,
+            makespan: out.makespan,
+            target: out.target,
+            machines_used: out.machines_used,
+            degraded: out.degraded,
+            stats: RequestStats {
+                queue_wait_us,
+                solve_us: solve_started.elapsed().as_micros() as u64,
+                cache_hits: out.cache_hits,
+                cache_misses: out.cache_misses,
+                degraded: out.degraded,
+                engine: out.engine,
+                guarantee: out.guarantee,
+            },
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         if pcmax_obs::enabled() {
@@ -584,15 +577,19 @@ impl Drop for Service {
     }
 }
 
-/// The degradation answer: the better of LPT and MULTIFIT (both are a
-/// few `n log n` passes — cheap enough for an already-late request).
-pub fn heuristic_best(inst: &Instance) -> (Schedule, EngineUsed) {
-    let by_lpt = lpt(inst);
-    let by_multifit = multifit(inst, 10);
-    if by_multifit.makespan(inst) < by_lpt.makespan(inst) {
-        (by_multifit, EngineUsed::Multifit)
+/// The degradation answer: the better of LPT-revisited and MULTIFIT
+/// (both are cheap enough for an already-late request), with the
+/// certified guarantee of whichever arm won. Ties prefer LPT-revisited,
+/// whose certificate is tighter. Used by the cluster coordinator's
+/// local-fallback path; the service itself degrades through
+/// [`crate::portfolio`]'s equivalent safety net.
+pub fn heuristic_best(inst: &Instance) -> (Schedule, EngineUsed, Guarantee) {
+    let rev = lpt_revisited(inst);
+    let (by_multifit, multifit_guarantee) = multifit_with_guarantee(inst, MULTIFIT_ITERS);
+    if by_multifit.makespan(inst) < rev.schedule.makespan(inst) {
+        (by_multifit, EngineUsed::Multifit, multifit_guarantee)
     } else {
-        (by_lpt, EngineUsed::Lpt)
+        (rev.schedule, EngineUsed::LptRev, rev.guarantee)
     }
 }
 
@@ -657,7 +654,7 @@ mod tests {
         assert!(res.target.is_none());
         assert!(matches!(
             res.stats.engine,
-            EngineUsed::Lpt | EngineUsed::Multifit
+            EngineUsed::LptRev | EngineUsed::Multifit
         ));
         let inst = uniform(3, 20, 3, 1, 40);
         assert_eq!(res.schedule.validate(&inst).unwrap(), res.makespan);

@@ -170,6 +170,144 @@ pub struct SolveOutcome {
     pub repr: ReprCounts,
 }
 
+/// Store cost model reused by the portfolio selector: estimated ns per
+/// resident DP cell per probe. Dense is one slab pass; sparse pays hash
+/// + value-bucket overhead per retained cell; paged amortises page-codec
+/// and fault traffic on top. Upper-biased on purpose — the selector
+/// should only commit to a DP when it is *comfortably* affordable.
+const DENSE_NS_PER_CELL: u64 = 8;
+const SPARSE_NS_PER_CELL: u64 = 60;
+const PAGED_NS_PER_CELL: u64 = 600;
+
+/// Cheap per-instance features the portfolio selector keys on. Probing
+/// costs one `Rounding::compute` + one table-size prediction — no DP
+/// cells are ever allocated.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceFeatures {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+    /// PTAS rounding parameter `k = ⌈1/ε⌉` the features were probed at.
+    pub k: u64,
+    /// Shortest processing time.
+    pub min_time: u64,
+    /// Longest processing time.
+    pub max_time: u64,
+    /// Time spread `(max − min)·100 / max` — 0 for uniform instances.
+    pub spread_pct: u64,
+    /// Coefficient of variation of the times ×100 (integerised f64).
+    pub cv_pct: u64,
+    /// Area/max lower bound on the optimum.
+    pub lb: u64,
+    /// List-scheduling upper bound on the optimum.
+    pub ub: u64,
+    /// Dense cells of the bisection-midpoint probe's rounded problem.
+    pub dense_cells: u64,
+    /// Dense bytes of that table under the store's page codec.
+    pub dense_bytes: u64,
+    /// Estimated resident sparse-frontier cells for the same probe.
+    pub sparse_cells: u64,
+    /// Estimated resident sparse bytes.
+    pub sparse_bytes: u64,
+    /// Representation the admission ladder would run the midpoint probe
+    /// under; `None` when every representation is over the cell budget
+    /// (the DP arms are unavailable).
+    pub planned: Option<PlannedRepr>,
+    /// Bisection probes the target search will need (bits of `ub − lb`,
+    /// plus the final assembly probe).
+    pub est_probes: u32,
+    /// Upper-biased wall-clock estimate for the whole cache-cold DP
+    /// search under `planned`, in µs (0 when no representation admits).
+    pub est_dp_us: u64,
+}
+
+/// Probes the features of one instance at rounding parameter `k` under
+/// the given solver options (the cell budget and pages directory decide
+/// which representations are admissible).
+pub fn probe_features(inst: &Instance, k: u64, opts: &SolverOptions) -> InstanceFeatures {
+    let n = inst.num_jobs();
+    let m = inst.machines();
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    let min_time = (0..n).map(|j| inst.time(j)).min().unwrap_or(0);
+    let max_time = inst.max_time();
+    let spread_pct = if max_time == 0 {
+        0
+    } else {
+        ((max_time - min_time) as u128 * 100 / max_time as u128) as u64
+    };
+    let cv_pct = cv_pct(inst);
+    // The bisection midpoint's rounding stands in for the whole search:
+    // table dimensions depend on the target only through the class
+    // structure, which varies slowly across the interval.
+    let t = lb + (ub - lb) / 2;
+    let (dense_cells, dense_bytes, sparse_cells, sparse_bytes, planned) =
+        match Rounding::compute(inst, t, k) {
+            // Unreachable in practice (t ≥ lb ≥ max tⱼ), kept total.
+            RoundingOutcome::Infeasible { .. } => (0, 0, 0, 0, None),
+            RoundingOutcome::Rounded(r) => {
+                let problem = DpProblem::from_rounding(&r);
+                let p = problem.predict_sparse();
+                let planned = plan_repr(&problem, opts).ok();
+                (
+                    p.dense_cells,
+                    p.dense_bytes,
+                    p.est_sparse_cells,
+                    p.est_sparse_bytes,
+                    planned,
+                )
+            }
+        };
+    let est_probes = 64 - (ub - lb).leading_zeros() + 1;
+    let (cells, per_cell_ns) = match planned {
+        Some(PlannedRepr::Dense) => (dense_cells, DENSE_NS_PER_CELL),
+        Some(PlannedRepr::Sparse) => (sparse_cells, SPARSE_NS_PER_CELL),
+        Some(PlannedRepr::Paged) => (dense_cells, PAGED_NS_PER_CELL),
+        None => (0, 0),
+    };
+    let est_dp_us = ((cells as u128 * per_cell_ns as u128 * est_probes as u128).div_ceil(1000))
+        .min(u64::MAX as u128) as u64;
+    InstanceFeatures {
+        n,
+        m,
+        k,
+        min_time,
+        max_time,
+        spread_pct,
+        cv_pct,
+        lb,
+        ub,
+        dense_cells,
+        dense_bytes,
+        sparse_cells,
+        sparse_bytes,
+        planned,
+        est_probes,
+        est_dp_us,
+    }
+}
+
+/// Coefficient of variation of the job times, ×100. f64 is fine for a
+/// feature: times near u64::MAX would overflow any exact integer
+/// variance accumulator, and the selector only needs coarse buckets.
+pub(crate) fn cv_pct(inst: &Instance) -> u64 {
+    let n = inst.num_jobs();
+    let mean = (0..n).map(|j| inst.time(j) as f64).sum::<f64>() / n.max(1) as f64;
+    if mean > 0.0 {
+        let var = (0..n)
+            .map(|j| {
+                let d = inst.time(j) as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        (var.sqrt() / mean * 100.0).min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
+}
+
 /// One probe's feasibility plus the configs needed to build a schedule.
 struct ProbeOutcome {
     feasible: bool,
@@ -592,6 +730,35 @@ mod tests {
         assert_eq!(outcome.repr.dense, 0, "no probe fits 120 cells dense");
         let ms = outcome.schedule.validate(&inst).unwrap();
         assert_eq!(ms, outcome.schedule.makespan(&inst));
+    }
+
+    #[test]
+    fn features_probe_is_sane() {
+        let inst = uniform(5, 24, 3, 1, 50);
+        let f = probe_features(&inst, 4, &seq());
+        assert_eq!((f.n, f.m, f.k), (24, 3, 4));
+        assert!(f.lb <= f.ub);
+        assert_eq!(f.planned, Some(PlannedRepr::Dense));
+        assert!(f.dense_cells > 0);
+        assert!(f.est_dp_us > 0);
+        assert!(f.spread_pct > 0 && f.spread_pct <= 100);
+        assert!(f.est_probes >= 1);
+
+        // Uniform times: zero spread, zero CV.
+        let flat = Instance::new(vec![7; 12], 3);
+        let ff = probe_features(&flat, 4, &seq());
+        assert_eq!(ff.spread_pct, 0);
+        assert_eq!(ff.cv_pct, 0);
+
+        // A 1-cell budget admits no representation: the DP arms are
+        // reported unavailable and the cost estimate is zero.
+        let tight = SolverOptions {
+            max_table_cells: 1,
+            ..seq()
+        };
+        let none = probe_features(&inst, 6, &tight);
+        assert!(none.planned.is_none());
+        assert_eq!(none.est_dp_us, 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! fields through [`ServiceReport::to_json`] (the workspace's serde is a
 //! no-op shim, so the wire form is written by hand).
 
+use pcmax_core::Guarantee;
 use pcmax_obs::{Histogram, HistogramSnapshot, JsonWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -17,8 +18,13 @@ pub enum EngineUsed {
     Ptas,
     /// Longest-processing-time fallback (deadline/size degradation).
     Lpt,
+    /// LPT-revisited: LPT prefix + exact critical tail (portfolio arm
+    /// and the degraded-mode fallback since the portfolio landed).
+    LptRev,
     /// MULTIFIT fallback (deadline/size degradation).
     Multifit,
+    /// Exact branch-and-bound (portfolio arm for tiny instances).
+    Exact,
 }
 
 impl fmt::Display for EngineUsed {
@@ -26,7 +32,9 @@ impl fmt::Display for EngineUsed {
         f.write_str(match self {
             EngineUsed::Ptas => "ptas",
             EngineUsed::Lpt => "lpt",
+            EngineUsed::LptRev => "lptrev",
             EngineUsed::Multifit => "multifit",
+            EngineUsed::Exact => "exact",
         })
     }
 }
@@ -37,7 +45,9 @@ impl FromStr for EngineUsed {
         match s {
             "ptas" => Ok(EngineUsed::Ptas),
             "lpt" => Ok(EngineUsed::Lpt),
+            "lptrev" => Ok(EngineUsed::LptRev),
             "multifit" => Ok(EngineUsed::Multifit),
+            "exact" => Ok(EngineUsed::Exact),
             other => Err(format!("unknown engine `{other}`")),
         }
     }
@@ -58,6 +68,10 @@ pub struct RequestStats {
     pub degraded: bool,
     /// Which algorithm produced the schedule.
     pub engine: EngineUsed,
+    /// Certified bound of the arm that actually answered — degraded
+    /// responses report *their* arm's guarantee (e.g. LPT-revisited's
+    /// critical-index refinement), not a blanket plain-LPT ratio.
+    pub guarantee: Guarantee,
 }
 
 /// Liveness snapshot answered by the protocol's `health` verb. The
@@ -155,6 +169,77 @@ impl StoreReport {
     }
 }
 
+/// One portfolio arm's lifetime counters inside a [`PortfolioReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ArmReport {
+    /// Wire name of the arm (`lptrev`, `multifit`, `exact`, `dense`,
+    /// `sparse`).
+    pub arm: String,
+    /// Requests for which the selector picked this arm up front (for
+    /// heuristic safety-net answers the pick *is* the winning arm, so
+    /// `chosen == won` on that path).
+    pub chosen: u64,
+    /// Requests this arm's answer was returned for.
+    pub won: u64,
+    /// Times the arm actually executed — includes race losers and
+    /// safety-net runs, so `runs ≥ won`.
+    pub runs: u64,
+    /// Wall-clock per execution, in µs (empty unless `pcmax_obs`
+    /// recording was enabled; `count` equals `runs` while enabled).
+    pub latency_us: HistogramSnapshot,
+}
+
+/// Portfolio-selector telemetry: per-arm pick/win/run counts and race
+/// outcomes. All-zero when the service runs a fixed arm and it never
+/// loses.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PortfolioReport {
+    /// One entry per arm, in canonical arm order.
+    pub arms: Vec<ArmReport>,
+    /// Requests where two arms raced on the rayon pool.
+    pub races: u64,
+    /// Races the primary (predicted-best) arm won.
+    pub race_primary_wins: u64,
+    /// Races the racer (hedge) arm won.
+    pub race_racer_wins: u64,
+}
+
+impl PortfolioReport {
+    /// Fraction of completed requests that raced two arms.
+    pub fn race_rate(&self, completed: u64) -> f64 {
+        if completed == 0 {
+            0.0
+        } else {
+            self.races as f64 / completed as f64
+        }
+    }
+
+    /// Writes the report as a JSON object into `w`. `completed` is the
+    /// service-wide completion count the race rate is measured against.
+    pub fn write_json(&self, completed: u64, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_u64("races", self.races)
+            .field_u64("race_primary_wins", self.race_primary_wins)
+            .field_u64("race_racer_wins", self.race_racer_wins)
+            .field_f64("race_rate", self.race_rate(completed))
+            .key("arms")
+            .begin_object();
+        for arm in &self.arms {
+            w.key(&arm.arm)
+                .begin_object()
+                .field_u64("chosen", arm.chosen)
+                .field_u64("won", arm.won)
+                .field_u64("runs", arm.runs)
+                .field_u64("p50_us", arm.latency_us.quantile(0.50))
+                .field_u64("p99_us", arm.latency_us.quantile(0.99))
+                .key("latency_us");
+            arm.latency_us.write_json(w);
+            w.end_object();
+        }
+        w.end_object().end_object();
+    }
+}
+
 /// Live latency/size histograms the service records into while
 /// `pcmax_obs` recording is enabled. One instance lives inside the
 /// service, shared by all workers.
@@ -225,6 +310,8 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// Representation selection counts for probes that ran a DP.
     pub repr: ReprReport,
+    /// Portfolio-selector arm/race telemetry.
+    pub portfolio: PortfolioReport,
     /// DP cache state.
     pub cache: CacheReport,
     /// Memory tiers: RAM budget/pressure and warm disk-tier counters.
@@ -250,7 +337,9 @@ impl ServiceReport {
             .field_u64("sparse_probes", self.repr.sparse_probes)
             .field_u64("paged_probes", self.repr.paged_probes)
             .end_object()
-            .key("cache")
+            .key("portfolio");
+        self.portfolio.write_json(self.completed, &mut w);
+        w.key("cache")
             .begin_object()
             .field_u64("hits", self.cache.hits)
             .field_u64("misses", self.cache.misses)
@@ -288,7 +377,13 @@ mod tests {
 
     #[test]
     fn engine_roundtrips_through_display() {
-        for e in [EngineUsed::Ptas, EngineUsed::Lpt, EngineUsed::Multifit] {
+        for e in [
+            EngineUsed::Ptas,
+            EngineUsed::Lpt,
+            EngineUsed::LptRev,
+            EngineUsed::Multifit,
+            EngineUsed::Exact,
+        ] {
             assert_eq!(e.to_string().parse::<EngineUsed>().unwrap(), e);
         }
         assert!("gpu".parse::<EngineUsed>().is_err());
@@ -309,6 +404,18 @@ mod tests {
                 dense_probes: 6,
                 sparse_probes: 2,
                 paged_probes: 1,
+            },
+            portfolio: PortfolioReport {
+                arms: vec![ArmReport {
+                    arm: "lptrev".into(),
+                    chosen: 3,
+                    won: 2,
+                    runs: 4,
+                    latency_us: HistogramSnapshot::default(),
+                }],
+                races: 2,
+                race_primary_wins: 1,
+                race_racer_wins: 1,
             },
             cache: CacheReport {
                 hits: 3,
@@ -335,6 +442,12 @@ mod tests {
         assert!(json.contains("\"hit_rate\":0.75"), "{json}");
         assert!(
             json.contains("\"repr\":{\"dense_probes\":6,\"sparse_probes\":2,\"paged_probes\":1}"),
+            "{json}"
+        );
+        assert!(json.contains("\"races\":2"), "{json}");
+        assert!(json.contains("\"race_rate\":0.5"), "{json}");
+        assert!(
+            json.contains("\"lptrev\":{\"chosen\":3,\"won\":2,\"runs\":4"),
             "{json}"
         );
         assert!(json.contains("\"budget_bytes\":1024"), "{json}");

@@ -65,3 +65,20 @@ test -s target/AUDIT.json
 ./target/release/pcmax audit --seeds 64 --engine sparse \
   --out target/AUDIT_sparse.json
 test -s target/AUDIT_sparse.json
+
+# Portfolio gauntlet: the same 64 seeds filtered to the solver-portfolio
+# checks — every arm pinned, auto, and raced on every adversarial case,
+# with each answer's guarantee certificate re-proved in u128.
+./target/release/pcmax audit --seeds 64 --engine portfolio \
+  --out target/AUDIT_portfolio.json
+test -s target/AUDIT_portfolio.json
+
+# Portfolio economics smoke: a tiny bench-serve under --gate-portfolio
+# reruns the workload once per fixed arm and fails if the auto policy's
+# mean latency exceeds the worst pinned arm's (x1.5 + 50ms slack) — the
+# selector must never cost more than naively pinning the wrong arm.
+./target/release/pcmax bench-serve --gate-portfolio \
+  --clients 2 --requests 8 --distinct 2 --jobs 20 --machines 3 \
+  --out target/BENCH_serve_smoke.json
+test -s target/BENCH_serve_smoke.json
+grep -q '"portfolio"' target/BENCH_serve_smoke.json

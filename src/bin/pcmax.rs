@@ -72,10 +72,12 @@ USAGE:
   pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
                       [--repr auto|dense|sparse] [--mem-budget BYTES] [--store-dir DIR]
+                      [--portfolio auto|fixed:ARM|race:ARM,ARM]
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--repr auto|dense|sparse] [--mem-budget BYTES]
                       [--store-dir DIR] [--out FILE]
+                      [--portfolio auto|fixed:ARM|race:ARM,ARM] [--gate-portfolio]
   pcmax bench-sparse  [--seed N] [--jobs N] [--machines N] [--k N]
                       [--base N] [--spread N] [--mem-budget BYTES]
                       [--max-resident-pct F] [--out FILE]
@@ -88,8 +90,8 @@ USAGE:
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
-  pcmax audit         [--seeds N] [--k N] [--max-cells N] [--engine sparse]
-                      [--out FILE]
+  pcmax audit         [--seeds N] [--k N] [--max-cells N]
+                      [--engine sparse|portfolio] [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -109,7 +111,9 @@ differential-fuzz harness (u64-scale times, degenerate shapes) across
 searches, the serve solver, and the exact oracles; it prints a JSON
 divergence report (optionally to `--out FILE`) and exits non-zero if
 any check diverged; `--engine sparse` restricts the sweep to the sparse
-frontier engine's differential checks. `bench-sparse` is the sparse
+frontier engine's differential checks, `--engine portfolio` to the
+solver-portfolio gauntlet (every arm pinned on every adversarial case,
+guarantees certified against the exact oracle). `bench-sparse` is the sparse
 smoke: it rounds one near-uniform instance at precision `--k`, solves
 the same DP densely and through the sparse frontier, differential-checks
 every retained cell, and writes BENCH_sparse.json with the memory and
@@ -125,7 +129,14 @@ in-RAM sequential engine, prints the store's tier occupancy, hit/fault
 counters, and fault-latency histogram as JSON, and exits non-zero on any
 mismatch. `--mem-budget` accepts `4096`, `64K`, `16M`, or `1G`;
 `--store-dir` on `serve`/`cluster`/`bench-serve` enables the persistent
-warm-start log (cluster workers get per-worker subdirectories).";
+warm-start log (cluster workers get per-worker subdirectories).
+`--portfolio` picks the per-request solver arm: `auto` (feature-driven
+selection with racing on marginal cost predictions), `fixed:ARM` (pin
+one arm), or `race:A,B` (always race two). ARM is one of lptrev,
+multifit, exact, dense, sparse. `--gate-portfolio` on `bench-serve`
+reruns the workload once per fixed arm and exits non-zero if the auto
+policy's mean latency exceeds the *worst* fixed arm's — the selector
+must never cost more than naively pinning the wrong arm.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -418,6 +429,9 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
         repr: parse_repr(flag(args, "--repr").unwrap_or("auto"))?,
         mem_budget: mem_budget_flag(args, defaults.mem_budget)?,
         store_dir: flag(args, "--store-dir").map(PathBuf::from),
+        portfolio: flag(args, "--portfolio")
+            .unwrap_or("auto")
+            .parse::<pcmax::PortfolioPolicy>()?,
         ..defaults
     })
 }
@@ -635,30 +649,40 @@ fn cmd_bench_cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
-    let clients: usize = flag_parse(args, "--clients", 4)?;
-    let requests: usize = flag_parse(args, "--requests", 16)?;
-    let distinct: u64 = flag_parse(args, "--distinct", 4)?;
-    let jobs: usize = flag_parse(args, "--jobs", 30)?;
-    let machines: usize = flag_parse(args, "--machines", 4)?;
-    let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
-    let deadline_ms: u64 = flag_parse(args, "--deadline-ms", 2000)?;
-    let out_path = flag(args, "--out").unwrap_or("BENCH_serve.json");
-    if clients == 0 || requests == 0 || distinct == 0 {
-        return Err("--clients, --requests, and --distinct must be positive".into());
-    }
+/// One bench-serve workload knob set, shared by the main run and the
+/// `--gate-portfolio` reruns.
+#[derive(Clone, Copy)]
+struct BenchServeLoad {
+    clients: usize,
+    requests: usize,
+    distinct: u64,
+    jobs: usize,
+    machines: usize,
+    epsilon: f64,
+    deadline_ms: u64,
+}
 
-    pcmax::obs::set_enabled(true);
-    let config = serve_config_from_flags(args)?;
+/// Starts a fresh service from `config`, drives the workload over
+/// loopback, and returns sorted client-side latencies, the degraded
+/// count, and the service's final report.
+fn bench_serve_run(
+    config: pcmax::ServeConfig,
+    load: BenchServeLoad,
+) -> Result<(Vec<Duration>, usize, pcmax::serve::ServiceReport), String> {
     let service = pcmax::Service::start(config);
     let handle =
         serve_tcp(Arc::clone(&service), "127.0.0.1:0").map_err(|e| format!("binding: {e}"))?;
     let addr = handle.local_addr();
-    eprintln!(
-        "bench: {clients} clients x {requests} requests over {distinct} distinct instances ({jobs} jobs, {machines} machines) against {addr}"
-    );
-
-    let worker = move |client_id: usize| -> Result<Vec<(Duration, bool, u64)>, String> {
+    let BenchServeLoad {
+        clients,
+        requests,
+        distinct,
+        jobs,
+        machines,
+        epsilon,
+        deadline_ms,
+    } = load;
+    let worker = move |client_id: usize| -> Result<Vec<(Duration, bool)>, String> {
         let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
         let mut samples = Vec::with_capacity(requests);
         for r in 0..requests {
@@ -676,27 +700,55 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 .schedule
                 .validate(&inst)
                 .map_err(|e| format!("invalid schedule from server: {e}"))?;
-            samples.push((elapsed, reply.degraded, reply.cache_hits));
+            samples.push((elapsed, reply.degraded));
         }
         Ok(samples)
     };
-
     let handles: Vec<_> = (0..clients)
         .map(|c| std::thread::spawn(move || worker(c)))
         .collect();
     let mut latencies: Vec<Duration> = Vec::new();
     let mut degraded = 0usize;
     for h in handles {
-        for (latency, was_degraded, _) in h.join().map_err(|_| "client thread panicked")?? {
+        for (latency, was_degraded) in h.join().map_err(|_| "client thread panicked")?? {
             latencies.push(latency);
             degraded += usize::from(was_degraded);
         }
     }
     latencies.sort_unstable();
+    let report = service.report();
+    handle.shutdown();
+    service.shutdown();
+    Ok((latencies, degraded, report))
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let load = BenchServeLoad {
+        clients: flag_parse(args, "--clients", 4)?,
+        requests: flag_parse(args, "--requests", 16)?,
+        distinct: flag_parse(args, "--distinct", 4)?,
+        jobs: flag_parse(args, "--jobs", 30)?,
+        machines: flag_parse(args, "--machines", 4)?,
+        epsilon: flag_parse(args, "--epsilon", 0.3)?,
+        deadline_ms: flag_parse(args, "--deadline-ms", 2000)?,
+    };
+    let out_path = flag(args, "--out").unwrap_or("BENCH_serve.json");
+    let gate = args.iter().any(|a| a == "--gate-portfolio");
+    if load.clients == 0 || load.requests == 0 || load.distinct == 0 {
+        return Err("--clients, --requests, and --distinct must be positive".into());
+    }
+
+    pcmax::obs::set_enabled(true);
+    let config = serve_config_from_flags(args)?;
+    let policy = config.portfolio;
+    eprintln!(
+        "bench: {} clients x {} requests over {} distinct instances ({} jobs, {} machines), portfolio {policy}",
+        load.clients, load.requests, load.distinct, load.jobs, load.machines
+    );
+    let (latencies, degraded, report) = bench_serve_run(config, load)?;
     let total = latencies.len();
     let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
     let mean: Duration = latencies.iter().sum::<Duration>() / total as u32;
-    let report = service.report();
     let reg = pcmax::obs::registry::global();
     println!("requests      {total} ({degraded} degraded)");
     println!(
@@ -731,12 +783,33 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         report.store.disk_hits,
         report.store.appends
     );
+    println!(
+        "portfolio     {} races ({} primary wins, {} racer wins, {:.1}% race rate)",
+        report.portfolio.races,
+        report.portfolio.race_primary_wins,
+        report.portfolio.race_racer_wins,
+        report.portfolio.race_rate(report.completed) * 100.0
+    );
+    for arm in &report.portfolio.arms {
+        if arm.runs == 0 {
+            continue;
+        }
+        println!(
+            "  {:<9}   chosen {}, won {}, runs {}, p50 {}us, p99 {}us",
+            arm.arm,
+            arm.chosen,
+            arm.won,
+            arm.runs,
+            arm.latency_us.quantile(0.5),
+            arm.latency_us.quantile(0.99)
+        );
+    }
 
     // Machine-readable result: client-side latency summary + the full
     // server-side report (counters and histograms).
     let mut w = pcmax::obs::JsonWriter::new();
     w.begin_object()
-        .field_u64("clients", clients as u64)
+        .field_u64("clients", load.clients as u64)
         .field_u64("requests", total as u64)
         .field_u64("degraded", degraded as u64)
         .key("latency_us")
@@ -791,8 +864,45 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     fs::write(out_path, payload).map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!("wrote {out_path}");
 
-    handle.shutdown();
-    service.shutdown();
+    if gate {
+        gate_portfolio(args, load, mean)?;
+    }
+    Ok(())
+}
+
+/// `--gate-portfolio`: rerun the identical workload once per fixed arm
+/// and fail the bench when the auto selector's mean latency exceeds the
+/// *worst* pinned arm's. The selector exists to beat naive pinning, so
+/// costing more than the worst possible pin (with generous slack for CI
+/// jitter) is a regression. The `exact` arm is skipped — it declines
+/// instances above its hard job cap and the default workload is larger.
+fn gate_portfolio(args: &[String], load: BenchServeLoad, auto_mean: Duration) -> Result<(), String> {
+    let mut worst_fixed = Duration::ZERO;
+    let mut worst_arm = "";
+    for arm in ["lptrev", "multifit", "dense", "sparse"] {
+        let mut config = serve_config_from_flags(args)?;
+        config.portfolio = format!("fixed:{arm}").parse()?;
+        let (latencies, _, _) = bench_serve_run(config, load)?;
+        let mean = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+        eprintln!("gate: fixed:{arm:<9} mean {mean:.1?}");
+        if mean > worst_fixed {
+            worst_fixed = mean;
+            worst_arm = arm;
+        }
+    }
+    // Lenient threshold: loopback latencies at this scale are noisy, and
+    // the gate should only trip on a genuinely pathological selector.
+    let limit = worst_fixed * 3 / 2 + Duration::from_millis(50);
+    eprintln!(
+        "gate: auto mean {auto_mean:.1?} vs worst fixed arm ({worst_arm}) {worst_fixed:.1?}, limit {limit:.1?}"
+    );
+    if auto_mean > limit {
+        return Err(format!(
+            "portfolio gate failed: auto policy mean {auto_mean:.1?} exceeds \
+             1.5x the worst fixed arm ({worst_arm}, {worst_fixed:.1?}) + 50ms"
+        ));
+    }
+    eprintln!("gate: pass");
     Ok(())
 }
 
@@ -1102,8 +1212,12 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
     let engine_filter = match flag(args, "--engine") {
         None => None,
-        Some("sparse") => Some("sparse".to_string()),
-        Some(other) => return Err(format!("unknown audit engine filter `{other}` (sparse)")),
+        Some(f @ ("sparse" | "portfolio")) => Some(f.to_string()),
+        Some(other) => {
+            return Err(format!(
+                "unknown audit engine filter `{other}` (sparse|portfolio)"
+            ))
+        }
     };
     let started = Instant::now();
     let report = pcmax::audit::run(&pcmax::AuditConfig {

@@ -63,9 +63,10 @@ pub use pcmax_sparse::{
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
 pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
-    self as serve, Client, ReprPolicy, ServeConfig, ServeError, Service, SolveRequest,
-    SolveResponse, StoreReport, WarmTier,
+    self as serve, Arm, Client, PortfolioPolicy, ReprPolicy, ServeConfig, ServeError, Service,
+    SolveRequest, SolveResponse, StoreReport, WarmTier,
 };
+pub use pcmax_core::Guarantee;
 pub use pcmax_cluster::{
     self as cluster, ClusterConfig, ClusterReport, Coordinator, LocalCluster, RouteKey,
 };

@@ -282,6 +282,82 @@ fn restarted_server_answers_from_the_disk_tier_without_recomputing() {
 }
 
 #[test]
+fn racing_service_is_deterministic_and_its_counters_reconcile() {
+    use pcmax::core::heuristics::multifit_with_guarantee;
+    use pcmax::serve::portfolio::MULTIFIT_ITERS;
+
+    // Recording must be on before the service starts so every arm
+    // execution lands a latency sample (left on — see the flood test).
+    pcmax::obs::set_enabled(true);
+    let (service, addr, handle) = start_service(ServeConfig {
+        portfolio: "race:dense,multifit".parse().expect("policy"),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let instances: Vec<_> = (0..4).map(|s| uniform(500 + s, 30, 4, 1, 70)).collect();
+
+    // Two passes over the same instances: under a generous deadline the
+    // primary DP arm always finishes, and race resolution prefers the
+    // primary whenever it answers — never wall-clock arrival order — so
+    // repeated runs must return byte-identical answers even though both
+    // arms genuinely race on the thread pool every time.
+    let mut first_pass = Vec::new();
+    for pass in 0..2 {
+        for (i, inst) in instances.iter().enumerate() {
+            let reply = client
+                .solve(inst, Some(0.3), Some(Duration::from_secs(10)))
+                .expect("solve");
+            let makespan = reply.schedule.validate(inst).expect("valid schedule");
+            assert_eq!(makespan, reply.makespan);
+            assert!(!reply.degraded, "primary DP arm must win under a 10s deadline");
+            assert!(reply.guarantee.holds(reply.makespan, reply.makespan));
+            if pass == 0 {
+                first_pass.push(reply.makespan);
+            } else {
+                assert_eq!(reply.makespan, first_pass[i], "raced answers must be deterministic");
+            }
+        }
+    }
+
+    // A dead deadline kills the DP primary, so the racer (MULTIFIT) wins
+    // by default — and its answer must equal a standalone run of the same
+    // heuristic, pinning down *which* computation the race returned.
+    let inst = uniform(999, 30, 4, 1, 70);
+    let reply = client
+        .solve(&inst, Some(0.3), Some(Duration::ZERO))
+        .expect("racer answers are still ok-replies");
+    assert!(reply.degraded, "a racer win is a degraded answer");
+    let (standalone, _) = multifit_with_guarantee(&inst, MULTIFIT_ITERS);
+    assert_eq!(
+        reply.makespan,
+        standalone.makespan(&inst),
+        "the racer's value must match a standalone MULTIFIT run"
+    );
+
+    // Counter reconciliation across all 9 requests.
+    let report = service.report();
+    assert_eq!(report.completed, 9);
+    let p = &report.portfolio;
+    let chosen: u64 = p.arms.iter().map(|a| a.chosen).sum();
+    let won: u64 = p.arms.iter().map(|a| a.won).sum();
+    assert_eq!(chosen, report.completed, "exactly one arm is chosen per request");
+    assert_eq!(won, report.completed, "exactly one arm wins per request");
+    assert_eq!(p.races, p.race_primary_wins + p.race_racer_wins);
+    assert!(p.race_racer_wins >= 1, "the dead-deadline request is a racer win");
+    for arm in &p.arms {
+        assert!(arm.runs >= arm.won, "{}: runs {} < won {}", arm.arm, arm.runs, arm.won);
+        assert_eq!(
+            arm.latency_us.count, arm.runs,
+            "{}: one latency sample per execution while recording is on",
+            arm.arm
+        );
+    }
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn overflowing_total_work_is_rejected_at_the_wire_and_the_connection_survives() {
     use std::io::{BufRead, BufReader, Write};
 
