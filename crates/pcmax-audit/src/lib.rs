@@ -24,6 +24,10 @@
 //! * the solver portfolio's gauntlet: every arm (pinned, auto, raced)
 //!   answers validly, never beats the oracle, and its certified
 //!   guarantee holds in `u128`,
+//! * the anytime improver's gauntlet: greedy descent and the island GA
+//!   never worsen a piled input, stay valid and above `LB`/`OPT`, rerun
+//!   deterministically under a fixed seed, and agree bit-for-bit across
+//!   the rayon and warp-model fitness paths,
 //! * the dual-approximation invariant `LB ≤ T* ≤ OPT` and the
 //!   `(1 + 1/k + 1/k²)` guarantee evaluated in `u128`,
 //! * the `Instance::try_new` validation gate itself.
@@ -54,12 +58,13 @@ pub struct AuditConfig {
     /// correctness); keeps adversarial cases within memory bounds.
     pub max_table_cells: usize,
     /// Restrict the sweep to the checks exercising one engine
-    /// (`--engine sparse` / `--engine portfolio` on the CLI). `None`
-    /// runs everything; `Some("sparse")` runs only
+    /// (`--engine sparse` / `--engine portfolio` / `--engine improve`
+    /// on the CLI). `None` runs everything; `Some("sparse")` runs only
     /// [`checks::check_sparse_engine`] per case; `Some("portfolio")`
-    /// runs only [`checks::check_portfolio`] (every arm on every case).
-    /// Unrecognised names run nothing and are rejected by the CLI
-    /// before reaching here.
+    /// runs only [`checks::check_portfolio`] (every arm on every case);
+    /// `Some("improve")` runs only [`checks::check_improver`] (both
+    /// improver modes on every case). Unrecognised names run nothing
+    /// and are rejected by the CLI before reaching here.
     pub engine_filter: Option<String>,
 }
 
@@ -84,7 +89,8 @@ pub fn run(config: &AuditConfig) -> AuditReport {
     let mut divergences = Vec::new();
     let sparse_only = config.engine_filter.as_deref() == Some("sparse");
     let portfolio_only = config.engine_filter.as_deref() == Some("portfolio");
-    let filtered = sparse_only || portfolio_only;
+    let improve_only = config.engine_filter.as_deref() == Some("improve");
+    let filtered = sparse_only || portfolio_only || improve_only;
     for seed in 0..config.seeds {
         // The gate check is instance-independent; audit it once per seed
         // so a regression still fails fast on `--seeds 1`.
@@ -117,6 +123,10 @@ pub fn run(config: &AuditConfig) -> AuditReport {
                 checks::check_portfolio(&case.instance, &mut ctx);
                 continue;
             }
+            if improve_only {
+                checks::check_improver(&case.instance, &mut ctx);
+                continue;
+            }
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
@@ -126,6 +136,7 @@ pub fn run(config: &AuditConfig) -> AuditReport {
             checks::check_ptas_invariant(&case.instance, &mut ctx);
             checks::check_small_oracle(&case.instance, &mut ctx);
             checks::check_portfolio(&case.instance, &mut ctx);
+            checks::check_improver(&case.instance, &mut ctx);
         }
     }
     report.checks = checks_run;
@@ -179,6 +190,29 @@ mod tests {
         });
         assert_eq!(filtered.cases, full.cases);
         assert!(filtered.checks > 0, "filter must still exercise cases");
+        assert!(
+            filtered.checks < full.checks,
+            "filtered {} vs full {}",
+            filtered.checks,
+            full.checks
+        );
+        assert!(filtered.is_clean(), "divergences: {:#?}", filtered.divergences);
+    }
+
+    #[test]
+    fn improve_filter_runs_only_the_improver_gauntlet() {
+        let full = run(&AuditConfig {
+            seeds: 2,
+            ..AuditConfig::default()
+        });
+        let filtered = run(&AuditConfig {
+            seeds: 2,
+            engine_filter: Some("improve".to_string()),
+            ..AuditConfig::default()
+        });
+        assert_eq!(filtered.cases, full.cases);
+        // Greedy (1) + GA (1 + determinism + eval-path) per case.
+        assert_eq!(filtered.checks, filtered.cases as u64 * 4);
         assert!(
             filtered.checks < full.checks,
             "filtered {} vs full {}",

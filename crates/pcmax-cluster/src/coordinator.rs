@@ -374,6 +374,8 @@ impl Coordinator {
                     degraded: reply.degraded,
                     engine: reply.engine,
                     guarantee: reply.guarantee,
+                    gap_ppm: reply.gap_ppm,
+                    improve_us: 0,
                 },
             },
             worker: Some(worker.id.clone()),
@@ -415,6 +417,11 @@ impl Coordinator {
                     degraded: true,
                     engine,
                     guarantee,
+                    gap_ppm: pcmax_core::Guarantee::gap_ppm(
+                        makespan,
+                        pcmax_core::lower_bound(inst),
+                    ),
+                    improve_us: 0,
                 },
             },
             worker: None,

@@ -153,6 +153,22 @@ impl Guarantee {
         self.num as f64 / self.den.max(1) as f64
     }
 
+    /// Achieved-vs-bound gap in parts per million:
+    /// `⌊(makespan − lower_bound)·10⁶ / lower_bound⌋`, computed in `u128`
+    /// so u64-scale makespans cannot wrap, clamped to `u64::MAX`. Zero
+    /// when the makespan meets the bound (or the bound is trivially 0).
+    /// This is the integer counterpart of the a-posteriori ratio: the
+    /// serve layer reports it per request so the bench trajectory can
+    /// track how far answers sit from the area/max lower bound.
+    pub fn gap_ppm(makespan: u64, lower_bound: u64) -> u64 {
+        if lower_bound == 0 || makespan <= lower_bound {
+            return 0;
+        }
+        let excess = (makespan - lower_bound) as u128;
+        let ppm = excess * 1_000_000 / lower_bound as u128;
+        u64::try_from(ppm).unwrap_or(u64::MAX)
+    }
+
     fn reduced(self) -> Self {
         let g = gcd(self.num.max(1), self.den.max(1));
         Guarantee {
@@ -275,6 +291,22 @@ mod tests {
         assert_eq!((g.num, g.den, g.slack), (21, 16, 2));
         // ms ≤ opt + opt/k + opt/k² + 2, the check_ptas_invariant form.
         assert!(g.holds(100 + 25 + 6 + 2, 100));
+    }
+
+    #[test]
+    fn gap_ppm_is_exact_and_u128_safe() {
+        assert_eq!(Guarantee::gap_ppm(10, 10), 0);
+        assert_eq!(Guarantee::gap_ppm(5, 10), 0);
+        assert_eq!(Guarantee::gap_ppm(7, 0), 0);
+        // 12 vs 10 → 20% → 200_000 ppm.
+        assert_eq!(Guarantee::gap_ppm(12, 10), 200_000);
+        // Truncates, never rounds up: 1/3 → 333_333 ppm.
+        assert_eq!(Guarantee::gap_ppm(4, 3), 333_333);
+        // u64-scale: the u64 product ms·10⁶ would wrap; u128 doesn't.
+        let lb = u64::MAX / 2;
+        assert_eq!(Guarantee::gap_ppm(lb + lb / 10, lb), 99_999);
+        // Degenerate tiny bound clamps instead of overflowing the cast.
+        assert_eq!(Guarantee::gap_ppm(u64::MAX, 1), u64::MAX);
     }
 
     #[test]

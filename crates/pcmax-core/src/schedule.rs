@@ -80,6 +80,11 @@ impl Schedule {
 
     /// Verifies the schedule is structurally valid for `inst`: every job
     /// assigned exactly once to an in-range machine. Returns the makespan.
+    ///
+    /// The makespan is accumulated in `u128`, so a schedule paired with an
+    /// ungated instance (built via [`Instance::new`], whose total work may
+    /// exceed `u64::MAX`) reports an error instead of wrapping — this is
+    /// the boundary check the serve/improve layers run on every hand-off.
     pub fn validate(&self, inst: &Instance) -> Result<u64, String> {
         if self.machine_of.len() != inst.num_jobs() {
             return Err(format!(
@@ -103,7 +108,38 @@ impl Schedule {
         {
             return Err(format!("job {job} assigned to invalid machine {m}"));
         }
-        Ok(self.makespan(inst))
+        let mut wide = vec![0u128; self.machines];
+        for (job, &m) in self.machine_of.iter().enumerate() {
+            wide[m] += inst.time(job) as u128;
+        }
+        let max = wide.into_iter().max().unwrap_or(0);
+        u64::try_from(max).map_err(|_| format!("machine load {max} exceeds u64::MAX"))
+    }
+
+    /// Recomputes the makespan from first principles with `u128`-safe
+    /// load accumulation. Unlike [`Schedule::makespan`] (whose `u64`
+    /// additions would trip overflow checks on an ungated instance), this
+    /// never wraps; loads past `u64::MAX` saturate the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover exactly the jobs of `inst`
+    /// (same structural contract as [`Schedule::loads`]).
+    pub fn recompute_makespan(&self, inst: &Instance) -> u64 {
+        assert_eq!(
+            self.machine_of.len(),
+            inst.num_jobs(),
+            "schedule covers {} jobs, instance has {}",
+            self.machine_of.len(),
+            inst.num_jobs()
+        );
+        assert_eq!(self.machines, inst.machines(), "machine count mismatch");
+        let mut wide = vec![0u128; self.machines];
+        for (job, &m) in self.machine_of.iter().enumerate() {
+            wide[m] += inst.time(job) as u128;
+        }
+        let max = wide.into_iter().max().unwrap_or(0);
+        u64::try_from(max).unwrap_or(u64::MAX)
     }
 
     /// Jobs on each machine, as index lists (useful for reporting).
@@ -147,6 +183,27 @@ mod tests {
     fn validate_rejects_machine_count_mismatch() {
         let s = Schedule::new(vec![0, 1, 0, 1, 1], 3);
         assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn recompute_makespan_matches_makespan() {
+        let s = Schedule::new(vec![0, 0, 1, 1, 0], 2);
+        assert_eq!(s.recompute_makespan(&inst()), s.makespan(&inst()));
+    }
+
+    #[test]
+    fn validate_and_recompute_agree_at_u64_scale() {
+        // Σtⱼ = u64::MAX exactly — the largest legal instance
+        // (`Instance::try_new` caps total work at u64::MAX). Piling
+        // everything on one machine is the worst-case load; the u128
+        // accumulation must report it exactly, not wrap or saturate.
+        let inst = Instance::new(vec![u64::MAX - 1, 1], 2);
+        let spread = Schedule::new(vec![0, 1], 2);
+        assert_eq!(spread.validate(&inst).unwrap(), u64::MAX - 1);
+        assert_eq!(spread.recompute_makespan(&inst), u64::MAX - 1);
+        let piled = Schedule::new(vec![0, 0], 2);
+        assert_eq!(piled.validate(&inst).unwrap(), u64::MAX);
+        assert_eq!(piled.recompute_makespan(&inst), u64::MAX);
     }
 
     #[test]

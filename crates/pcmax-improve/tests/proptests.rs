@@ -1,0 +1,101 @@
+//! Property tests for the improver, matching its two invariants:
+//! the move/swap neighborhood never increases the makespan and always
+//! conserves load (every job assigned exactly once, total work
+//! unchanged), and the full pipeline — descent and GA, on either eval
+//! path — is monotone, valid at the boundary, and deterministic under a
+//! fixed seed.
+
+use pcmax_core::instance::Instance;
+use pcmax_core::schedule::Schedule;
+use pcmax_improve::{improve, EvalPath, ImproveConfig, ImproveMode};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A small random instance plus an arbitrary (valid) starting schedule:
+/// 1–16 jobs with times 1–50 on 1–5 machines.
+fn instance_and_schedule() -> impl Strategy<Value = (Vec<u64>, usize, Vec<usize>)> {
+    (1usize..=16, 1usize..=5).prop_flat_map(|(n, m)| {
+        (
+            prop::collection::vec(1u64..=50, n),
+            Just(m),
+            prop::collection::vec(0usize..m, n),
+        )
+    })
+}
+
+/// A config whose caps (not wall clock) bound the run, so results are
+/// host-speed independent.
+fn capped(mode: ImproveMode, seed: u64, eval: EvalPath) -> ImproveConfig {
+    ImproveConfig {
+        mode,
+        budget: Duration::from_secs(600),
+        seed,
+        max_descent_rounds: 200,
+        max_generations: 6,
+        eval,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn descent_never_increases_makespan_and_conserves_load(
+        (times, m, start) in instance_and_schedule(),
+    ) {
+        let inst = Instance::new(times, m);
+        let input = Schedule::new(start, m);
+        let cfg = capped(ImproveMode::Greedy, 1, EvalPath::Rayon);
+        let out = improve(&inst, &input, &cfg).unwrap();
+
+        // Monotone: never worse than the input.
+        prop_assert!(out.makespan <= input.makespan(&inst));
+        // The reported makespan is the recomputed one.
+        prop_assert_eq!(out.makespan, out.schedule.recompute_makespan(&inst));
+        // Load conservation: still a valid one-to-one assignment…
+        prop_assert_eq!(out.schedule.validate(&inst).unwrap(), out.makespan);
+        // …with the total work intact across machines.
+        let total: u64 = out.schedule.loads(&inst).iter().sum();
+        prop_assert_eq!(total, inst.total_work());
+        // And never below the area/max lower bound.
+        prop_assert!(out.makespan >= pcmax_core::lower_bound(&inst));
+    }
+
+    #[test]
+    fn ga_is_monotone_valid_and_seed_deterministic(
+        (times, m, start) in instance_and_schedule(),
+        seed in 0u64..1000,
+    ) {
+        let inst = Instance::new(times, m);
+        let input = Schedule::new(start, m);
+        let mode = ImproveMode::Ga { islands: 2, pop: 6 };
+        let cfg = capped(mode, seed, EvalPath::Rayon);
+        let out = improve(&inst, &input, &cfg).unwrap();
+
+        prop_assert!(out.makespan <= input.makespan(&inst));
+        prop_assert_eq!(out.schedule.validate(&inst).unwrap(), out.makespan);
+        prop_assert!(out.makespan >= pcmax_core::lower_bound(&inst));
+
+        // Same seed, same answer — including the assignment itself.
+        let again = improve(&inst, &input, &cfg).unwrap();
+        prop_assert_eq!(out.schedule, again.schedule);
+        prop_assert_eq!(out.makespan, again.makespan);
+    }
+
+    #[test]
+    fn eval_paths_agree_end_to_end(
+        (times, m, start) in instance_and_schedule(),
+        seed in 0u64..1000,
+    ) {
+        let inst = Instance::new(times, m);
+        let input = Schedule::new(start, m);
+        let mode = ImproveMode::Ga { islands: 2, pop: 6 };
+        let rayon = improve(&inst, &input, &capped(mode, seed, EvalPath::Rayon)).unwrap();
+        let warp = improve(&inst, &input, &capped(mode, seed, EvalPath::WarpModel)).unwrap();
+        // Bit-for-bit: the eval path is a cost model, not a semantics
+        // change, so the whole search trajectory must coincide.
+        prop_assert_eq!(rayon.schedule, warp.schedule);
+        prop_assert_eq!(rayon.makespan, warp.makespan);
+        prop_assert_eq!(rayon.stats.evaluations, warp.stats.evaluations);
+    }
+}

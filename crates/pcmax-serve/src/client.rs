@@ -54,6 +54,8 @@ pub struct ClientReply {
     /// Certified bound of the arm that answered:
     /// `makespan ≤ (num/den)·OPT + slack`.
     pub guarantee: pcmax_core::Guarantee,
+    /// A-posteriori achieved-vs-lower-bound gap in parts per million.
+    pub gap_ppm: u64,
     /// The schedule, rebuilt from the wire assignment.
     pub schedule: Schedule,
 }
@@ -164,6 +166,7 @@ impl Client {
             queue_wait_us: reply.queue_wait_us,
             solve_us: reply.solve_us,
             guarantee: reply.guarantee,
+            gap_ppm: reply.gap_ppm,
             schedule: Schedule::new(reply.assignment, inst.machines()),
         })
     }

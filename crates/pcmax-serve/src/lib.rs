@@ -47,8 +47,12 @@ pub use solver::{
     ReprCounts, ReprPolicy, SolveOutcome, SolverOptions,
 };
 pub use stats::{
-    ArmReport, CacheReport, EngineUsed, HealthReply, PortfolioReport, ReprReport, RequestStats,
-    ServeHistograms, ServeMetrics, ServiceReport, StoreReport,
+    ArmReport, CacheReport, EngineUsed, HealthReply, ImproveReport, PortfolioReport, ReprReport,
+    RequestStats, ServeHistograms, ServeMetrics, ServiceReport, StoreReport,
 };
+
+// The improver's knobs surface in [`ServeConfig`]; re-export them so
+// serve consumers (cluster, CLI) need not depend on pcmax-improve.
+pub use pcmax_improve::{ImproveConfig, ImproveMode, ImproveOutcome, ImproveStats};
 pub use tcp::{serve_tcp, TcpHandle};
 pub use warm::WarmTier;

@@ -16,7 +16,7 @@
 //! Responses:
 //!
 //! ```text
-//! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <num/den/slack> <a1,a2,...,an>
+//! ok <makespan> <target|-> <engine> <degraded 0|1> <hits> <misses> <wait_us> <solve_us> <num/den/slack> <gap_ppm> <a1,a2,...,an>
 //! err <message>
 //! pong
 //! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
@@ -36,7 +36,10 @@
 //! `num/den/slack` is the certified [`Guarantee`] of the arm that
 //! answered — the claim `makespan ≤ (num/den)·OPT + slack` — so a
 //! degraded reply carries the bound of the heuristic that actually ran,
-//! not the PTAS's. `a_j` is the machine index job `j` is assigned to.
+//! not the PTAS's. `gap_ppm` is the a-posteriori achieved-vs-bound gap
+//! `(makespan − LB)·10⁶ / LB` against the area/max lower bound — the
+//! per-request quality figure the anytime improver drives down.
+//! `a_j` is the machine index job `j` is assigned to.
 
 use crate::service::{SolveRequest, SolveResponse};
 use crate::stats::{EngineUsed, HealthReply, ServiceReport};
@@ -127,7 +130,7 @@ pub fn format_solve_request(req: &SolveRequest) -> String {
 /// Formats the `ok …` line for a solved request.
 pub fn format_response(res: &SolveResponse) -> String {
     format!(
-        "ok {} {} {} {} {} {} {} {} {}/{}/{} {}",
+        "ok {} {} {} {} {} {} {} {} {}/{}/{} {} {}",
         res.makespan,
         res.target.map_or("-".to_string(), |t| t.to_string()),
         res.stats.engine,
@@ -139,6 +142,7 @@ pub fn format_response(res: &SolveResponse) -> String {
         res.stats.guarantee.num,
         res.stats.guarantee.den,
         res.stats.guarantee.slack,
+        res.stats.gap_ppm,
         res.schedule
             .assignment()
             .iter()
@@ -226,6 +230,8 @@ pub struct OkReply {
     /// Certified bound of the arm that answered:
     /// `makespan ≤ (num/den)·OPT + slack`.
     pub guarantee: Guarantee,
+    /// A-posteriori achieved-vs-lower-bound gap in parts per million.
+    pub gap_ppm: u64,
     /// Machine index per job.
     pub assignment: Vec<usize>,
 }
@@ -258,6 +264,9 @@ pub fn parse_response(line: &str) -> Result<OkReply, String> {
                 .parse()
                 .map_err(|e| format!("bad solve_us: {e}"))?;
             let guarantee = parse_guarantee(field("guarantee")?)?;
+            let gap_ppm = field("gap_ppm")?
+                .parse()
+                .map_err(|e| format!("bad gap_ppm: {e}"))?;
             let assignment = field("assignment")?
                 .split(',')
                 .map(|w| w.parse::<usize>().map_err(|e| format!("bad assignment: {e}")))
@@ -272,6 +281,7 @@ pub fn parse_response(line: &str) -> Result<OkReply, String> {
                 queue_wait_us,
                 solve_us,
                 guarantee,
+                gap_ppm,
                 assignment,
             })
         }
@@ -398,13 +408,16 @@ mod tests {
                     den: 16,
                     slack: 2,
                 },
+                gap_ppm: 125_000,
+                improve_us: 7,
             },
             schedule,
         };
         let line = format_response(&res);
-        assert!(line.contains(" 21/16/2 "), "{line}");
+        assert!(line.contains(" 21/16/2 125000 "), "{line}");
         let reply = parse_response(&line).unwrap();
         assert_eq!(reply.makespan, 9);
+        assert_eq!(reply.gap_ppm, 125_000);
         assert_eq!(reply.target, Some(8));
         assert_eq!(reply.engine, EngineUsed::Ptas);
         assert!(!reply.degraded);
@@ -436,6 +449,8 @@ mod tests {
                 degraded: true,
                 engine: EngineUsed::LptRev,
                 guarantee: Guarantee::lpt(1),
+                gap_ppm: 0,
+                improve_us: 0,
             },
             schedule: Schedule::new(vec![0], 1),
         };
@@ -451,7 +466,7 @@ mod tests {
     #[test]
     fn malformed_guarantees_are_rejected() {
         for g in ["4/3", "4/3/0/9", "4/0/1", "2/3/0", "x/3/0"] {
-            let line = format!("ok 9 - ptas 0 0 0 0 0 {g} 0,1");
+            let line = format!("ok 9 - ptas 0 0 0 0 0 {g} 0 0,1");
             assert!(parse_response(&line).is_err(), "`{g}` should be rejected");
         }
     }

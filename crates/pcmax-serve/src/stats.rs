@@ -72,6 +72,15 @@ pub struct RequestStats {
     /// responses report *their* arm's guarantee (e.g. LPT-revisited's
     /// critical-index refinement), not a blanket plain-LPT ratio.
     pub guarantee: Guarantee,
+    /// A-posteriori achieved-vs-bound gap in parts per million:
+    /// `(makespan − LB)·10⁶ / LB` against the area/max lower bound
+    /// ([`Guarantee::gap_ppm`]). 0 means the answer provably meets the
+    /// lower bound; the improver's job is driving this down with
+    /// whatever deadline budget the solve left over.
+    pub gap_ppm: u64,
+    /// Wall-clock the anytime improver spent on this request, µs
+    /// (0 when the improver is off or the deadline was exhausted).
+    pub improve_us: u64,
 }
 
 /// Liveness snapshot answered by the protocol's `health` verb. The
@@ -240,6 +249,17 @@ impl PortfolioReport {
     }
 }
 
+/// Anytime-improver telemetry: how often the refinement pass ran after
+/// the solve, and how often it strictly tightened the answer. All-zero
+/// when the service runs with the improver off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImproveReport {
+    /// Requests the improver ran on (budget left after the solve).
+    pub runs: u64,
+    /// Requests whose makespan the improver strictly lowered.
+    pub improved: u64,
+}
+
 /// Live latency/size histograms the service records into while
 /// `pcmax_obs` recording is enabled. One instance lives inside the
 /// service, shared by all workers.
@@ -254,6 +274,11 @@ pub struct ServeMetrics {
     /// For degraded answers: how far past its deadline the request was
     /// when it finished, in µs.
     pub degraded_lateness_us: Histogram,
+    /// Per-request achieved-vs-lower-bound gap, in ppm.
+    pub gap_ppm: Histogram,
+    /// Per-request anytime-improver wall clock, in µs (recorded only
+    /// when the improver ran).
+    pub improve_us: Histogram,
 }
 
 impl ServeMetrics {
@@ -264,6 +289,8 @@ impl ServeMetrics {
             solve_us: self.solve_us.snapshot(),
             batch_size: self.batch_size.snapshot(),
             degraded_lateness_us: self.degraded_lateness_us.snapshot(),
+            gap_ppm: self.gap_ppm.snapshot(),
+            improve_us: self.improve_us.snapshot(),
         }
     }
 }
@@ -280,6 +307,10 @@ pub struct ServeHistograms {
     pub batch_size: HistogramSnapshot,
     /// Lateness of degraded answers past their deadline, in µs.
     pub degraded_lateness_us: HistogramSnapshot,
+    /// Per-request achieved-vs-lower-bound gap, in ppm.
+    pub gap_ppm: HistogramSnapshot,
+    /// Per-request anytime-improver wall clock, in µs.
+    pub improve_us: HistogramSnapshot,
 }
 
 impl ServeHistograms {
@@ -293,6 +324,10 @@ impl ServeHistograms {
         self.batch_size.write_json(w);
         w.key("degraded_lateness_us");
         self.degraded_lateness_us.write_json(w);
+        w.key("gap_ppm");
+        self.gap_ppm.write_json(w);
+        w.key("improve_us");
+        self.improve_us.write_json(w);
         w.end_object();
     }
 }
@@ -310,6 +345,8 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// Representation selection counts for probes that ran a DP.
     pub repr: ReprReport,
+    /// Anytime-improver run/win counts.
+    pub improve: ImproveReport,
     /// Portfolio-selector arm/race telemetry.
     pub portfolio: PortfolioReport,
     /// DP cache state.
@@ -336,6 +373,11 @@ impl ServiceReport {
             .field_u64("dense_probes", self.repr.dense_probes)
             .field_u64("sparse_probes", self.repr.sparse_probes)
             .field_u64("paged_probes", self.repr.paged_probes)
+            .end_object()
+            .key("improve")
+            .begin_object()
+            .field_u64("runs", self.improve.runs)
+            .field_u64("improved", self.improve.improved)
             .end_object()
             .key("portfolio");
         self.portfolio.write_json(self.completed, &mut w);
@@ -405,6 +447,10 @@ mod tests {
                 sparse_probes: 2,
                 paged_probes: 1,
             },
+            improve: ImproveReport {
+                runs: 3,
+                improved: 2,
+            },
             portfolio: PortfolioReport {
                 arms: vec![ArmReport {
                     arm: "lptrev".into(),
@@ -444,6 +490,12 @@ mod tests {
             json.contains("\"repr\":{\"dense_probes\":6,\"sparse_probes\":2,\"paged_probes\":1}"),
             "{json}"
         );
+        assert!(
+            json.contains("\"improve\":{\"runs\":3,\"improved\":2}"),
+            "{json}"
+        );
+        assert!(json.contains("\"gap_ppm\":{\"count\":0"), "{json}");
+        assert!(json.contains("\"improve_us\":{\"count\":0"), "{json}");
         assert!(json.contains("\"races\":2"), "{json}");
         assert!(json.contains("\"race_rate\":0.5"), "{json}");
         assert!(

@@ -82,3 +82,25 @@ test -s target/AUDIT_portfolio.json
   --out target/BENCH_serve_smoke.json
 test -s target/BENCH_serve_smoke.json
 grep -q '"portfolio"' target/BENCH_serve_smoke.json
+
+# Improver gauntlet: the same 64 seeds filtered to the anytime-improver
+# checks — greedy descent and the island GA must never worsen a piled
+# input, stay valid and above LB/OPT, keep the a-posteriori guarantee
+# in u128, rerun deterministically under a fixed seed, and agree
+# bit-for-bit across the rayon and warp-model fitness paths.
+./target/release/pcmax audit --seeds 64 --engine improve \
+  --out target/AUDIT_improve.json
+test -s target/AUDIT_improve.json
+
+# Improver economics smoke: bench-serve pinned to fixed:lptrev (room
+# for the neighborhood to improve) with the greedy improver on, under
+# --gate-improve: the workload reruns with the improver off and the run
+# fails unless the improved mean gap_ppm strictly beats the unimproved
+# one. Also re-validates every reply's assignment against its reported
+# makespan client-side.
+./target/release/pcmax bench-serve --gate-improve \
+  --clients 2 --requests 8 --distinct 4 --jobs 40 --machines 6 \
+  --portfolio fixed:lptrev --improve greedy \
+  --out target/BENCH_serve_improve.json
+test -s target/BENCH_serve_improve.json
+grep -q '"gap_ppm"' target/BENCH_serve_improve.json

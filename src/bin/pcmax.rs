@@ -15,7 +15,7 @@ use pcmax::gpu::{modeled_openmp_bisection, solve_gpu, GpuPtasConfig};
 use pcmax::heuristics::{list_schedule, local_search, lpt, multifit};
 use pcmax::prelude::*;
 use pcmax::serve::{serve_tcp, Client};
-use pcmax::ClusterConfig;
+use pcmax::{ClusterConfig, Guarantee};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
+        "improve" => cmd_improve(rest),
         "bench-serve" => cmd_bench_serve(rest),
         "bench-sparse" => cmd_bench_sparse(rest),
         "cluster" => cmd_cluster(rest),
@@ -73,11 +74,16 @@ USAGE:
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
                       [--repr auto|dense|sparse] [--mem-budget BYTES] [--store-dir DIR]
                       [--portfolio auto|fixed:ARM|race:ARM,ARM]
+                      [--improve off|greedy|ga[:I,P]] [--improve-budget-us N]
+  pcmax improve FILE|- [--improve greedy|ga[:I,P]] [--improve-budget-us N]
+                      [--seed N] [--eval rayon|warp]
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--repr auto|dense|sparse] [--mem-budget BYTES]
                       [--store-dir DIR] [--out FILE]
                       [--portfolio auto|fixed:ARM|race:ARM,ARM] [--gate-portfolio]
+                      [--improve off|greedy|ga[:I,P]] [--improve-budget-us N]
+                      [--gate-improve]
   pcmax bench-sparse  [--seed N] [--jobs N] [--machines N] [--k N]
                       [--base N] [--spread N] [--mem-budget BYTES]
                       [--max-resident-pct F] [--out FILE]
@@ -91,7 +97,7 @@ USAGE:
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
   pcmax audit         [--seeds N] [--k N] [--max-cells N]
-                      [--engine sparse|portfolio] [--out FILE]
+                      [--engine sparse|portfolio|improve] [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -136,7 +142,25 @@ one arm), or `race:A,B` (always race two). ARM is one of lptrev,
 multifit, exact, dense, sparse. `--gate-portfolio` on `bench-serve`
 reruns the workload once per fixed arm and exits non-zero if the auto
 policy's mean latency exceeds the *worst* fixed arm's — the selector
-must never cost more than naively pinning the wrong arm.";
+must never cost more than naively pinning the wrong arm. `--improve` on
+`serve`/`bench-serve` turns on the anytime improver: after the
+portfolio answers, leftover request deadline (capped at
+`--improve-budget-us`, default 2000) is spent refining the schedule —
+`greedy` is deterministic move/swap descent, `ga:I,P` follows descent
+with an island genetic algorithm (I islands of P chromosomes, ring
+migration); the reply's makespan and assignment are the refined ones
+and its guarantee is tightened a-posteriori, never loosened. Every ok
+reply also carries `gap_ppm`, the achieved-vs-lower-bound gap in parts
+per million. `--gate-improve` on `bench-serve` reruns the workload with
+the improver off and exits non-zero unless the improved mean gap beats
+the unimproved one. `pcmax improve` runs the same pipeline once on an
+instance file (`-` reads stdin), seeding from the better of
+LPT-revisited and MULTIFIT, and prints a JSON report with the final
+assignment; `--eval warp` mirrors fitness evaluation on the gpu-sim
+warp model (bit-for-bit identical answers, modeled kernel timings on
+the obs registry). `--engine improve` on `audit` restricts the sweep to
+the improver gauntlet (monotonicity, validity, a-posteriori guarantee,
+fixed-seed determinism, rayon/warp-model agreement).";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -432,6 +456,15 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
         portfolio: flag(args, "--portfolio")
             .unwrap_or("auto")
             .parse::<pcmax::PortfolioPolicy>()?,
+        improve: flag(args, "--improve")
+            .map(str::parse::<pcmax::ImproveMode>)
+            .transpose()?
+            .unwrap_or(defaults.improve),
+        improve_budget: Duration::from_micros(flag_parse(
+            args,
+            "--improve-budget-us",
+            defaults.improve_budget.as_micros() as u64,
+        )?),
         ..defaults
     })
 }
@@ -453,6 +486,84 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// One-shot anytime improvement: read an instance (FILE, or `-` for
+/// stdin), seed with the better of LPT-revisited and MULTIFIT, spend
+/// the budget improving it, and print a JSON report carrying the final
+/// assignment. The same `--improve` / `--improve-budget-us` knobs as
+/// `serve`, defaulting to the full GA pipeline since a one-shot caller
+/// is not under a request deadline.
+fn cmd_improve(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("improve needs an instance file (or `-` for stdin)")?;
+    let inst = if path == "-" {
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        pcmax::core::io::parse_instance(&text)?
+    } else {
+        load_instance(path)?
+    };
+    let defaults = pcmax::ImproveConfig::default();
+    let cfg = pcmax::ImproveConfig {
+        mode: flag(args, "--improve")
+            .map(str::parse::<pcmax::ImproveMode>)
+            .transpose()?
+            .unwrap_or(pcmax::ImproveMode::DEFAULT_GA),
+        budget: Duration::from_micros(flag_parse(
+            args,
+            "--improve-budget-us",
+            defaults.budget.as_micros() as u64,
+        )?),
+        seed: flag_parse(args, "--seed", defaults.seed)?,
+        eval: flag(args, "--eval")
+            .map(str::parse::<pcmax::EvalPath>)
+            .transpose()?
+            .unwrap_or(defaults.eval),
+        ..defaults
+    };
+    let (seed_schedule, engine, _) = pcmax::serve::heuristic_best(&inst);
+    let initial = seed_schedule.validate(&inst)?;
+    let out = pcmax::improve::improve(&inst, &seed_schedule, &cfg)?;
+    let final_ms = out.schedule.validate(&inst)?;
+    if final_ms != out.makespan {
+        return Err(format!(
+            "improver reported makespan {} but schedule realises {final_ms}",
+            out.makespan
+        ));
+    }
+    let lb = lower_bound(&inst);
+    let mut w = pcmax::obs::JsonWriter::new();
+    w.begin_object()
+        .field_str("seed_engine", &engine.to_string())
+        .field_str("mode", &cfg.mode.to_string())
+        .field_u64("lower_bound", lb)
+        .field_u64("initial_makespan", initial)
+        .field_u64("final_makespan", final_ms)
+        .field_u64("initial_gap_ppm", Guarantee::gap_ppm(initial, lb))
+        .field_u64("final_gap_ppm", Guarantee::gap_ppm(final_ms, lb))
+        .key("stats")
+        .begin_object()
+        .field_u64("rounds", out.stats.rounds)
+        .field_u64("accepted_moves", out.stats.accepted_moves)
+        .field_u64("generations", out.stats.generations)
+        .field_u64("evaluations", out.stats.evaluations)
+        .field_u64("budget_used_us", out.stats.budget_used_us)
+        .end_object()
+        .field_str(
+            "assignment",
+            &out.schedule
+                .assignment()
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .end_object();
+    println!("{}", w.finish());
+    Ok(())
 }
 
 fn cluster_config_from_flags(args: &[String]) -> Result<ClusterConfig, String> {
@@ -662,13 +773,40 @@ struct BenchServeLoad {
     deadline_ms: u64,
 }
 
+/// What one bench-serve workload produced: sorted client-side
+/// latencies, sorted per-reply a-posteriori gaps (ppm vs the area/max
+/// lower bound), the degraded count, and the service's final report.
+struct BenchServeOutcome {
+    latencies: Vec<Duration>,
+    gaps_ppm: Vec<u64>,
+    degraded: usize,
+    report: pcmax::serve::ServiceReport,
+}
+
+impl BenchServeOutcome {
+    fn mean_latency(&self) -> Duration {
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+
+    fn mean_gap_ppm(&self) -> u64 {
+        let n = self.gaps_ppm.len() as u128;
+        (self.gaps_ppm.iter().map(|&g| g as u128).sum::<u128>() / n.max(1)) as u64
+    }
+
+    fn p99_gap_ppm(&self) -> u64 {
+        let n = self.gaps_ppm.len();
+        self.gaps_ppm[((n - 1) as f64 * 0.99) as usize]
+    }
+}
+
 /// Starts a fresh service from `config`, drives the workload over
-/// loopback, and returns sorted client-side latencies, the degraded
-/// count, and the service's final report.
+/// loopback, and returns the [`BenchServeOutcome`]. Every reply's
+/// assignment is re-validated client-side: the recomputed makespan must
+/// equal the reported one, or the bench fails.
 fn bench_serve_run(
     config: pcmax::ServeConfig,
     load: BenchServeLoad,
-) -> Result<(Vec<Duration>, usize, pcmax::serve::ServiceReport), String> {
+) -> Result<BenchServeOutcome, String> {
     let service = pcmax::Service::start(config);
     let handle =
         serve_tcp(Arc::clone(&service), "127.0.0.1:0").map_err(|e| format!("binding: {e}"))?;
@@ -682,7 +820,7 @@ fn bench_serve_run(
         epsilon,
         deadline_ms,
     } = load;
-    let worker = move |client_id: usize| -> Result<Vec<(Duration, bool)>, String> {
+    let worker = move |client_id: usize| -> Result<Vec<(Duration, bool, u64)>, String> {
         let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
         let mut samples = Vec::with_capacity(requests);
         for r in 0..requests {
@@ -696,11 +834,17 @@ fn bench_serve_run(
                 Some(Duration::from_millis(deadline_ms)),
             )?;
             let elapsed = start.elapsed();
-            reply
+            let recomputed = reply
                 .schedule
                 .validate(&inst)
                 .map_err(|e| format!("invalid schedule from server: {e}"))?;
-            samples.push((elapsed, reply.degraded));
+            if recomputed != reply.makespan {
+                return Err(format!(
+                    "assignment realises makespan {recomputed}, server reported {}",
+                    reply.makespan
+                ));
+            }
+            samples.push((elapsed, reply.degraded, reply.gap_ppm));
         }
         Ok(samples)
     };
@@ -708,18 +852,26 @@ fn bench_serve_run(
         .map(|c| std::thread::spawn(move || worker(c)))
         .collect();
     let mut latencies: Vec<Duration> = Vec::new();
+    let mut gaps_ppm: Vec<u64> = Vec::new();
     let mut degraded = 0usize;
     for h in handles {
-        for (latency, was_degraded) in h.join().map_err(|_| "client thread panicked")?? {
+        for (latency, was_degraded, gap) in h.join().map_err(|_| "client thread panicked")?? {
             latencies.push(latency);
+            gaps_ppm.push(gap);
             degraded += usize::from(was_degraded);
         }
     }
     latencies.sort_unstable();
+    gaps_ppm.sort_unstable();
     let report = service.report();
     handle.shutdown();
     service.shutdown();
-    Ok((latencies, degraded, report))
+    Ok(BenchServeOutcome {
+        latencies,
+        gaps_ppm,
+        degraded,
+        report,
+    })
 }
 
 fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
@@ -734,6 +886,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     };
     let out_path = flag(args, "--out").unwrap_or("BENCH_serve.json");
     let gate = args.iter().any(|a| a == "--gate-portfolio");
+    let gate_improve_on = args.iter().any(|a| a == "--gate-improve");
     if load.clients == 0 || load.requests == 0 || load.distinct == 0 {
         return Err("--clients, --requests, and --distinct must be positive".into());
     }
@@ -741,14 +894,21 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     pcmax::obs::set_enabled(true);
     let config = serve_config_from_flags(args)?;
     let policy = config.portfolio;
+    let improve_mode = config.improve;
     eprintln!(
-        "bench: {} clients x {} requests over {} distinct instances ({} jobs, {} machines), portfolio {policy}",
+        "bench: {} clients x {} requests over {} distinct instances ({} jobs, {} machines), portfolio {policy}, improve {improve_mode}",
         load.clients, load.requests, load.distinct, load.jobs, load.machines
     );
-    let (latencies, degraded, report) = bench_serve_run(config, load)?;
+    let outcome = bench_serve_run(config, load)?;
+    let BenchServeOutcome {
+        ref latencies,
+        degraded,
+        ref report,
+        ..
+    } = outcome;
     let total = latencies.len();
     let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
-    let mean: Duration = latencies.iter().sum::<Duration>() / total as u32;
+    let mean: Duration = outcome.mean_latency();
     let reg = pcmax::obs::registry::global();
     println!("requests      {total} ({degraded} degraded)");
     println!(
@@ -782,6 +942,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         report.store.rehydrated,
         report.store.disk_hits,
         report.store.appends
+    );
+    println!(
+        "gap           mean {} ppm, p99 {} ppm vs lower bound",
+        outcome.mean_gap_ppm(),
+        outcome.p99_gap_ppm()
+    );
+    println!(
+        "improve       {} runs, {} improved the portfolio answer",
+        report.improve.runs, report.improve.improved
     );
     println!(
         "portfolio     {} races ({} primary wins, {} racer wins, {:.1}% race rate)",
@@ -819,6 +988,14 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         .field_u64("p90", pct(0.9).as_micros() as u64)
         .field_u64("p99", pct(0.99).as_micros() as u64)
         .field_u64("max", pct(1.0).as_micros() as u64)
+        .end_object()
+        // Solution quality: per-reply a-posteriori gap vs the area/max
+        // lower bound, in parts per million — the figure the anytime
+        // improver exists to shrink.
+        .key("gap_ppm")
+        .begin_object()
+        .field_u64("mean", outcome.mean_gap_ppm())
+        .field_u64("p99", outcome.p99_gap_ppm())
         .end_object()
         // Per-tier effectiveness: how often the RAM cache answered, how
         // often the warm disk tier rescued a RAM miss, and what a disk
@@ -867,6 +1044,43 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     if gate {
         gate_portfolio(args, load, mean)?;
     }
+    if gate_improve_on {
+        if improve_mode == pcmax::ImproveMode::Off {
+            return Err("--gate-improve needs the improver on (pass --improve greedy|ga)".into());
+        }
+        gate_improve(args, load, &outcome)?;
+    }
+    Ok(())
+}
+
+/// `--gate-improve`: rerun the identical workload with the improver off
+/// and fail when the improved mean gap is not an improvement — equal is
+/// a failure too whenever the unimproved run left any gap to close. The
+/// workload is deterministic (seeded instances, deterministic descent,
+/// caps that bind before the wall clock), so this is a regression gate,
+/// not a flaky benchmark.
+fn gate_improve(
+    args: &[String],
+    load: BenchServeLoad,
+    improved: &BenchServeOutcome,
+) -> Result<(), String> {
+    let mut config = serve_config_from_flags(args)?;
+    config.improve = pcmax::ImproveMode::Off;
+    let baseline = bench_serve_run(config, load)?;
+    let (on, off) = (improved.mean_gap_ppm(), baseline.mean_gap_ppm());
+    eprintln!("gate: improve mean gap {on} ppm vs off {off} ppm (p99 {} vs {})",
+        improved.p99_gap_ppm(), baseline.p99_gap_ppm());
+    if on > off {
+        return Err(format!(
+            "improve gate failed: improver worsened the mean gap ({on} ppm vs {off} ppm off)"
+        ));
+    }
+    if on == off && off > 0 {
+        return Err(format!(
+            "improve gate failed: improver closed none of the {off} ppm mean gap"
+        ));
+    }
+    eprintln!("gate: pass");
     Ok(())
 }
 
@@ -882,8 +1096,7 @@ fn gate_portfolio(args: &[String], load: BenchServeLoad, auto_mean: Duration) ->
     for arm in ["lptrev", "multifit", "dense", "sparse"] {
         let mut config = serve_config_from_flags(args)?;
         config.portfolio = format!("fixed:{arm}").parse()?;
-        let (latencies, _, _) = bench_serve_run(config, load)?;
-        let mean = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+        let mean = bench_serve_run(config, load)?.mean_latency();
         eprintln!("gate: fixed:{arm:<9} mean {mean:.1?}");
         if mean > worst_fixed {
             worst_fixed = mean;
@@ -1212,10 +1425,10 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
     let engine_filter = match flag(args, "--engine") {
         None => None,
-        Some(f @ ("sparse" | "portfolio")) => Some(f.to_string()),
+        Some(f @ ("sparse" | "portfolio" | "improve")) => Some(f.to_string()),
         Some(other) => {
             return Err(format!(
-                "unknown audit engine filter `{other}` (sparse|portfolio)"
+                "unknown audit engine filter `{other}` (sparse|portfolio|improve)"
             ))
         }
     };

@@ -40,6 +40,7 @@
 //! | [`pcmax_gpu`] | the paper's GPU algorithm (Algorithms 3–5) on the simulator |
 //! | [`pcmax_store`] | paged table memory: tiered RAM/disk page store, byte budgets, warm-start log |
 //! | [`pcmax_sparse`] | sparsified configuration DP: reachable-cell frontier, dominance pruning, representation predictor |
+//! | [`pcmax_improve`] | anytime schedule improvement: move/swap descent, island GA, warp-model fitness mirror |
 //! | [`pcmax_serve`] | the solver service: batching, DP memo cache, deadlines, TCP front-end |
 //! | [`pcmax_cluster`] | sharded multi-worker serving: cache-affinity routing, health checks, failover |
 //! | [`pcmax_obs`] | observability: spans, counters, log₂ histograms, timelines, JSON export |
@@ -61,6 +62,9 @@ pub use pcmax_sparse::{
     self as sparse, PlannedRepr, SparsePrediction, SparseProblem, SparseSolution,
 };
 pub use pcmax_gpu::{self as gpu, GpuPtasConfig, TableAnalysis};
+pub use pcmax_improve::{
+    self as improve, EvalPath, ImproveConfig, ImproveMode, ImproveOutcome, ImproveStats,
+};
 pub use pcmax_obs::{self as obs};
 pub use pcmax_serve::{
     self as serve, Arm, Client, PortfolioPolicy, ReprPolicy, ServeConfig, ServeError, Service,

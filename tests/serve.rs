@@ -358,6 +358,61 @@ fn racing_service_is_deterministic_and_its_counters_reconcile() {
 }
 
 #[test]
+fn improver_replies_round_trip_assignments_and_tighten_the_gap() {
+    // Pinned to LPT-revisited: deterministic, and on this instance its
+    // answer is not move/swap-local-optimal — so the improved run below
+    // can demand a *strict* gap win over the plain run, not just
+    // monotonicity.
+    let inst = uniform(1, 40, 6, 1, 100);
+    let base = ServeConfig {
+        portfolio: "fixed:lptrev".parse().expect("policy"),
+        ..ServeConfig::default()
+    };
+
+    let (service, addr, handle) = start_service(base.clone());
+    let mut client = Client::connect(addr).expect("connect");
+    let plain = client
+        .solve(&inst, Some(0.3), Some(Duration::from_secs(10)))
+        .expect("solve");
+    let plain_ms = plain.schedule.validate(&inst).expect("valid schedule");
+    assert_eq!(plain_ms, plain.makespan, "assignment must realise the reported makespan");
+    assert_eq!(
+        plain.gap_ppm,
+        pcmax::Guarantee::gap_ppm(plain.makespan, pcmax::lower_bound(&inst)),
+        "gap_ppm travels the wire even with the improver off"
+    );
+    assert_eq!(service.report().improve.runs, 0, "the improver defaults to off");
+    handle.shutdown();
+    service.shutdown();
+
+    let (service, addr, handle) = start_service(ServeConfig {
+        improve: pcmax::ImproveMode::Greedy,
+        improve_budget: Duration::from_millis(50),
+        ..base
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let refined = client
+        .solve(&inst, Some(0.3), Some(Duration::from_secs(10)))
+        .expect("solve");
+    let refined_ms = refined.schedule.validate(&inst).expect("valid refined schedule");
+    assert_eq!(refined_ms, refined.makespan, "refined assignment round-trips the wire");
+    assert!(
+        refined.makespan < plain.makespan,
+        "descent must strictly improve LPT-revisited here ({} vs {})",
+        refined.makespan,
+        plain.makespan
+    );
+    assert!(refined.gap_ppm < plain.gap_ppm, "{} vs {}", refined.gap_ppm, plain.gap_ppm);
+    // A-posteriori tightening only ever shrinks the certificate.
+    assert!(refined.guarantee.ratio() <= plain.guarantee.ratio());
+    let report = service.report();
+    assert_eq!(report.improve.runs, 1);
+    assert_eq!(report.improve.improved, 1);
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn overflowing_total_work_is_rejected_at_the_wire_and_the_connection_survives() {
     use std::io::{BufRead, BufReader, Write};
 
