@@ -9,9 +9,17 @@
 //! Only the frontier block-levels need RAM; everything colder demotes to
 //! the store's disk tier under its byte budget — this is what makes
 //! tables exceeding RAM solvable at all.
+//!
+//! Pages are packed at a [`CellWidth`] the caller picks from the
+//! table's value upper bound (the DP's `OPT(v) ≤ Σ counts`), so a table
+//! whose cells fit a `u8` spends a quarter of the bytes — and the same
+//! byte budget holds 4× the blocks resident. The overlapped sweep's
+//! background streams use [`PagedTable::prefetch_block`] /
+//! [`PagedTable::write_behind_block`], which map straight onto the
+//! store's staging-ring prefetch and resident write-behind.
 
 use crate::blocked::BlockedLayout;
-use pcmax_store::{StoreError, TieredStore};
+use pcmax_store::{CellWidth, Page, StoreError, TieredStore};
 use std::sync::Arc;
 
 /// A blocked table whose blocks live in a tiered page store.
@@ -22,19 +30,29 @@ use std::sync::Arc;
 pub struct PagedTable {
     layout: BlockedLayout,
     store: Arc<TieredStore>,
+    width: CellWidth,
 }
 
 impl PagedTable {
-    /// Wraps `store` as the backing for tables of `layout`. The handle
-    /// is shared: callers keep their clone to read
-    /// [`TieredStore::stats`] after the sweep.
-    pub fn new(layout: BlockedLayout, store: Arc<TieredStore>) -> Self {
-        Self { layout, store }
+    /// Wraps `store` as the backing for tables of `layout`, packing
+    /// committed blocks at `width`. The handle is shared: callers keep
+    /// their clone to read [`TieredStore::stats`] after the sweep.
+    pub fn new(layout: BlockedLayout, store: Arc<TieredStore>, width: CellWidth) -> Self {
+        Self {
+            layout,
+            store,
+            width,
+        }
     }
 
     /// The block layout pages map onto.
     pub fn layout(&self) -> &BlockedLayout {
         &self.layout
+    }
+
+    /// The cell width committed blocks are packed at.
+    pub fn width(&self) -> CellWidth {
+        self.width
     }
 
     /// The backing store (for stats and budget introspection).
@@ -47,18 +65,22 @@ impl PagedTable {
         self.store
     }
 
-    /// Commits a finished block's cells as the page `block_flat`.
+    /// Commits a finished block's cells as the page `block_flat`,
+    /// packed at the table's width.
     ///
     /// # Panics
     ///
-    /// Panics if `cells` is not exactly one block long.
+    /// Panics if `cells` is not exactly one block long, or if a finite
+    /// cell does not fit the width (a width-selection bug, never data
+    /// dependent when the width came from a sound upper bound).
     pub fn commit_block(&self, block_flat: usize, cells: Vec<u32>) -> Result<(), StoreError> {
         assert_eq!(
             cells.len(),
             self.layout.cells_per_block(),
             "page must be exactly one block"
         );
-        self.store.put(block_flat as u64, Arc::new(cells))
+        self.store
+            .put(block_flat as u64, Arc::new(Page::pack(&cells, self.width)))
     }
 
     /// Faults the page of block `block_flat` in from the store.
@@ -66,12 +88,28 @@ impl PagedTable {
     /// A missing page is [`StoreError::Corrupt`]: the sweep commits every
     /// block of a level before any later level reads it, so absence means
     /// the store lost a page.
-    pub fn fault_block(&self, block_flat: usize) -> Result<Arc<Vec<u32>>, StoreError> {
+    pub fn fault_block(&self, block_flat: usize) -> Result<Arc<Page>, StoreError> {
         self.store
             .get(block_flat as u64)?
             .ok_or_else(|| StoreError::Corrupt {
                 detail: format!("page {block_flat} missing from store"),
             })
+    }
+
+    /// Prefetches block `block_flat` off the compute path: reads the
+    /// spilled page into the store's staging ring, where the next fault
+    /// of this block is served without a disk stall. Resident pages are
+    /// never disturbed; quietly yields when the block is resident or
+    /// not spilled. Returns whether a disk read was issued.
+    pub fn prefetch_block(&self, block_flat: usize) -> Result<bool, StoreError> {
+        self.store.prefetch(block_flat as u64)
+    }
+
+    /// Pre-writes block `block_flat`'s spill file while keeping the
+    /// page resident, so a later demotion frees the RAM without
+    /// stalling on the write. Returns whether a file was written.
+    pub fn write_behind_block(&self, block_flat: usize) -> Result<bool, StoreError> {
+        self.store.write_behind(block_flat as u64)
     }
 
     /// Gathers every page back into one row-major table (the paged
@@ -84,9 +122,9 @@ impl PagedTable {
         let mut idx = vec![0usize; shape.ndim()];
         for bf in 0..self.layout.num_blocks() {
             let page = self.fault_block(bf)?;
-            for (in_flat, &val) in page.iter().enumerate() {
+            for in_flat in 0..page.len() {
                 self.layout.unblock_into(bf * cpb + in_flat, &mut idx);
-                out[shape.flatten(&idx)] = val;
+                out[shape.flatten(&idx)] = page.get(in_flat);
             }
         }
         Ok(out)
@@ -129,7 +167,7 @@ mod tests {
             })
             .unwrap(),
         );
-        let paged = PagedTable::new(l.clone(), store);
+        let paged = PagedTable::new(l.clone(), store, CellWidth::U32);
 
         // Reference data: row-major cell values = their own flat index.
         let data: Vec<u32> = (0..l.shape().size() as u32).collect();
@@ -144,9 +182,104 @@ mod tests {
         // Faulting any block returns exactly its contiguous cells.
         for bf in [0, 5, l.num_blocks() - 1] {
             let page = paged.fault_block(bf).unwrap();
-            assert_eq!(&*page, &blocked[l.block_region(bf)]);
+            assert_eq!(page.to_cells(), &blocked[l.block_region(bf)]);
         }
         assert_eq!(paged.gather().unwrap(), data);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn packed_widths_roundtrip_and_cut_resident_bytes() {
+        // The same table committed at u8 width must read back
+        // identically while each page costs a quarter of the payload
+        // bytes — the packing contract the budget relies on.
+        let dir = tmp_dir("packed");
+        let l = layout(&[8, 8, 8], &[2, 2, 2]);
+        let store = Arc::new(
+            TieredStore::open(&StoreConfig {
+                budget: StoreBudget::bytes(1 << 20),
+                spill_dir: Some(dir.clone()),
+            })
+            .unwrap(),
+        );
+        let paged = PagedTable::new(l.clone(), store, CellWidth::U8);
+        assert_eq!(paged.width(), CellWidth::U8);
+        // Values small enough for u8, plus the infeasible sentinel.
+        let data: Vec<u32> = (0..l.shape().size() as u32)
+            .map(|i| if i % 7 == 0 { u32::MAX } else { i % 200 })
+            .collect();
+        let blocked = l.reorganize(&data);
+        for bf in 0..l.num_blocks() {
+            paged
+                .commit_block(bf, blocked[l.block_region(bf)].to_vec())
+                .unwrap();
+        }
+        assert_eq!(paged.gather().unwrap(), data);
+        let stats = paged.store().stats();
+        let unpacked = pcmax_store::page_bytes(l.cells_per_block()) * l.num_blocks() as u64;
+        assert!(
+            stats.ram_bytes * 2 < unpacked,
+            "u8 packing must cut resident bytes: {} vs {unpacked}",
+            stats.ram_bytes
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetched_blocks_fault_back_without_a_stall() {
+        let dir = tmp_dir("prefetch");
+        let l = layout(&[4, 4], &[2, 2]);
+        let cpb = l.cells_per_block();
+        let store = Arc::new(
+            TieredStore::open(&StoreConfig {
+                budget: StoreBudget::bytes(2 * pcmax_store::page_bytes(cpb)),
+                spill_dir: Some(dir.clone()),
+            })
+            .unwrap(),
+        );
+        let paged = PagedTable::new(l.clone(), store, CellWidth::U32);
+        let data: Vec<u32> = (0..l.shape().size() as u32).collect();
+        let blocked = l.reorganize(&data);
+        for bf in 0..l.num_blocks() {
+            paged
+                .commit_block(bf, blocked[l.block_region(bf)].to_vec())
+                .unwrap();
+        }
+        // Four pages, budget two: the oldest spilled. Prefetching a
+        // spilled block stages it without disturbing the resident
+        // pages; its first fault is then served from the staging ring.
+        let stats = paged.store().stats();
+        assert!(stats.demotions >= 2, "{stats:?}");
+        let ram_bytes = stats.ram_bytes;
+        assert!(paged.prefetch_block(0).unwrap());
+        assert_eq!(paged.store().stats().ram_bytes, ram_bytes);
+        let faults = paged.store().stats().faults;
+        paged.fault_block(0).unwrap();
+        let stats = paged.store().stats();
+        assert_eq!(stats.faults, faults, "prefetched block must not stall");
+        assert_eq!(stats.prefetch_hits, 1, "{stats:?}");
+        // The write-behind stream still pre-writes resident blocks so a
+        // later demotion frees their RAM without a spill write.
+        let wrote: usize = (0..l.num_blocks())
+            .filter(|&bf| paged.write_behind_block(bf).unwrap())
+            .count();
+        assert!(wrote >= 1, "resident dirty blocks must pre-write");
+        // A fresh store (process restart) with headroom: prefetching a
+        // spilled block makes the later fault a RAM hit — no stall.
+        let roomy = Arc::new(
+            TieredStore::open(&StoreConfig {
+                budget: StoreBudget::bytes(8 * pcmax_store::page_bytes(cpb)),
+                spill_dir: Some(dir.clone()),
+            })
+            .unwrap(),
+        );
+        let paged = PagedTable::new(l.clone(), roomy, CellWidth::U32);
+        assert!(paged.prefetch_block(0).unwrap());
+        let page = paged.fault_block(0).unwrap();
+        assert_eq!(page.to_cells(), &blocked[l.block_region(0)]);
+        let stats = paged.store().stats();
+        assert_eq!(stats.faults, 0, "prefetched block must not stall: {stats:?}");
+        assert_eq!(stats.prefetch_hits, 1, "{stats:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -155,6 +288,7 @@ mod tests {
         let paged = PagedTable::new(
             layout(&[4, 4], &[2, 2]),
             Arc::new(TieredStore::open(&StoreConfig::default()).unwrap()),
+            CellWidth::U32,
         );
         assert!(matches!(
             paged.fault_block(1),

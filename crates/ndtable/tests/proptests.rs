@@ -3,7 +3,9 @@
 
 use ndtable::partition::{sqrt_descent_divisor, DivisorRule};
 use ndtable::{BlockLevels, BlockedLayout, Divisor, PagedTable, Shape};
-use pcmax_store::{decode_page, encode_page, page_bytes, StoreConfig, StoreError, TieredStore};
+use pcmax_store::{
+    decode_page, encode_page, page_bytes, CellWidth, StoreConfig, StoreError, TieredStore,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -196,7 +198,9 @@ proptest! {
         // row-major original — the store never aliases or loses a page.
         let layout = BlockedLayout::new(shape.clone(), random_divisor(&shape, seed));
         let store = Arc::new(TieredStore::open(&StoreConfig::default()).unwrap());
-        let paged = PagedTable::new(layout.clone(), store);
+        // Cell values reach shape.size(); pick the matching safe width.
+        let width = CellWidth::for_max_value(shape.size() as u64);
+        let paged = PagedTable::new(layout.clone(), store, width);
         let data: Vec<u32> = (0..shape.size() as u32).collect();
         let blocked = layout.reorganize(&data);
         for bf in 0..layout.num_blocks() {
@@ -204,7 +208,7 @@ proptest! {
         }
         for bf in 0..layout.num_blocks() {
             let page = paged.fault_block(bf).unwrap();
-            prop_assert_eq!(&page[..], &blocked[layout.block_region(bf)]);
+            prop_assert_eq!(page.to_cells(), &blocked[layout.block_region(bf)]);
         }
         prop_assert_eq!(paged.gather().unwrap(), data);
     }

@@ -369,6 +369,88 @@ pub fn check_paged_store(inst: &Instance, ctx: &mut CheckCtx<'_>) {
     }
 }
 
+/// Differential check of the *overlapped* paged sweep (ISSUE 9): with
+/// prefetch and write-behind streams running alongside the compute
+/// path, the table must stay bit-identical to both the synchronous
+/// paged sweep and the in-RAM Sequential engine — under a starvation
+/// budget that forces every block through disk, and under a roomy one
+/// where the streams mostly idle. The overlapped sweep must also never
+/// take *more* compute-path faults than the synchronous one: prefetched
+/// pages only ever turn stalls into RAM hits.
+pub fn check_paged_overlap(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    let lb = bounds::lower_bound(inst);
+    let ub = bounds::upper_bound(inst);
+    let target = interval::bisection_target(lb, ub);
+    let rounding = match Rounding::compute(inst, target, ctx.k) {
+        RoundingOutcome::Infeasible { .. } => return,
+        RoundingOutcome::Rounded(r) => r,
+    };
+    let problem = DpProblem::from_rounding(&rounding);
+    if problem.table_size() > (1 << 16) || problem.table_size() > ctx.max_table_cells {
+        return;
+    }
+    let reference = problem.solve(DpEngine::Sequential);
+    let dir = scratch_dir(ctx, "overlap");
+    for (tag, budget) in [("starved", 4096u64), ("roomy", 1 << 20)] {
+        ctx.bump();
+        let open = |sub: &str| {
+            TieredStore::open(&StoreConfig {
+                budget: StoreBudget::bytes(budget),
+                spill_dir: Some(dir.join(format!("{tag}-{sub}"))),
+            })
+            .map(std::sync::Arc::new)
+        };
+        let sync = open("off").and_then(|store| {
+            problem
+                .solve_paged(2, std::sync::Arc::clone(&store))
+                .map(|sol| (sol, store.stats()))
+        });
+        let overlapped = open("on").and_then(|store| {
+            problem
+                .solve_paged_overlapped(2, std::sync::Arc::clone(&store))
+                .map(|sol| (sol, store.stats()))
+        });
+        match (sync, overlapped) {
+            (Ok((sync_sol, sync_stats)), Ok((ovl_sol, ovl_stats))) => {
+                if ovl_sol.opt != reference.opt || sync_sol.opt != reference.opt {
+                    ctx.diverge(
+                        "paged-overlap-opt",
+                        format!(
+                            "{tag}: overlapped OPT {} / sync OPT {} vs Sequential {}",
+                            ovl_sol.opt, sync_sol.opt, reference.opt
+                        ),
+                    );
+                }
+                if ovl_sol.values != reference.values || ovl_sol.values != sync_sol.values {
+                    let cell = ovl_sol
+                        .values
+                        .iter()
+                        .zip(&reference.values)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0);
+                    ctx.diverge(
+                        "paged-overlap-cells",
+                        format!("{tag}: overlapped table diverges at cell {cell}"),
+                    );
+                }
+                if ovl_stats.faults > sync_stats.faults {
+                    ctx.diverge(
+                        "paged-overlap-faults",
+                        format!(
+                            "{tag}: overlap-on took {} compute-path faults vs {} overlap-off",
+                            ovl_stats.faults, sync_stats.faults
+                        ),
+                    );
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                ctx.diverge("paged-overlap-solve", format!("{tag}: solve failed: {e}"))
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Differential check of the sparse frontier engine against every dense
 /// engine: `OPT(N)` must agree across all five, every retained frontier
 /// cell must carry exactly the dense table's value at that index, an

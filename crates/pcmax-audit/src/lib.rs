@@ -58,12 +58,15 @@ pub struct AuditConfig {
     /// correctness); keeps adversarial cases within memory bounds.
     pub max_table_cells: usize,
     /// Restrict the sweep to the checks exercising one engine
-    /// (`--engine sparse` / `--engine portfolio` / `--engine improve`
-    /// on the CLI). `None` runs everything; `Some("sparse")` runs only
-    /// [`checks::check_sparse_engine`] per case; `Some("portfolio")`
-    /// runs only [`checks::check_portfolio`] (every arm on every case);
-    /// `Some("improve")` runs only [`checks::check_improver`] (both
-    /// improver modes on every case). Unrecognised names run nothing
+    /// (`--engine sparse` / `--engine portfolio` / `--engine improve` /
+    /// `--engine paged` on the CLI). `None` runs everything;
+    /// `Some("sparse")` runs only [`checks::check_sparse_engine`] per
+    /// case; `Some("portfolio")` runs only [`checks::check_portfolio`]
+    /// (every arm on every case); `Some("improve")` runs only
+    /// [`checks::check_improver`] (both improver modes on every case);
+    /// `Some("paged")` runs the paged-store contract plus the
+    /// overlapped-sweep differential ([`checks::check_paged_store`] and
+    /// [`checks::check_paged_overlap`]). Unrecognised names run nothing
     /// and are rejected by the CLI before reaching here.
     pub engine_filter: Option<String>,
 }
@@ -90,7 +93,8 @@ pub fn run(config: &AuditConfig) -> AuditReport {
     let sparse_only = config.engine_filter.as_deref() == Some("sparse");
     let portfolio_only = config.engine_filter.as_deref() == Some("portfolio");
     let improve_only = config.engine_filter.as_deref() == Some("improve");
-    let filtered = sparse_only || portfolio_only || improve_only;
+    let paged_only = config.engine_filter.as_deref() == Some("paged");
+    let filtered = sparse_only || portfolio_only || improve_only || paged_only;
     for seed in 0..config.seeds {
         // The gate check is instance-independent; audit it once per seed
         // so a regression still fails fast on `--seeds 1`.
@@ -127,10 +131,16 @@ pub fn run(config: &AuditConfig) -> AuditReport {
                 checks::check_improver(&case.instance, &mut ctx);
                 continue;
             }
+            if paged_only {
+                checks::check_paged_store(&case.instance, &mut ctx);
+                checks::check_paged_overlap(&case.instance, &mut ctx);
+                continue;
+            }
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
             checks::check_paged_store(&case.instance, &mut ctx);
+            checks::check_paged_overlap(&case.instance, &mut ctx);
             checks::check_sparse_engine(&case.instance, &mut ctx);
             checks::check_warm_rehydrate(&case.instance, &mut ctx);
             checks::check_ptas_invariant(&case.instance, &mut ctx);
@@ -213,6 +223,28 @@ mod tests {
         assert_eq!(filtered.cases, full.cases);
         // Greedy (1) + GA (1 + determinism + eval-path) per case.
         assert_eq!(filtered.checks, filtered.cases as u64 * 4);
+        assert!(
+            filtered.checks < full.checks,
+            "filtered {} vs full {}",
+            filtered.checks,
+            full.checks
+        );
+        assert!(filtered.is_clean(), "divergences: {:#?}", filtered.divergences);
+    }
+
+    #[test]
+    fn paged_filter_runs_store_and_overlap_checks_only() {
+        let full = run(&AuditConfig {
+            seeds: 2,
+            ..AuditConfig::default()
+        });
+        let filtered = run(&AuditConfig {
+            seeds: 2,
+            engine_filter: Some("paged".to_string()),
+            ..AuditConfig::default()
+        });
+        assert_eq!(filtered.cases, full.cases);
+        assert!(filtered.checks > 0, "filter must still exercise cases");
         assert!(
             filtered.checks < full.checks,
             "filtered {} vs full {}",

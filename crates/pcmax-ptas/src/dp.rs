@@ -27,7 +27,7 @@ use crate::config::for_each_config;
 use crate::rounding::Rounding;
 use ndtable::partition::DivisorRule;
 use ndtable::{BlockLevels, BlockedLayout, Divisor, LevelBuckets, PagedTable, Shape};
-use pcmax_store::{StoreError, TieredStore};
+use pcmax_store::{CellWidth, Page, StoreError, TieredStore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -104,6 +104,56 @@ pub enum DpEngine {
         /// Maximum number of dimensions the divisor may split.
         dim_limit: usize,
     },
+}
+
+/// Knobs of the paged (store-backed) sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PagedOptions {
+    /// Run the background prefetch/write-behind streams alongside each
+    /// block-level's compute (the paper's Alg. 4 stream round-robin).
+    /// Off by default: the synchronous sweep is the differential
+    /// baseline the overlapped one must match bit-for-bit.
+    pub overlap: bool,
+}
+
+/// Every block the next block-level's sweep can fault: blocks
+/// componentwise-dominated by a block of `next`, restricted to
+/// block-levels `≤ max_level` (committed, hence possibly spilled —
+/// later levels are either in flight or still hot). Deduplicated, in
+/// discovery order.
+fn dep_blocks_below(layout: &BlockedLayout, next: &[usize], max_level: usize) -> Vec<usize> {
+    let grid = layout.grid();
+    let mut seen = vec![false; grid.size()];
+    let mut out = Vec::new();
+    let mut g = vec![0usize; grid.ndim()];
+    let mut b = vec![0usize; grid.ndim()];
+    for &gf in next {
+        grid.unflatten_into(gf, &mut g);
+        // Odometer over the dominated box `{b : b ≤ g}`.
+        b.iter_mut().for_each(|x| *x = 0);
+        loop {
+            let bf = grid.flatten(&b);
+            if !seen[bf] {
+                seen[bf] = true;
+                if b.iter().sum::<usize>() <= max_level {
+                    out.push(bf);
+                }
+            }
+            let mut dim = 0;
+            while dim < b.len() {
+                if b[dim] < g[dim] {
+                    b[dim] += 1;
+                    break;
+                }
+                b[dim] = 0;
+                dim += 1;
+            }
+            if dim == b.len() {
+                break;
+            }
+        }
+    }
+    out
 }
 
 /// Statistics of one DP run — the quantities the execution models charge.
@@ -427,6 +477,19 @@ impl DpProblem {
         self.solve_paged_with(&divisor, store)
     }
 
+    /// [`Self::solve_paged`] with the overlapped (prefetch +
+    /// write-behind) streams enabled — the storage-layer analogue of the
+    /// paper's 4-stream round-robin, bit-identical to the synchronous
+    /// sweep.
+    pub fn solve_paged_overlapped(
+        &self,
+        dim_limit: usize,
+        store: Arc<TieredStore>,
+    ) -> Result<DpSolution, StoreError> {
+        let divisor = Divisor::compute(&self.shape, dim_limit, DivisorRule::TableConsistent);
+        self.solve_paged_with_opts(&divisor, store, &PagedOptions { overlap: true })
+    }
+
     /// Paged sweep with an explicit divisor (exposed for ablations and
     /// differential audits).
     pub fn solve_paged_with(
@@ -434,59 +497,122 @@ impl DpProblem {
         divisor: &Divisor,
         store: Arc<TieredStore>,
     ) -> Result<DpSolution, StoreError> {
+        self.solve_paged_with_opts(divisor, store, &PagedOptions::default())
+    }
+
+    /// Paged sweep with an explicit divisor and [`PagedOptions`].
+    ///
+    /// With `overlap` on, each block-level's compute shares the wall
+    /// clock with two background streams mirroring the paper's Alg. 4
+    /// round-robin: a *drain* stream pre-writes level ℓ−1's spill files
+    /// (so the demotions triggered by this level's commits free RAM
+    /// without stalling on disk), and a *prefetch* stream faults the
+    /// pages level ℓ+1 will read back into spare RAM (so the next
+    /// level's dependency reads hit RAM instead of stalling). Both
+    /// streams are strictly best-effort — the store primitives yield
+    /// rather than evict, and a failed background I/O resurfaces on the
+    /// compute path if and only if it matters — so the overlapped sweep
+    /// is bit-identical to the synchronous one, it just stops paying
+    /// fault latency on the compute path.
+    pub fn solve_paged_with_opts(
+        &self,
+        divisor: &Divisor,
+        store: Arc<TieredStore>,
+        opts: &PagedOptions,
+    ) -> Result<DpSolution, StoreError> {
         let layout = BlockedLayout::new(self.shape.clone(), divisor.clone());
         let block_levels = BlockLevels::new(&layout);
         let in_block_levels = LevelBuckets::new(layout.block_shape());
         let cells_per_block = layout.cells_per_block();
         let ndim = self.shape.ndim();
-        let paged = PagedTable::new(layout.clone(), store);
+        // OPT(v) ≤ Σ vᵢ ≤ Σ counts (every used machine packs at least
+        // one job), so the count sum bounds every finite cell and the
+        // narrowest width whose sentinel clears it packs losslessly —
+        // u8 pages for paper-scale tables, 4× the blocks per byte of
+        // budget.
+        let width = CellWidth::for_max_value(self.counts.iter().map(|&c| c as u64).sum());
+        let paged = PagedTable::new(layout.clone(), store, width);
+        let overlap_us = pcmax_obs::registry::global().histogram("store.overlap_us");
 
         let timer = pcmax_obs::Timer::start();
         let mut configs = 0u64;
         let mut level_stats = Vec::new();
+        let num_levels = block_levels.num_levels();
 
-        for (_, blocks) in block_levels.iter() {
+        for (l, blocks) in block_levels.iter() {
             let level_timer = pcmax_obs::Timer::start();
             // As in the in-RAM blocked sweep, a block's own cells come
             // from scratch; cross-block dependencies live in strictly
             // lower block-levels, already committed to the store.
-            let results: Vec<Result<(usize, Vec<u32>, u64), StoreError>> = blocks
-                .par_iter()
-                .map(|&bf| {
-                    let region = layout.block_region(bf);
-                    let mut scratch = vec![0u32; cells_per_block];
-                    let mut base = vec![0usize; ndim];
-                    layout.block_base(bf, &mut base);
-                    let mut local_configs = 0u64;
-                    let mut v = vec![0usize; ndim];
-                    let mut inb = vec![0usize; ndim];
-                    let mut dep = vec![0usize; ndim];
-                    // Dependency reads cluster heavily, so each block
-                    // keeps the pages it faulted: repeat reads stay off
-                    // the store lock entirely.
-                    let mut pages: HashMap<usize, Arc<Vec<u32>>> = HashMap::new();
-                    for (_, in_cells) in in_block_levels.iter() {
-                        for &in_flat in in_cells {
-                            layout.block_shape().unflatten_into(in_flat, &mut inb);
-                            for i in 0..ndim {
-                                v[i] = base[i] + inb[i];
+            let results: Vec<Result<(usize, Vec<u32>, u64), StoreError>> =
+                std::thread::scope(|scope| {
+                    if opts.overlap {
+                        let paged = &paged;
+                        let layout = &layout;
+                        let block_levels = &block_levels;
+                        let overlap_us = &overlap_us;
+                        scope.spawn(move || {
+                            let t = pcmax_obs::Timer::start();
+                            // Drain first: pre-written spill files make
+                            // this level's commit-time demotions free.
+                            if l >= 1 {
+                                for &bf in block_levels.level(l - 1) {
+                                    let _ = paged.write_behind_block(bf);
+                                }
                             }
-                            let (val, c) = self.compute_cell_faulted(
-                                &v,
-                                &layout,
-                                &region,
-                                &scratch,
-                                &paged,
-                                &mut pages,
-                                &mut dep,
-                            )?;
-                            scratch[in_flat] = val;
-                            local_configs += c;
-                        }
+                            // Then prefetch the committed dependencies
+                            // of level ℓ+1 into whatever RAM the drain
+                            // freed up.
+                            if l + 1 < num_levels {
+                                let deps =
+                                    dep_blocks_below(layout, block_levels.level(l + 1), l);
+                                for bf in deps {
+                                    let _ = paged.prefetch_block(bf);
+                                }
+                            }
+                            if t.is_recording() {
+                                overlap_us.record(t.elapsed_us());
+                            }
+                        });
                     }
-                    Ok((bf, scratch, local_configs))
-                })
-                .collect();
+                    blocks
+                        .par_iter()
+                        .map(|&bf| {
+                            let region = layout.block_region(bf);
+                            let mut scratch = vec![0u32; cells_per_block];
+                            let mut base = vec![0usize; ndim];
+                            layout.block_base(bf, &mut base);
+                            let mut local_configs = 0u64;
+                            let mut v = vec![0usize; ndim];
+                            let mut inb = vec![0usize; ndim];
+                            let mut dep = vec![0usize; ndim];
+                            // Dependency reads cluster heavily, so each
+                            // block keeps the pages it faulted: repeat
+                            // reads stay off the store lock entirely.
+                            let mut pages: HashMap<usize, Arc<Page>> = HashMap::new();
+                            for (_, in_cells) in in_block_levels.iter() {
+                                for &in_flat in in_cells {
+                                    layout.block_shape().unflatten_into(in_flat, &mut inb);
+                                    for i in 0..ndim {
+                                        v[i] = base[i] + inb[i];
+                                    }
+                                    let (val, c) = self.compute_cell_faulted(
+                                        &v,
+                                        &layout,
+                                        &region,
+                                        &scratch,
+                                        &paged,
+                                        &mut pages,
+                                        &mut dep,
+                                    )?;
+                                    scratch[in_flat] = val;
+                                    local_configs += c;
+                                }
+                            }
+                            Ok((bf, scratch, local_configs))
+                        })
+                        .collect()
+                });
             let mut level_configs = 0u64;
             for result in results {
                 let (bf, scratch, c) = result?;
@@ -558,7 +684,7 @@ impl DpProblem {
         region: &std::ops::Range<usize>,
         scratch: &[u32],
         paged: &PagedTable,
-        pages: &mut HashMap<usize, Arc<Vec<u32>>>,
+        pages: &mut HashMap<usize, Arc<Page>>,
         dep: &mut [usize],
     ) -> Result<(u32, u64), StoreError> {
         if v.iter().all(|&x| x == 0) {
@@ -594,7 +720,7 @@ impl DpProblem {
                         }
                     }
                 };
-                page[off - bf * cpb]
+                page.get(off - bf * cpb)
             };
             if val < best {
                 best = val;
@@ -1012,6 +1138,69 @@ mod tests {
             "under a 300-byte budget commits must demote: {stats:?}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlapped_paged_sweep_is_bit_identical_and_moves_faults_off_the_compute_path() {
+        let p = DpProblem::new(vec![5, 5, 5], vec![3, 4, 5], 20);
+        let reference = p.solve_sequential();
+        for budget in [300u64, 800, 2000] {
+            let (off_store, off_dir) = tiny_store(&format!("ovl-off-{budget}"), budget, true);
+            let off_sol = p
+                .solve_paged(3, Arc::clone(&off_store))
+                .expect("sync paged solve");
+            let (on_store, on_dir) = tiny_store(&format!("ovl-on-{budget}"), budget, true);
+            let on_sol = p
+                .solve_paged_overlapped(3, Arc::clone(&on_store))
+                .expect("overlapped paged solve");
+            // Bit-identical to both the sync paged sweep and the dense
+            // engine, at every budget.
+            assert_eq!(on_sol.values, reference.values, "budget {budget}");
+            assert_eq!(on_sol.values, off_sol.values, "budget {budget}");
+            assert_eq!(on_sol.opt, reference.opt);
+            let off = off_store.stats();
+            let on = on_store.stats();
+            // The overlapped sweep never stalls the compute path more
+            // than the synchronous one.
+            assert!(
+                on.faults <= off.faults,
+                "budget {budget}: overlap-on faults {} > overlap-off {}",
+                on.faults,
+                off.faults
+            );
+            std::fs::remove_dir_all(&off_dir).unwrap();
+            std::fs::remove_dir_all(&on_dir).unwrap();
+        }
+        // With headroom above the thrash floor the background streams
+        // actually fire: spill files get pre-written and prefetched
+        // pages turn would-be faults into RAM hits.
+        let (store, dir) = tiny_store("ovl-counters", 2000, true);
+        p.solve_paged_overlapped(3, Arc::clone(&store))
+            .expect("overlapped paged solve");
+        let stats = store.stats();
+        assert!(
+            stats.writebehind_writes > 0 || stats.prefetch_issued > 0,
+            "background streams must do work at a mid budget: {stats:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dep_blocks_below_covers_committed_dominated_blocks() {
+        use ndtable::Shape;
+        let shape = Shape::new(&[4, 4]);
+        let divisor = Divisor::from_parts(&shape, &[2, 2]);
+        let layout = BlockedLayout::new(shape, divisor);
+        let levels = BlockLevels::new(&layout);
+        // Grid 2×2: level 0 = {(0,0)}, level 1 = {(0,1),(1,0)},
+        // level 2 = {(1,1)}. Deps of level 2 at max_level 0: only the
+        // origin block.
+        let deps = dep_blocks_below(&layout, levels.level(2), 0);
+        assert_eq!(deps.len(), 1);
+        // At max_level 1, the dominated box of (1,1) minus itself.
+        let mut deps = dep_blocks_below(&layout, levels.level(2), 1);
+        deps.sort_unstable();
+        assert_eq!(deps.len(), 3);
     }
 
     #[test]

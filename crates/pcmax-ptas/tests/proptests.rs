@@ -1,12 +1,36 @@
 //! Property-based tests: DP-engine agreement, oracle equality, and the
 //! end-to-end PTAS guarantee on brute-forceable instances.
 
+use ndtable::partition::DivisorRule;
+use ndtable::Divisor;
 use pcmax_core::exact::{brute_force_makespan, min_bins};
 use pcmax_core::Instance;
 use pcmax_ptas::config::{count_configs, dominated_box_size};
+use pcmax_ptas::dp::PagedOptions;
 use pcmax_ptas::search::interval;
 use pcmax_ptas::{DpEngine, DpProblem, Ptas, SearchStrategy};
+use pcmax_store::{StoreBudget, StoreConfig, TieredStore};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unique per-case scratch-dir discriminator (proptest reruns cases on
+/// shrink; the dir must never be shared between live stores).
+static PROP_CASE: AtomicU64 = AtomicU64::new(0);
+
+/// DP problems whose count sum exceeds the u8 sentinel, so the paged
+/// sweep packs u16 pages: one class, a few hundred unit-ish jobs.
+fn u16_width_dp() -> impl Strategy<Value = DpProblem> {
+    (260usize..=400, 1u64..=3).prop_map(|(count, size)| {
+        DpProblem::new(vec![count], vec![size], size + 4)
+    })
+}
+
+/// Mix of u8-width ([`small_dp`]) and u16-width tables.
+fn paged_dp() -> impl Strategy<Value = DpProblem> {
+    (any::<bool>(), small_dp(), u16_width_dp())
+        .prop_map(|(wide, small, wide_p)| if wide { wide_p } else { small })
+}
 
 /// Small DP problems: ≤ 4 classes, counts ≤ 3, sizes ≤ 12, cap sized so
 /// unit configurations always fit.
@@ -138,5 +162,48 @@ proptest! {
         let q = Ptas::new(0.3).with_strategy(SearchStrategy::QuarterSplit).solve(&inst);
         prop_assert_eq!(b.target, q.target);
         prop_assert!(q.search.iterations <= b.search.iterations);
+    }
+
+    #[test]
+    fn overlapped_paged_sweep_matches_sync_and_dense(p in paged_dp(),
+                                                    dim_limit in 1usize..=4,
+                                                    budget_pages in 1u64..=6) {
+        // The overlapped (prefetch + write-behind) sweep must be
+        // cell-for-cell identical to the synchronous paged sweep and to
+        // the dense engine — across random budgets (including
+        // forced-fault budgets far below the table) and both packed
+        // widths (small_dp() tables pack u8, u16_width_dp() u16).
+        let dense = p.solve(DpEngine::Sequential);
+        let case = PROP_CASE.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "pcmax-ptas-prop-overlap-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        // A few dozen bytes per "page" of budget: tiny tables fit, most
+        // spill hard and fault everything back.
+        let budget = StoreBudget::bytes(budget_pages * 64);
+        for overlap in [false, true] {
+            let store = Arc::new(
+                TieredStore::open(&StoreConfig {
+                    budget,
+                    spill_dir: Some(root.join(if overlap { "on" } else { "off" })),
+                })
+                .unwrap(),
+            );
+            let sol = if overlap {
+                p.solve_paged_with_opts(
+                    &Divisor::compute(p.shape(), dim_limit, DivisorRule::TableConsistent),
+                    Arc::clone(&store),
+                    &PagedOptions { overlap: true },
+                )
+            } else {
+                p.solve_paged(dim_limit, Arc::clone(&store))
+            };
+            let sol = sol.expect("paged solve with a spill dir cannot run out of budget");
+            prop_assert_eq!(&sol.values, &dense.values, "overlap={}", overlap);
+            prop_assert_eq!(sol.opt, dense.opt);
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -464,6 +464,40 @@ mod tests {
     }
 
     #[test]
+    fn zero_lower_bound_gap_is_zero_on_the_ok_line() {
+        // Regression: `Guarantee::gap_ppm` with lower bound 0 must be 0
+        // — not a division panic, not u64::MAX — and that 0 must survive
+        // the ok-line round trip. A lb of 0 cannot arise from a valid
+        // Instance (times are positive), but defensive callers (warm-log
+        // rehydration of a corrupt record, future bound refinements)
+        // still hit the branch.
+        assert_eq!(Guarantee::gap_ppm(42, 0), 0);
+        assert_eq!(Guarantee::gap_ppm(0, 0), 0);
+        let res = SolveResponse {
+            makespan: 42,
+            target: Some(42),
+            machines_used: Some(1),
+            degraded: false,
+            stats: RequestStats {
+                queue_wait_us: 0,
+                solve_us: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+                degraded: false,
+                engine: EngineUsed::Ptas,
+                guarantee: Guarantee::EXACT,
+                gap_ppm: Guarantee::gap_ppm(42, 0),
+                improve_us: 0,
+            },
+            schedule: Schedule::new(vec![0], 1),
+        };
+        let line = format_response(&res);
+        assert!(line.contains(" 1/1/0 0 "), "{line}");
+        let reply = parse_response(&line).unwrap();
+        assert_eq!(reply.gap_ppm, 0);
+    }
+
+    #[test]
     fn malformed_guarantees_are_rejected() {
         for g in ["4/3", "4/3/0/9", "4/0/1", "2/3/0", "x/3/0"] {
             let line = format!("ok 9 - ptas 0 0 0 0 0 {g} 0 0,1");

@@ -441,6 +441,11 @@ impl Service {
     /// Snapshot of the memory tiers: RAM cache vs. budget plus warm
     /// disk-tier counters.
     pub fn store_report(&self) -> StoreReport {
+        // Paged-engine overlap counters live on the global obs registry:
+        // the tiered stores backing paged probes are per-solve scratch
+        // stores, so the process-wide counters are the only aggregate
+        // that survives them.
+        let reg = pcmax_obs::registry::global();
         StoreReport {
             budget_bytes: self.cache.budget_bytes(),
             cache_bytes: self.cache.bytes(),
@@ -453,6 +458,11 @@ impl Service {
                 .warm
                 .as_ref()
                 .map_or_else(Default::default, |w| w.fault_latency()),
+            paged_faults: reg.counter("store.faults").get(),
+            prefetch_issued: reg.counter("store.prefetch_issued").get(),
+            prefetch_hits: reg.counter("store.prefetch_hits").get(),
+            writebehind_writes: reg.counter("store.writebehind_writes").get(),
+            overlap_us: reg.histogram("store.overlap_us").snapshot(),
         }
     }
 

@@ -21,7 +21,7 @@ use pcmax_ptas::ptas::assemble_schedule;
 use pcmax_ptas::rounding::{Rounding, RoundingOutcome};
 use pcmax_ptas::{DpEngine, DpKey, DpProblem};
 use pcmax_sparse::{PlannedRepr, SparseError};
-use pcmax_store::{StoreBudget, StoreConfig, TieredStore};
+use pcmax_store::{ScratchDir, StoreBudget, StoreConfig, TieredStore};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -400,8 +400,13 @@ fn run_planned(
 
 /// One paged solve against a *fresh* tiered store in a unique
 /// subdirectory (page ids are table-relative, so stores must never be
-/// shared across problems). The directory is removed afterwards; any
-/// store error collapses to `None` and the caller degrades.
+/// shared across problems). A [`ScratchDir`] guard owns the directory:
+/// it sweeps stale pages a crashed predecessor left behind and removes
+/// the directory however the solve exits — success, store error, or
+/// unwind — so aborted solves never orphan spill files. Any store error
+/// collapses to `None` and the caller degrades. The sweep itself runs
+/// overlapped: prefetch and write-behind streams move page I/O off the
+/// compute path.
 fn solve_paged_fresh(problem: &DpProblem, opts: &SolverOptions) -> Option<CachedDp> {
     static NEXT_PAGED_SOLVE: AtomicU64 = AtomicU64::new(0);
     let base = opts.pages_dir.as_ref()?;
@@ -410,16 +415,17 @@ fn solve_paged_fresh(problem: &DpProblem, opts: &SolverOptions) -> Option<Cached
         std::process::id(),
         NEXT_PAGED_SOLVE.fetch_add(1, Ordering::Relaxed)
     ));
+    let scratch = ScratchDir::create(&dir).ok()?;
     let dim_limit = match opts.engine {
         DpEngine::Blocked { dim_limit } => dim_limit,
         _ => 3,
     };
     let result = TieredStore::open(&StoreConfig {
         budget: opts.pages_budget,
-        spill_dir: Some(dir.clone()),
+        spill_dir: Some(scratch.path().to_path_buf()),
     })
-    .and_then(|store| problem.solve_paged(dim_limit, Arc::new(store)));
-    let _ = std::fs::remove_dir_all(&dir);
+    .and_then(|store| problem.solve_paged_overlapped(dim_limit, Arc::new(store)));
+    drop(scratch);
     let sol = result.ok()?;
     let configs = problem.extract_configs(&sol.values).map(Arc::new);
     Some(CachedDp {

@@ -164,6 +164,20 @@ pub struct StoreReport {
     pub appends: u64,
     /// Disk-read latency per warm hit, in µs.
     pub fault_us: HistogramSnapshot,
+    /// Compute-path page faults taken by paged-engine probes (stalls the
+    /// overlapped sweep exists to remove).
+    pub paged_faults: u64,
+    /// Prefetch disk reads issued off the compute path.
+    pub prefetch_issued: u64,
+    /// Page-table hits on pages a prefetch installed — faults the
+    /// background stream turned into RAM hits.
+    pub prefetch_hits: u64,
+    /// Spill files pre-written by the write-behind stream while the page
+    /// stayed resident.
+    pub writebehind_writes: u64,
+    /// Wall-clock of the overlapped sweep's background stream per block
+    /// level, in µs (empty unless `pcmax_obs` recording was enabled).
+    pub overlap_us: HistogramSnapshot,
 }
 
 impl StoreReport {
@@ -174,6 +188,18 @@ impl StoreReport {
             0.0
         } else {
             self.disk_hits as f64 / ram_misses as f64
+        }
+    }
+
+    /// Fraction of page-table accesses (faults + prefetch hits) that a
+    /// prefetched page answered without a stall. 0 — never NaN — on a
+    /// zero-traffic store, so the JSON stays parseable for dashboards.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        let total = self.paged_faults + self.prefetch_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / total as f64
         }
     }
 }
@@ -404,8 +430,15 @@ impl ServiceReport {
                 "disk_hit_rate",
                 self.store.disk_hit_rate(self.cache.misses),
             )
+            .field_u64("paged_faults", self.store.paged_faults)
+            .field_u64("prefetch_issued", self.store.prefetch_issued)
+            .field_u64("prefetch_hits", self.store.prefetch_hits)
+            .field_u64("writebehind_writes", self.store.writebehind_writes)
+            .field_f64("prefetch_hit_rate", self.store.prefetch_hit_rate())
             .key("fault_us");
         self.store.fault_us.write_json(&mut w);
+        w.key("overlap_us");
+        self.store.overlap_us.write_json(&mut w);
         w.end_object().key("histograms");
         self.histograms.write_json(&mut w);
         w.end_object();
@@ -479,6 +512,11 @@ mod tests {
                 disk_hits: 1,
                 appends: 3,
                 fault_us: HistogramSnapshot::default(),
+                paged_faults: 4,
+                prefetch_issued: 6,
+                prefetch_hits: 4,
+                writebehind_writes: 5,
+                overlap_us: HistogramSnapshot::default(),
             },
             histograms: metrics.snapshot(),
         };
@@ -507,6 +545,12 @@ mod tests {
         assert!(json.contains("\"rehydrated\":2"), "{json}");
         assert!(json.contains("\"ram_hit_rate\":0.75"), "{json}");
         assert!(json.contains("\"disk_hit_rate\":1"), "{json}");
+        assert!(json.contains("\"paged_faults\":4"), "{json}");
+        assert!(json.contains("\"prefetch_issued\":6"), "{json}");
+        assert!(json.contains("\"prefetch_hits\":4"), "{json}");
+        assert!(json.contains("\"writebehind_writes\":5"), "{json}");
+        assert!(json.contains("\"prefetch_hit_rate\":0.5"), "{json}");
+        assert!(json.contains("\"overlap_us\":{\"count\":0"), "{json}");
         assert!(json.contains("\"fault_us\":{\"count\":0"), "{json}");
         assert!(json.contains("\"queue_wait_us\":{\"count\":1"), "{json}");
         assert!(json.contains("\"solve_us\":{\"count\":1"), "{json}");
@@ -524,6 +568,28 @@ mod tests {
             bytes: 64,
         };
         assert!((report.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_report_emits_finite_hit_rates_not_nan() {
+        // Regression: a freshly started (or store-less) service has zero
+        // accesses on every tier. Naive `hits / total` divisions are
+        // 0/0 = NaN, which the JSON writer renders as `null` and
+        // dashboards choke on. Every rate must come out 0, and the wire
+        // form must stay free of null/NaN for all rate fields.
+        let report = ServiceReport::default();
+        assert_eq!(report.cache.hit_rate(), 0.0);
+        assert_eq!(report.store.disk_hit_rate(0), 0.0);
+        assert_eq!(report.store.prefetch_hit_rate(), 0.0);
+        assert_eq!(report.portfolio.race_rate(0), 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"hit_rate\":0"), "{json}");
+        assert!(json.contains("\"ram_hit_rate\":0"), "{json}");
+        assert!(json.contains("\"disk_hit_rate\":0"), "{json}");
+        assert!(json.contains("\"prefetch_hit_rate\":0"), "{json}");
+        assert!(json.contains("\"race_rate\":0"), "{json}");
+        assert!(!json.contains("null"), "rate field decayed to null: {json}");
+        assert!(!json.contains("NaN"), "{json}");
     }
 
     #[test]

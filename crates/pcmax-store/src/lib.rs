@@ -7,34 +7,52 @@
 //! independently transferable units. This crate treats those blocks as
 //! *pages* and manages where they live:
 //!
+//! * [`Page`] — a run of logical-`u32` cells packed at a [`CellWidth`]
+//!   (u8/u16/u32) chosen from the table's value upper bound, so byte
+//!   density multiplies the effective RAM budget;
 //! * [`PageStore`] — the tier interface: put/get/remove pages by id;
-//! * [`RamTier`] — resident pages, byte-accounted;
+//! * [`RamTier`] — resident pages, packed-byte-accounted;
 //! * [`DiskTier`] — spill files under a configurable directory, one
-//!   checksummed file per page, rebuilt by scanning on reopen;
+//!   checksummed file per page, rebuilt by scanning on reopen; legacy
+//!   v1 (unpacked) page files still decode;
 //! * [`TieredStore`] — RAM over optional disk under a hard **byte**
 //!   budget ([`StoreBudget`]), with pressure-driven RAM→disk demotion in
-//!   clock/LRU-hybrid order (write-behind on eviction, read-through on
-//!   fault). Without a disk tier the budget is a hard wall: exceeding it
-//!   is a structured [`StoreError::BudgetExceeded`], never an abort;
+//!   bounded second-chance-clock order (write-behind on eviction,
+//!   read-through on fault), plus the overlap primitives the paged
+//!   sweep's background streams use: [`TieredStore::prefetch`] (reads
+//!   ahead into a fixed [`STAGED_PAGES_MAX`]-page staging ring without
+//!   touching residents, so a hit removes a stall and a miss costs
+//!   nothing) and resident-page [`TieredStore::write_behind`]. Without
+//!   a disk tier the budget is a hard wall: exceeding it is a
+//!   structured [`StoreError::BudgetExceeded`], never an abort;
+//! * [`ScratchDir`] — an RAII guard removing a per-solve spill
+//!   directory on drop, so aborted solves never orphan page files;
 //! * [`WarmLog`] — a tiny manifest + checksummed append log mapping
 //!   opaque keys to opaque values, used by `pcmax-serve` to persist its
 //!   DP-solution cache across restarts (the warm-start tier).
 //!
 //! Observability: every store bumps the `store.faults` / `store.demotions`
-//! / `store.rehydrated` counters on the global [`pcmax_obs`] registry
-//! unconditionally, and records page-fault latency into the
-//! `store.page_fault_us` histogram while recording is enabled. Each store
-//! additionally keeps local atomic counters so concurrent stores (and
-//! tests) can be told apart.
+//! / `store.prefetch_issued` / `store.prefetch_hits` /
+//! `store.writebehind_writes` / `store.rehydrated` counters on the
+//! global [`pcmax_obs`] registry unconditionally, and records
+//! compute-path fault latency into `store.page_fault_us` (and
+//! off-path prefetch reads into `store.prefetch_us`) while recording is
+//! enabled. Each store additionally keeps local atomic counters so
+//! concurrent stores (and tests) can be told apart.
 
 pub mod page;
+pub mod scratch;
 pub mod tier;
 pub mod tiered;
 pub mod warm;
 
-pub use page::{decode_page, encode_page, page_bytes, PAGE_HEADER_BYTES};
+pub use page::{
+    decode_page, decode_page_packed, encode_page, encode_page_packed, packed_page_bytes,
+    page_bytes, CellWidth, Page, INFEASIBLE_CELL, PAGE_HEADER_BYTES,
+};
+pub use scratch::ScratchDir;
 pub use tier::{DiskTier, PageStore, RamTier};
-pub use tiered::{StoreStats, TieredStore};
+pub use tiered::{StoreStats, TieredStore, STAGED_PAGES_MAX};
 pub use warm::WarmLog;
 
 use std::fmt;

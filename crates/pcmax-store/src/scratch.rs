@@ -1,0 +1,118 @@
+//! RAII scratch directories for per-solve spill files.
+//!
+//! A paged solve spills pages into a directory that is worthless the
+//! moment the solve ends — successfully or not. Before this guard,
+//! cleanup was a manual `remove_dir_all` after the happy path, so a
+//! solve aborting on [`crate::StoreError::BudgetExceeded`] (or a sparse
+//! fallback dying on `FrontierOverflow`, or a panic unwinding through
+//! the sweep) orphaned every `{id:016x}.page` file it had written.
+//! [`ScratchDir`] ties the directory's lifetime to a value on the
+//! solve's stack: drop — on any exit path, including unwind — removes
+//! the directory tree.
+
+use crate::StoreError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory removed (recursively, best-effort) on drop.
+///
+/// Create one per solve, park the solve's spill files under
+/// [`ScratchDir::path`], and let scope exit clean up — error returns
+/// and panics included. Call [`ScratchDir::keep`] to disarm the guard
+/// when the files must outlive the solve (e.g. a user-provided
+/// `--store-dir` the caller owns).
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl ScratchDir {
+    /// Creates `path` (and parents) and arms the guard. Any stale page
+    /// files already under `path` — orphans of a previous crashed solve
+    /// reusing the name — are swept immediately, so the solve starts
+    /// from a clean directory.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let path = path.into();
+        if path.exists() {
+            fs::remove_dir_all(&path).map_err(|e| StoreError::io(&path, e))?;
+        }
+        fs::create_dir_all(&path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(Self { path, armed: true })
+    }
+
+    /// The scratch directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarms the guard and returns the path: the directory survives.
+    pub fn keep(mut self) -> PathBuf {
+        self.armed = false;
+        self.path.clone()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pcmax-scratch-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn removes_on_drop_including_contents() {
+        let path = tmp("drop");
+        {
+            let scratch = ScratchDir::create(&path).unwrap();
+            fs::write(scratch.path().join("0000000000000001.page"), b"x").unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "scratch dir must be swept on drop");
+    }
+
+    #[test]
+    fn removes_on_unwind() {
+        let path = tmp("unwind");
+        let path_clone = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let scratch = ScratchDir::create(&path_clone).unwrap();
+            fs::write(scratch.path().join("orphan.page"), b"x").unwrap();
+            panic!("solve aborts mid-sweep");
+        });
+        assert!(result.is_err());
+        assert!(!path.exists(), "abort must not orphan spill files");
+    }
+
+    #[test]
+    fn keep_disarms_the_guard() {
+        let path = tmp("keep");
+        let kept = {
+            let scratch = ScratchDir::create(&path).unwrap();
+            scratch.keep()
+        };
+        assert!(kept.exists());
+        fs::remove_dir_all(&kept).unwrap();
+    }
+
+    #[test]
+    fn create_sweeps_stale_pages_from_a_prior_crash() {
+        let path = tmp("stale");
+        fs::create_dir_all(&path).unwrap();
+        fs::write(path.join("00000000000000ff.page"), b"stale").unwrap();
+        let scratch = ScratchDir::create(&path).unwrap();
+        assert!(
+            fs::read_dir(scratch.path()).unwrap().next().is_none(),
+            "stale pages must be swept on create"
+        );
+    }
+}

@@ -31,6 +31,33 @@ if grep -q '"demotions":0,' target/STORE_smoke.json; then
   exit 1
 fi
 
+# Overlap gate: the same k = 6 paged solve at a budget that spills
+# (~1/4 of the packed table), once synchronous and once with the
+# overlapped sweep (write-behind + staging-ring prefetch). Both must
+# pass the cell-for-cell differential, and the overlapped run must not
+# take more compute-path fault stalls than the synchronous one — the
+# staging ring promotes through the ordinary install path, so each
+# prefetch hit removes exactly one fault and can never add one.
+./target/release/pcmax store-stats --k 6 --mem-budget 1536 --overlap off \
+  > target/STORE_overlap_off.json
+./target/release/pcmax store-stats --k 6 --mem-budget 1536 --overlap on \
+  > target/STORE_overlap_on.json
+grep -q '"differential":"ok"' target/STORE_overlap_off.json
+grep -q '"differential":"ok"' target/STORE_overlap_on.json
+faults_off=$(grep -o '"faults":[0-9]*' target/STORE_overlap_off.json | head -1 | cut -d: -f2)
+faults_on=$(grep -o '"faults":[0-9]*' target/STORE_overlap_on.json | head -1 | cut -d: -f2)
+if [ "$faults_on" -gt "$faults_off" ]; then
+  echo "overlap gate: $faults_on fault stalls with overlap on vs $faults_off off" >&2
+  exit 1
+fi
+
+# Paged-engine audit sweep: the store + overlapped-sweep differential
+# checks across 64 seeds (sync vs overlapped vs dense, fault
+# accounting, packed widths), attributable in one line of CI output.
+./target/release/pcmax audit --seeds 64 --engine paged \
+  --out target/AUDIT_paged.json
+test -s target/AUDIT_paged.json
+
 # Sparse smoke, two invocations gating tier-1:
 # 1. The frontier-friendly default (k = 16, 12 jobs/machine on 48
 #    machines): the dense table would spill under the 64 KiB budget,

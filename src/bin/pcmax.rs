@@ -73,6 +73,7 @@ USAGE:
   pcmax serve         [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms N] [--epsilon F] [--engine seq|par|blockedN]
                       [--repr auto|dense|sparse] [--mem-budget BYTES] [--store-dir DIR]
+                      [--max-cells N] [--pages-budget BYTES]
                       [--portfolio auto|fixed:ARM|race:ARM,ARM]
                       [--improve off|greedy|ga[:I,P]] [--improve-budget-us N]
   pcmax improve FILE|- [--improve greedy|ga[:I,P]] [--improve-budget-us N]
@@ -80,7 +81,8 @@ USAGE:
   pcmax bench-serve   [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--repr auto|dense|sparse] [--mem-budget BYTES]
-                      [--store-dir DIR] [--out FILE]
+                      [--store-dir DIR] [--max-cells N] [--pages-budget BYTES]
+                      [--out FILE]
                       [--portfolio auto|fixed:ARM|race:ARM,ARM] [--gate-portfolio]
                       [--improve off|greedy|ga[:I,P]] [--improve-budget-us N]
                       [--gate-improve]
@@ -92,12 +94,12 @@ USAGE:
                       [--heartbeat-ms N] [--max-missed N] [--retries N]
                       [--mem-budget BYTES] [--store-dir DIR]
   pcmax store-stats   [--seed N] [--jobs N] [--machines N] [--k N] [--dim N]
-                      [--mem-budget BYTES] [--store-dir DIR]
+                      [--mem-budget BYTES] [--store-dir DIR] [--overlap on|off]
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
                       [--kill-after N] [--out FILE]
   pcmax audit         [--seeds N] [--k N] [--max-cells N]
-                      [--engine sparse|portfolio|improve] [--out FILE]
+                      [--engine sparse|portfolio|improve|paged] [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -133,7 +135,12 @@ store under `--mem-budget` (default 4096 bytes — small enough to force
 spilling), differential-checks the paged table cell-for-cell against the
 in-RAM sequential engine, prints the store's tier occupancy, hit/fault
 counters, and fault-latency histogram as JSON, and exits non-zero on any
-mismatch. `--mem-budget` accepts `4096`, `64K`, `16M`, or `1G`;
+mismatch; `--overlap on` runs the overlapped sweep (background prefetch
+of the next block-level's dependencies plus write-behind of the previous
+level, the paper's stream round-robin), whose prefetch/write-behind
+counters land in the same JSON. `--engine paged` on `audit` restricts
+the sweep to the paged-store contract plus the overlapped-vs-sync-vs-
+dense differential. `--mem-budget` accepts `4096`, `64K`, `16M`, or `1G`;
 `--store-dir` on `serve`/`cluster`/`bench-serve` enables the persistent
 warm-start log (cluster workers get per-worker subdirectories).
 `--portfolio` picks the per-request solver arm: `auto` (feature-driven
@@ -452,6 +459,11 @@ fn serve_config_from_flags(args: &[String]) -> Result<pcmax::ServeConfig, String
         engine: parse_engine(flag(args, "--engine").unwrap_or("par"))?,
         repr: parse_repr(flag(args, "--repr").unwrap_or("auto"))?,
         mem_budget: mem_budget_flag(args, defaults.mem_budget)?,
+        pages_budget: match flag(args, "--pages-budget") {
+            Some(v) => pcmax::store::StoreBudget::parse(v)?,
+            None => defaults.pages_budget,
+        },
+        max_table_cells: flag_parse(args, "--max-cells", defaults.max_table_cells)?,
         store_dir: flag(args, "--store-dir").map(PathBuf::from),
         portfolio: flag(args, "--portfolio")
             .unwrap_or("auto")
@@ -1009,8 +1021,18 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         )
         .field_u64("disk_hits", report.store.disk_hits)
         .field_u64("pressure_pct", report.store.pressure_pct)
+        // Paged-probe overlap effectiveness: what fraction of page-table
+        // traffic the background prefetch stream answered without a
+        // compute-path stall (0, never NaN, when no probe paged).
+        .field_u64("paged_faults", report.store.paged_faults)
+        .field_u64("prefetch_issued", report.store.prefetch_issued)
+        .field_u64("prefetch_hits", report.store.prefetch_hits)
+        .field_u64("writebehind_writes", report.store.writebehind_writes)
+        .field_f64("prefetch_hit_rate", report.store.prefetch_hit_rate())
         .key("fault_us");
     report.store.fault_us.write_json(&mut w);
+    w.key("overlap_us");
+    report.store.overlap_us.write_json(&mut w);
     w.end_object()
         // Which representation each cache-missing probe actually ran
         // under the `--repr` policy, plus the sparse engine's frontier
@@ -1289,6 +1311,11 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
     let machines: usize = flag_parse(args, "--machines", 8)?;
     let k: u64 = flag_parse(args, "--k", 4)?;
     let dim: usize = flag_parse(args, "--dim", 3)?;
+    let overlap = match flag(args, "--overlap").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --overlap mode `{other}` (on|off)")),
+    };
     // 1 KiB default: a fraction of the default instance's ~3 KB table,
     // so the sweep must demote pages to disk and fault them back.
     let budget = mem_budget_flag(args, StoreBudget::bytes(1024))?;
@@ -1323,11 +1350,19 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
         })
         .map_err(|e| format!("opening store: {e}"))?,
     );
-    let paged = problem
-        .solve_paged(dim, Arc::clone(&store))
-        .map_err(|e| format!("paged solve: {e}"))?;
+    let paged = if overlap {
+        problem.solve_paged_overlapped(dim, Arc::clone(&store))
+    } else {
+        problem.solve_paged(dim, Arc::clone(&store))
+    }
+    .map_err(|e| format!("paged solve: {e}"))?;
     let stats = store.stats();
     let fault_us = store.fault_latency();
+    // The cell width the paged sweep packed pages at — the same
+    // `OPT(v) ≤ Σ counts` bound the DP uses.
+    let cell_width = pcmax::store::CellWidth::for_max_value(
+        problem.counts().iter().map(|&c| c as u64).sum(),
+    );
     let matches = paged.values == reference.values && paged.opt == reference.opt;
 
     let mut w = pcmax::obs::JsonWriter::new();
@@ -1338,6 +1373,8 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
         .field_u64("target", target)
         .field_u64("table_cells", problem.table_size() as u64)
         .field_u64("opt", u64::from(paged.opt))
+        .field_str("overlap", if overlap { "on" } else { "off" })
+        .field_u64("cell_width_bytes", cell_width.bytes() as u64)
         .field_str("differential", if matches { "ok" } else { "MISMATCH" })
         // What the representation predictor would do with this table
         // under the same byte budget: the reported pressure is that of
@@ -1391,6 +1428,9 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
         .field_u64("misses", stats.misses)
         .field_u64("demotions", stats.demotions)
         .field_u64("spill_writes", stats.spill_writes)
+        .field_u64("prefetch_issued", stats.prefetch_issued)
+        .field_u64("prefetch_hits", stats.prefetch_hits)
+        .field_u64("writebehind_writes", stats.writebehind_writes)
         .key("fault_us");
     fault_us.write_json(&mut w);
     w.end_object().end_object();
@@ -1401,10 +1441,14 @@ fn cmd_store_stats(args: &[String]) -> Result<(), String> {
     }
     if matches {
         eprintln!(
-            "store-stats: paged table ({} cells) matches Sequential; {} demotions, {} faults under a {}-byte budget",
+            "store-stats: paged table ({} cells, {}B cells, overlap {}) matches Sequential; {} demotions, {} faults, {} prefetches ({} hit) under a {}-byte budget",
             problem.table_size(),
+            cell_width.bytes(),
+            if overlap { "on" } else { "off" },
             stats.demotions,
             stats.faults,
+            stats.prefetch_issued,
+            stats.prefetch_hits,
             stats.budget_bytes
         );
         Ok(())
@@ -1425,10 +1469,10 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
     let engine_filter = match flag(args, "--engine") {
         None => None,
-        Some(f @ ("sparse" | "portfolio" | "improve")) => Some(f.to_string()),
+        Some(f @ ("sparse" | "portfolio" | "improve" | "paged")) => Some(f.to_string()),
         Some(other) => {
             return Err(format!(
-                "unknown audit engine filter `{other}` (sparse|portfolio|improve)"
+                "unknown audit engine filter `{other}` (sparse|portfolio|improve|paged)"
             ))
         }
     };
