@@ -17,6 +17,7 @@ use pcmax_serve::{solve_portfolio, Arm, PortfolioCounters, PortfolioPolicy};
 use pcmax_sparse::SparseError;
 use pcmax_serve::WarmTier;
 use pcmax_store::{StoreBudget, StoreConfig, StoreError, TieredStore};
+use std::collections::HashMap;
 use std::path::PathBuf;
 
 /// The three DP engines that must agree cell-for-cell.
@@ -648,6 +649,159 @@ pub fn check_warm_rehydrate(inst: &Instance, ctx: &mut CheckCtx<'_>) {
         ),
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The warmsync gauntlet (ISSUE 10): differential checks on the
+/// cluster warm-replication machinery, driven off a real warm tier
+/// populated by a real solve.
+///
+/// * **Ship-frame integrity** — every entry the owner would ship
+///   round-trips the wire token byte-identically; `from_token`
+///   re-verifies the transit checksum on the decoded bytes, so this
+///   also proves the checksum survives encode/decode.
+/// * **Replica fidelity** — applying the shipped entries to a second
+///   warm tier reproduces the owner's records byte-for-byte, and a
+///   replicated read answers with the exact solution bytes the owner
+///   holds.
+/// * **Rebalance exactness** — the planner's `moved_set` over the
+///   tier's digest hashes equals a brute-force rendezvous ownership
+///   diff (`rank_ids` before vs after a join), key-for-key including
+///   the from/to attribution.
+pub fn check_warmsync(inst: &Instance, ctx: &mut CheckCtx<'_>) {
+    use pcmax_cluster::rank_ids;
+    use pcmax_warmsync::{moved_set, ShipEntry};
+
+    ctx.bump();
+    let owner_dir = scratch_dir(ctx, "wsync-owner");
+    let replica_dir = scratch_dir(ctx, "wsync-replica");
+    let owner = match WarmTier::open(&owner_dir) {
+        Ok(w) => w,
+        Err(e) => {
+            ctx.diverge("warmsync-open", format!("cannot open owner tier: {e}"));
+            return;
+        }
+    };
+    let cache = DpCache::new(2, 64 << 10);
+    let opts = SolverOptions {
+        engine: DpEngine::Sequential,
+        max_table_cells: ctx.max_table_cells,
+        ..SolverOptions::default()
+    };
+    if solve_cached(inst, ctx.k, &opts, &cache, Some(&owner), None).is_err() {
+        // Table over budget: capacity, not correctness.
+        let _ = std::fs::remove_dir_all(&owner_dir);
+        return;
+    }
+    let entries = owner.entries_since(0, 0, u64::MAX);
+    if entries.is_empty() {
+        ctx.diverge(
+            "warmsync-empty",
+            "a completed solve appended no warm entries to ship".to_string(),
+        );
+        let _ = std::fs::remove_dir_all(&owner_dir);
+        return;
+    }
+    for entry in &entries {
+        match ShipEntry::from_token(&entry.to_token()) {
+            Ok(back) if back == *entry => {}
+            Ok(_) => ctx.diverge(
+                "warmsync-frame",
+                format!("wire token round-trip mutated entry seq {}", entry.seq),
+            ),
+            Err(e) => ctx.diverge(
+                "warmsync-checksum",
+                format!("owner-produced token rejected by decoder: {e}"),
+            ),
+        }
+    }
+
+    ctx.bump();
+    let replica = match WarmTier::open(&replica_dir) {
+        Ok(w) => w,
+        Err(e) => {
+            ctx.diverge("warmsync-open", format!("cannot open replica tier: {e}"));
+            let _ = std::fs::remove_dir_all(&owner_dir);
+            return;
+        }
+    };
+    for entry in &entries {
+        if !replica.apply(entry) {
+            ctx.diverge(
+                "warmsync-apply",
+                format!("replica rejected a checksum-clean entry seq {}", entry.seq),
+            );
+        }
+    }
+    let mirrored = replica.entries_since(0, 0, u64::MAX);
+    if mirrored.len() != entries.len() {
+        ctx.diverge(
+            "warmsync-replica-count",
+            format!("owner holds {} entries, replica {}", entries.len(), mirrored.len()),
+        );
+    }
+    // Replicated reads must return the owner's exact solution bytes.
+    // Replica seqs are locally assigned, so compare by key.
+    let owned: HashMap<&[u8], &[u8]> = entries
+        .iter()
+        .map(|e| (e.key.as_slice(), e.value.as_slice()))
+        .collect();
+    for entry in &mirrored {
+        match owned.get(entry.key.as_slice()) {
+            Some(&value) if value == entry.value => {}
+            Some(_) => ctx.diverge(
+                "warmsync-replica-bytes",
+                "replicated value bytes differ from the owner's".to_string(),
+            ),
+            None => ctx.diverge(
+                "warmsync-replica-key",
+                "replica holds a key the owner never shipped".to_string(),
+            ),
+        }
+    }
+
+    // Rebalance exactness over this tier's real digest hashes: the
+    // planner vs a brute-force before/after primary enumeration.
+    ctx.bump();
+    let mut hashes: Vec<u64> = owner.digest().iter().map(|&(h, _)| h).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    let before = ["w0", "w1", "w2"];
+    let after = ["w0", "w1", "w2", "w3"];
+    let planned = moved_set(
+        &hashes,
+        |hash| rank_ids(&before, hash).first().map(|s| s.to_string()),
+        |hash| rank_ids(&after, hash).first().map(|s| s.to_string()),
+    );
+    let mut expect = Vec::new();
+    for &hash in &hashes {
+        let was = rank_ids(&before, hash).first().map(|s| s.to_string());
+        let now = rank_ids(&after, hash).first().map(|s| s.to_string());
+        if let Some(to) = now {
+            if was.as_deref() != Some(to.as_str()) {
+                expect.push((hash, was, to));
+            }
+        }
+    }
+    if planned.len() != expect.len()
+        || planned
+            .iter()
+            .zip(&expect)
+            .any(|(key, (hash, from, to))| {
+                key.hash != *hash || key.from != *from || key.to != *to
+            })
+    {
+        ctx.diverge(
+            "warmsync-moved-set",
+            format!(
+                "planner moved {} keys, ownership diff says {}",
+                planned.len(),
+                expect.len()
+            ),
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&owner_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
 }
 
 /// The portfolio gauntlet (ISSUE 7): every arm, pinned via

@@ -19,6 +19,10 @@
 //!   contract,
 //! * kill-and-rehydrate: a solve replayed through a reopened warm store
 //!   must answer entirely from disk with an identical schedule,
+//! * warm-state shipping: every shippable record survives the wire
+//!   token round-trip checksum-verified, a replica applying the shipped
+//!   entries holds byte-identical values, and the rebalance planner's
+//!   moved set is exactly the brute-force rendezvous ownership diff,
 //! * heuristics and the PTAS vs `brute_force_makespan` /
 //!   `subset_dp_makespan` on small instances,
 //! * the solver portfolio's gauntlet: every arm (pinned, auto, raced)
@@ -66,7 +70,9 @@ pub struct AuditConfig {
     /// [`checks::check_improver`] (both improver modes on every case);
     /// `Some("paged")` runs the paged-store contract plus the
     /// overlapped-sweep differential ([`checks::check_paged_store`] and
-    /// [`checks::check_paged_overlap`]). Unrecognised names run nothing
+    /// [`checks::check_paged_overlap`]); `Some("warmsync")` runs only
+    /// [`checks::check_warmsync`] (ship-frame integrity, replica
+    /// fidelity, rebalance exactness). Unrecognised names run nothing
     /// and are rejected by the CLI before reaching here.
     pub engine_filter: Option<String>,
 }
@@ -94,7 +100,8 @@ pub fn run(config: &AuditConfig) -> AuditReport {
     let portfolio_only = config.engine_filter.as_deref() == Some("portfolio");
     let improve_only = config.engine_filter.as_deref() == Some("improve");
     let paged_only = config.engine_filter.as_deref() == Some("paged");
-    let filtered = sparse_only || portfolio_only || improve_only || paged_only;
+    let warmsync_only = config.engine_filter.as_deref() == Some("warmsync");
+    let filtered = sparse_only || portfolio_only || improve_only || paged_only || warmsync_only;
     for seed in 0..config.seeds {
         // The gate check is instance-independent; audit it once per seed
         // so a regression still fails fast on `--seeds 1`.
@@ -136,6 +143,10 @@ pub fn run(config: &AuditConfig) -> AuditReport {
                 checks::check_paged_overlap(&case.instance, &mut ctx);
                 continue;
             }
+            if warmsync_only {
+                checks::check_warmsync(&case.instance, &mut ctx);
+                continue;
+            }
             checks::check_engine_agreement(&case.instance, &mut ctx);
             checks::check_search_agreement(&case.instance, &mut ctx);
             checks::check_serve_solver(&case.instance, &mut ctx);
@@ -143,6 +154,7 @@ pub fn run(config: &AuditConfig) -> AuditReport {
             checks::check_paged_overlap(&case.instance, &mut ctx);
             checks::check_sparse_engine(&case.instance, &mut ctx);
             checks::check_warm_rehydrate(&case.instance, &mut ctx);
+            checks::check_warmsync(&case.instance, &mut ctx);
             checks::check_ptas_invariant(&case.instance, &mut ctx);
             checks::check_small_oracle(&case.instance, &mut ctx);
             checks::check_portfolio(&case.instance, &mut ctx);
@@ -241,6 +253,28 @@ mod tests {
         let filtered = run(&AuditConfig {
             seeds: 2,
             engine_filter: Some("paged".to_string()),
+            ..AuditConfig::default()
+        });
+        assert_eq!(filtered.cases, full.cases);
+        assert!(filtered.checks > 0, "filter must still exercise cases");
+        assert!(
+            filtered.checks < full.checks,
+            "filtered {} vs full {}",
+            filtered.checks,
+            full.checks
+        );
+        assert!(filtered.is_clean(), "divergences: {:#?}", filtered.divergences);
+    }
+
+    #[test]
+    fn warmsync_filter_runs_only_the_warmsync_gauntlet() {
+        let full = run(&AuditConfig {
+            seeds: 2,
+            ..AuditConfig::default()
+        });
+        let filtered = run(&AuditConfig {
+            seeds: 2,
+            engine_filter: Some("warmsync".to_string()),
             ..AuditConfig::default()
         });
         assert_eq!(filtered.cases, full.cases);

@@ -19,7 +19,8 @@
 
 use crate::ring::{rendezvous_score, RouteKey};
 use crate::stats::{ClusterReport, ClusterStats, WorkerReport};
-use crate::worker::WorkerNode;
+use crate::sync::{ElasticPolicy, ElasticState, Lifecycle};
+use crate::worker::{WorkerNode, WorkerState};
 use pcmax_core::Instance;
 use pcmax_obs::TimelineEvent;
 use pcmax_serve::{
@@ -59,6 +60,18 @@ pub struct ClusterConfig {
     /// ranked after every unpressured worker, so failover traffic flows
     /// to workers with cache headroom first.
     pub pressure_threshold_pct: u64,
+    /// Whether the warmsync engine runs: heartbeat-driven warm-log
+    /// replication, membership-change rebalance, and retirement drains.
+    /// See [`Coordinator::sync_warm`].
+    pub warmsync: bool,
+    /// Replication factor R: every warm entry is kept by its rendezvous
+    /// primary plus the next `R − 1` successors for its key. `1` means
+    /// no replication (rebalance still relays on membership changes).
+    pub replication_factor: u32,
+    /// Elastic spawn/retire policy; `None` (the default) disables the
+    /// elastic lifecycle. Takes effect only once a
+    /// [`Lifecycle`] is registered via [`Coordinator::set_lifecycle`].
+    pub elastic: Option<ElasticPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +87,9 @@ impl Default for ClusterConfig {
             default_epsilon: 0.3,
             default_deadline: Duration::from_secs(2),
             pressure_threshold_pct: 90,
+            warmsync: true,
+            replication_factor: 2,
+            elastic: None,
         }
     }
 }
@@ -124,10 +140,19 @@ enum Attempt {
 pub struct Coordinator {
     config: ClusterConfig,
     workers: RwLock<Vec<Arc<WorkerNode>>>,
-    stats: ClusterStats,
+    pub(crate) stats: ClusterStats,
     started: Instant,
     stop: Arc<(Mutex<bool>, Condvar)>,
     heartbeat: Mutex<Option<JoinHandle<()>>>,
+    /// Serialises warmsync rounds (heartbeat vs direct callers).
+    pub(crate) sync_lock: Mutex<()>,
+    /// Sorted live ids seen by the previous sync round — the "before"
+    /// side of the membership diff that triggers a rebalance.
+    pub(crate) last_membership: Mutex<Vec<String>>,
+    /// How this deployment spawns/retires workers (elastic lifecycle).
+    pub(crate) lifecycle: Mutex<Option<Arc<dyn Lifecycle>>>,
+    /// Sustained-beat counters for the elastic policy.
+    pub(crate) elastic_state: Mutex<ElasticState>,
 }
 
 impl Coordinator {
@@ -144,7 +169,17 @@ impl Coordinator {
             started: Instant::now(),
             stop: Arc::new((Mutex::new(false), Condvar::new())),
             heartbeat: Mutex::new(None),
+            sync_lock: Mutex::new(()),
+            last_membership: Mutex::new(Vec::new()),
+            lifecycle: Mutex::new(None),
+            elastic_state: Mutex::new(ElasticState::default()),
         })
+    }
+
+    /// Registers how this deployment spawns and retires workers,
+    /// arming the elastic policy (if one is configured).
+    pub fn set_lifecycle(&self, lifecycle: Arc<dyn Lifecycle>) {
+        *self.lifecycle.lock().expect("lifecycle poisoned") = Some(lifecycle);
     }
 
     /// The configuration the coordinator was created with.
@@ -166,18 +201,19 @@ impl Coordinator {
         self.event("cluster.ring", &format!("join {id}"));
     }
 
-    /// Deregisters a worker; `false` if the id was unknown. Only the
-    /// removed worker's keys remap.
-    pub fn remove_worker(&self, id: &str) -> bool {
+    /// Deregisters a worker; `None` if the id was unknown. Only the
+    /// removed worker's keys remap. Returns the worker's last-known
+    /// state (pressure, warm seq, …) so operators — and the elastic
+    /// retire path — see what the fleet just lost.
+    pub fn remove_worker(&self, id: &str) -> Option<WorkerState> {
         let mut workers = self.workers.write().expect("workers poisoned");
-        let before = workers.len();
+        let snapshot = workers.iter().find(|w| w.id == id).map(|w| w.state());
         workers.retain(|w| w.id != id);
-        let removed = workers.len() < before;
         drop(workers);
-        if removed {
+        if snapshot.is_some() {
             self.event("cluster.ring", &format!("leave {id}"));
         }
-        removed
+        snapshot
     }
 
     /// Ids of workers currently marked up.
@@ -191,7 +227,7 @@ impl Coordinator {
             .collect()
     }
 
-    fn snapshot_workers(&self) -> Vec<Arc<WorkerNode>> {
+    pub(crate) fn snapshot_workers(&self) -> Vec<Arc<WorkerNode>> {
         self.workers.read().expect("workers poisoned").clone()
     }
 
@@ -439,7 +475,7 @@ impl Coordinator {
 
     /// One more consecutive miss; marks the worker down at the
     /// threshold.
-    fn note_miss(&self, worker: &WorkerNode) {
+    pub(crate) fn note_miss(&self, worker: &WorkerNode) {
         let mut state = worker.state.lock().expect("worker state poisoned");
         state.missed_beats = state.missed_beats.saturating_add(1);
         if state.up && state.missed_beats >= self.config.max_missed_beats {
@@ -496,7 +532,7 @@ impl Coordinator {
                 match self.probe_health(&worker) {
                     Ok(reply) => {
                         self.stats.heartbeats_ok.inc();
-                        worker.set_pressure(reply.pressure_pct);
+                        worker.set_health(&reply);
                         self.mark_alive(&worker);
                     }
                     Err(_) => {
@@ -505,6 +541,13 @@ impl Coordinator {
                     }
                 }
             }
+            // Warm replication rides the heartbeat cadence: ship new
+            // suffixes, and rebalance if this beat's health sweep
+            // changed the live set (join, crash, revival).
+            if self.config.warmsync {
+                let _ = self.sync_warm();
+            }
+            self.elastic_step();
         }
     }
 
@@ -547,14 +590,25 @@ impl Coordinator {
             heartbeats_missed: self.stats.heartbeats_missed.get(),
             marked_down: self.stats.marked_down.get(),
             marked_up: self.stats.marked_up.get(),
+            warm_entries_shipped: self.stats.warm_entries_shipped.get(),
+            warm_bytes_shipped: self.stats.warm_bytes_shipped.get(),
+            warm_entries_pulled: self.stats.warm_entries_pulled.get(),
+            warm_bytes_pulled: self.stats.warm_bytes_pulled.get(),
+            warm_push_rejected: self.stats.warm_push_rejected.get(),
+            rebalance_events: self.stats.rebalance_events.get(),
+            rebalance_keys_moved: self.stats.rebalance_keys_moved.get(),
+            elastic_spawns: self.stats.elastic_spawns.get(),
+            elastic_retires: self.stats.elastic_retires.get(),
             latency_us: self.stats.latency_us.snapshot(),
+            ship_us: self.stats.ship_us.snapshot(),
+            pull_us: self.stats.pull_us.snapshot(),
             workers: workers.iter().map(|w| WorkerReport::of(w)).collect(),
         }
     }
 
     /// Records a routing/health event on the global timeline (only while
     /// `pcmax_obs` recording is enabled).
-    fn event(&self, track: &str, name: &str) {
+    pub(crate) fn event(&self, track: &str, name: &str) {
         if pcmax_obs::enabled() {
             pcmax_obs::timeline::global().record(TimelineEvent {
                 track: track.to_string(),
@@ -699,8 +753,10 @@ mod tests {
         coordinator.add_worker("a", dead_addr());
         coordinator.add_worker("b", dead_addr());
         assert_eq!(coordinator.live_workers().len(), 2);
-        assert!(coordinator.remove_worker("a"));
-        assert!(!coordinator.remove_worker("a"));
+        let snapshot = coordinator.remove_worker("a").expect("known worker");
+        assert!(snapshot.up, "never heartbeated, still presumed up");
+        assert_eq!(snapshot.warm_seq, 0);
+        assert!(coordinator.remove_worker("a").is_none(), "already gone");
         assert_eq!(coordinator.live_workers(), vec!["b".to_string()]);
     }
 }

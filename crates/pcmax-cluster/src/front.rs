@@ -92,16 +92,25 @@ fn handle_connection(coordinator: Arc<Coordinator>, stream: TcpStream) {
             Ok(Request::Stats) => format!("stats {}", coordinator.report().to_json()),
             Ok(Request::Health) => proto::format_health(&HealthReply {
                 uptime_us: coordinator.uptime().as_micros() as u64,
-                // The coordinator holds no queue, cache, or byte budget
-                // of its own; those live in the workers (see `stats`).
+                // The coordinator holds no queue, cache, byte budget,
+                // or warm log of its own; those live in the workers
+                // (see `stats`).
                 queue_depth: 0,
                 cache_entries: 0,
                 pressure_pct: 0,
+                warm_entries: 0,
+                warm_seq: 0,
             }),
             Ok(Request::Solve(req)) => match coordinator.solve(req) {
                 Ok(reply) => proto::format_response(&reply.response),
                 Err(e) => proto::format_error(&e.to_string()),
             },
+            // Warm state is worker-local; the coordinator relays it
+            // internally but does not serve it. The `invalid request`
+            // prefix tells routers not to retry elsewhere.
+            Ok(Request::WarmDigest | Request::WarmPull { .. } | Request::WarmPush { .. }) => {
+                proto::format_error("invalid request: warm verbs address a worker, not the coordinator")
+            }
             Err(e) => proto::format_error(&e),
         };
         if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {

@@ -1,12 +1,16 @@
 //! In-process multi-worker harness: spins up N real [`Service`]s behind
 //! real loopback TCP front-ends and a [`Coordinator`] routing over them.
 //! Everything runs in one process, so integration tests (and
-//! `pcmax bench-cluster`) can kill workers mid-load and inspect each
-//! worker's service directly.
+//! `pcmax bench-cluster`) can kill workers mid-load, join replacements,
+//! and inspect each worker's service directly. The harness also
+//! implements [`Lifecycle`], so the coordinator's elastic policy can
+//! spawn and retire in-process workers.
 
 use crate::coordinator::{ClusterConfig, Coordinator};
+use crate::sync::Lifecycle;
 use pcmax_serve::{serve_tcp, ServeConfig, Service, TcpHandle};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct LocalWorker {
@@ -17,18 +21,79 @@ struct LocalWorker {
     tcp: Mutex<Option<TcpHandle>>,
 }
 
+/// The shareable worker set: the piece of the harness the coordinator
+/// holds (as its [`Lifecycle`]) without owning the coordinator back.
+struct LocalWorkers {
+    list: Mutex<Vec<Arc<LocalWorker>>>,
+    serve_config: ServeConfig,
+    next_id: AtomicUsize,
+}
+
+impl LocalWorkers {
+    /// Starts one worker: its own [`Service`] (with a per-worker store
+    /// subdirectory, so a restart or replacement rehydrates exactly its
+    /// own hot set) behind an ephemeral loopback TCP front-end.
+    fn start_worker(&self, id: &str) -> std::io::Result<Arc<LocalWorker>> {
+        // A shared store dir would have every worker appending to one
+        // warm log; give each worker its own subdirectory.
+        let mut config = self.serve_config.clone();
+        if let Some(base) = &self.serve_config.store_dir {
+            config.store_dir = Some(base.join(id));
+        }
+        let service = Service::start(config);
+        let tcp = serve_tcp(Arc::clone(&service), "127.0.0.1:0")?;
+        let worker = Arc::new(LocalWorker {
+            id: id.to_string(),
+            addr: tcp.local_addr(),
+            service: Mutex::new(Some(service)),
+            tcp: Mutex::new(Some(tcp)),
+        });
+        self.list.lock().expect("workers poisoned").push(Arc::clone(&worker));
+        Ok(worker)
+    }
+
+    fn kill_worker(&self, worker: &LocalWorker) {
+        let tcp = worker.tcp.lock().expect("tcp poisoned").take();
+        if let Some(handle) = tcp {
+            handle.shutdown();
+        }
+        let service = worker.service.lock().expect("service poisoned").take();
+        if let Some(service) = service {
+            service.shutdown();
+        }
+    }
+}
+
+impl Lifecycle for LocalWorkers {
+    fn spawn_worker(&self) -> Option<(String, SocketAddr)> {
+        let id = format!("worker-{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.start_worker(&id).ok().map(|w| (w.id.clone(), w.addr))
+    }
+
+    fn retire_worker(&self, id: &str) {
+        let worker = {
+            let list = self.list.lock().expect("workers poisoned");
+            list.iter().find(|w| w.id == id).cloned()
+        };
+        if let Some(worker) = worker {
+            self.kill_worker(&worker);
+        }
+    }
+}
+
 /// N loopback `pcmax-serve` workers plus a coordinator routing over
 /// them. Dropping the harness kills the workers and shuts the
 /// coordinator down.
 pub struct LocalCluster {
-    workers: Vec<LocalWorker>,
+    inner: Arc<LocalWorkers>,
     coordinator: Arc<Coordinator>,
 }
 
 impl LocalCluster {
     /// Starts `n` workers (ids `worker-0` … `worker-{n-1}`), each its
     /// own [`Service`] with `serve_config` on an ephemeral loopback
-    /// port, registers them, and starts the heartbeat.
+    /// port, registers them, registers the harness as the coordinator's
+    /// [`Lifecycle`], and starts the heartbeat.
     pub fn start(
         n: usize,
         serve_config: ServeConfig,
@@ -36,29 +101,19 @@ impl LocalCluster {
     ) -> std::io::Result<Self> {
         assert!(n > 0, "a cluster needs at least one worker");
         let coordinator = Coordinator::new(cluster_config);
-        let mut workers = Vec::with_capacity(n);
+        let inner = Arc::new(LocalWorkers {
+            list: Mutex::new(Vec::new()),
+            serve_config,
+            next_id: AtomicUsize::new(n),
+        });
         for i in 0..n {
             let id = format!("worker-{i}");
-            // A shared store dir would have every worker appending to
-            // one warm log; give each worker its own subdirectory so a
-            // restart rehydrates exactly its own hot set.
-            let mut config = serve_config.clone();
-            if let Some(base) = &serve_config.store_dir {
-                config.store_dir = Some(base.join(&id));
-            }
-            let service = Service::start(config);
-            let tcp = serve_tcp(Arc::clone(&service), "127.0.0.1:0")?;
-            let addr = tcp.local_addr();
-            coordinator.add_worker(&id, addr);
-            workers.push(LocalWorker {
-                id,
-                addr,
-                service: Mutex::new(Some(service)),
-                tcp: Mutex::new(Some(tcp)),
-            });
+            let worker = inner.start_worker(&id)?;
+            coordinator.add_worker(&id, worker.addr);
         }
+        coordinator.set_lifecycle(Arc::clone(&inner) as Arc<dyn Lifecycle>);
         coordinator.start_heartbeat();
-        Ok(Self { workers, coordinator })
+        Ok(Self { inner, coordinator })
     }
 
     /// The routing coordinator.
@@ -68,34 +123,59 @@ impl LocalCluster {
 
     /// Number of workers the harness started (killed ones included).
     pub fn len(&self) -> usize {
-        self.workers.len()
+        self.inner.list.lock().expect("workers poisoned").len()
     }
 
     /// Whether the harness has no workers (never true — `start`
     /// requires at least one).
     pub fn is_empty(&self) -> bool {
-        self.workers.is_empty()
+        self.len() == 0
     }
 
     /// Worker ids, in start order.
     pub fn ids(&self) -> Vec<String> {
-        self.workers.iter().map(|w| w.id.clone()).collect()
+        self.inner
+            .list
+            .lock()
+            .expect("workers poisoned")
+            .iter()
+            .map(|w| w.id.clone())
+            .collect()
     }
 
     /// The TCP address worker `i` listens (or listened) on.
     pub fn addr(&self, i: usize) -> SocketAddr {
-        self.workers[i].addr
+        self.inner.list.lock().expect("workers poisoned")[i].addr
     }
 
     /// Worker `i`'s in-process service, for white-box inspection
     /// (cache sizes, reports). `None` once killed.
     pub fn service(&self, i: usize) -> Option<Arc<Service>> {
-        self.workers[i].service.lock().expect("service poisoned").clone()
+        let worker = Arc::clone(&self.inner.list.lock().expect("workers poisoned")[i]);
+        let service = worker.service.lock().expect("service poisoned").clone();
+        service
     }
 
     /// Index of the worker with `id`, if the harness started one.
     pub fn index_of(&self, id: &str) -> Option<usize> {
-        self.workers.iter().position(|w| w.id == id)
+        self.inner
+            .list
+            .lock()
+            .expect("workers poisoned")
+            .iter()
+            .position(|w| w.id == id)
+    }
+
+    /// Starts one more worker and registers it with the coordinator —
+    /// a live join, as the elastic spawn path would do it. Returns the
+    /// new worker's id. The next warmsync round relays the keys the
+    /// joiner now owns, so its first warm-key request is served from
+    /// shipped state.
+    pub fn spawn(&self) -> std::io::Result<String> {
+        let id = format!("worker-{}", self.inner.next_id.fetch_add(1, Ordering::SeqCst));
+        let worker = self.inner.start_worker(&id)?;
+        self.coordinator.add_worker(&id, worker.addr);
+        Ok(id)
     }
 
     /// Kills worker `i`: stops its TCP front-end and shuts its service
@@ -103,20 +183,14 @@ impl LocalCluster {
     /// the death through transport errors and heartbeats, exactly as it
     /// would a remote crash. Idempotent.
     pub fn kill(&self, i: usize) {
-        let tcp = self.workers[i].tcp.lock().expect("tcp poisoned").take();
-        if let Some(handle) = tcp {
-            handle.shutdown();
-        }
-        let service = self.workers[i].service.lock().expect("service poisoned").take();
-        if let Some(service) = service {
-            service.shutdown();
-        }
+        let worker = Arc::clone(&self.inner.list.lock().expect("workers poisoned")[i]);
+        self.inner.kill_worker(&worker);
     }
 }
 
 impl Drop for LocalCluster {
     fn drop(&mut self) {
-        for i in 0..self.workers.len() {
+        for i in 0..self.len() {
             self.kill(i);
         }
         self.coordinator.shutdown();

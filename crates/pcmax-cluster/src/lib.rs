@@ -20,6 +20,16 @@
 //!   in-process heuristic, so a solvable instance always returns a valid
 //!   schedule; transport problems are absorbed, not surfaced.
 //!
+//! * **Warm-state replication & elasticity** — the warmsync engine
+//!   ([`sync`]) rides the heartbeat: each worker's warm-log suffix is
+//!   shipped to its `R − 1` rendezvous successors, membership changes
+//!   trigger a planned rebalance (the exact rendezvous ownership diff,
+//!   pulled from a live holder and pushed to the new owner), and an
+//!   optional [`ElasticPolicy`] spawns/retires workers through a
+//!   registered [`Lifecycle`]. A joining worker therefore answers its
+//!   first request for a previously-warm key from shipped state — no
+//!   cold DP solve.
+//!
 //! [`serve_cluster_tcp`] exposes the coordinator over the same line
 //! protocol the workers speak (`stats` answers with the aggregated
 //! [`ClusterReport`]), making a cluster a drop-in replacement for a
@@ -31,6 +41,7 @@ pub mod front;
 pub mod harness;
 pub mod ring;
 pub mod stats;
+pub mod sync;
 pub mod worker;
 
 pub use coordinator::{ClusterConfig, ClusterError, ClusterReply, Coordinator};
@@ -38,4 +49,5 @@ pub use front::{serve_cluster_tcp, ClusterTcpHandle};
 pub use harness::LocalCluster;
 pub use ring::{rank_ids, rendezvous_score, worker_seed, RouteKey};
 pub use stats::{ClusterReport, ClusterStats, WorkerReport};
+pub use sync::{ElasticPolicy, Lifecycle, SyncOutcome};
 pub use worker::{WorkerCounters, WorkerNode, WorkerState};

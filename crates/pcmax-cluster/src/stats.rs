@@ -39,8 +39,30 @@ pub struct ClusterStats {
     pub marked_down: Counter,
     /// Down→up transitions (worker answered again).
     pub marked_up: Counter,
+    /// Warm entries shipped to replicas/new owners (warmsync pushes).
+    pub warm_entries_shipped: Counter,
+    /// Bytes of warm payload shipped (key + value, pre-hex).
+    pub warm_bytes_shipped: Counter,
+    /// Warm entries pulled from donors (warmsync pulls).
+    pub warm_entries_pulled: Counter,
+    /// Bytes of warm payload pulled (key + value, pre-hex).
+    pub warm_bytes_pulled: Counter,
+    /// Entries a receiving worker rejected on push (checksum/decode).
+    pub warm_push_rejected: Counter,
+    /// Membership changes that triggered a rebalance pass.
+    pub rebalance_events: Counter,
+    /// Warm keys relayed to their new rendezvous owner by rebalances.
+    pub rebalance_keys_moved: Counter,
+    /// Workers the elastic policy spawned.
+    pub elastic_spawns: Counter,
+    /// Workers the elastic policy retired (after draining).
+    pub elastic_retires: Counter,
     /// End-to-end coordinator-side request latency, in µs.
     pub latency_us: Histogram,
+    /// Latency of one warm-push batch to one worker, in µs.
+    pub ship_us: Histogram,
+    /// Latency of one warm-pull batch from one worker, in µs.
+    pub pull_us: Histogram,
 }
 
 /// Point-in-time state of one worker, inside [`ClusterReport`].
@@ -57,6 +79,13 @@ pub struct WorkerReport {
     /// Memory pressure it last reported over `health` (percent of its
     /// cache byte budget).
     pub pressure_pct: u64,
+    /// Live warm-log entries it last reported over `health`.
+    pub warm_entries: u64,
+    /// Warm-log high-water seq it last reported over `health`.
+    pub warm_seq: u64,
+    /// Replication watermark: its warm seq up to which the coordinator
+    /// has shipped entries to replicas.
+    pub synced_seq: u64,
     /// Solve attempts routed at it (including retries).
     pub attempts: u64,
     /// Requests it answered ok.
@@ -82,6 +111,9 @@ impl WorkerReport {
             up: state.up,
             missed_beats: state.missed_beats,
             pressure_pct: state.pressure_pct,
+            warm_entries: state.warm_entries,
+            warm_seq: state.warm_seq,
+            synced_seq: worker.synced_seq(),
             attempts: c.attempts.get(),
             ok: c.ok.get(),
             server_errors: c.server_errors.get(),
@@ -98,6 +130,9 @@ impl WorkerReport {
             .field_str("state", if self.up { "up" } else { "down" })
             .field_u64("missed_beats", self.missed_beats as u64)
             .field_u64("pressure_pct", self.pressure_pct)
+            .field_u64("warm_entries", self.warm_entries)
+            .field_u64("warm_seq", self.warm_seq)
+            .field_u64("synced_seq", self.synced_seq)
             .field_u64("attempts", self.attempts)
             .field_u64("ok", self.ok)
             .field_u64("server_errors", self.server_errors)
@@ -144,8 +179,30 @@ pub struct ClusterReport {
     pub marked_down: u64,
     /// Down→up transitions.
     pub marked_up: u64,
+    /// Warm entries shipped to replicas/new owners.
+    pub warm_entries_shipped: u64,
+    /// Warm payload bytes shipped.
+    pub warm_bytes_shipped: u64,
+    /// Warm entries pulled from donors.
+    pub warm_entries_pulled: u64,
+    /// Warm payload bytes pulled.
+    pub warm_bytes_pulled: u64,
+    /// Entries rejected by receiving workers on push.
+    pub warm_push_rejected: u64,
+    /// Membership changes that triggered a rebalance pass.
+    pub rebalance_events: u64,
+    /// Warm keys relayed to new rendezvous owners by rebalances.
+    pub rebalance_keys_moved: u64,
+    /// Workers the elastic policy spawned.
+    pub elastic_spawns: u64,
+    /// Workers the elastic policy retired.
+    pub elastic_retires: u64,
     /// End-to-end latency histogram.
     pub latency_us: HistogramSnapshot,
+    /// Warm-push batch latency histogram, in µs.
+    pub ship_us: HistogramSnapshot,
+    /// Warm-pull batch latency histogram, in µs.
+    pub pull_us: HistogramSnapshot,
     /// Per-worker state and counters.
     pub workers: Vec<WorkerReport>,
 }
@@ -176,7 +233,22 @@ impl ClusterReport {
             .field_u64("marked_down", self.marked_down)
             .field_u64("marked_up", self.marked_up)
             .end_object()
-            .key("latency_us");
+            .key("warmsync")
+            .begin_object()
+            .field_u64("entries_shipped", self.warm_entries_shipped)
+            .field_u64("bytes_shipped", self.warm_bytes_shipped)
+            .field_u64("entries_pulled", self.warm_entries_pulled)
+            .field_u64("bytes_pulled", self.warm_bytes_pulled)
+            .field_u64("push_rejected", self.warm_push_rejected)
+            .field_u64("rebalance_events", self.rebalance_events)
+            .field_u64("rebalance_keys_moved", self.rebalance_keys_moved)
+            .field_u64("elastic_spawns", self.elastic_spawns)
+            .field_u64("elastic_retires", self.elastic_retires)
+            .key("ship_us");
+        self.ship_us.write_json(&mut w);
+        w.key("pull_us");
+        self.pull_us.write_json(&mut w);
+        w.end_object().key("latency_us");
         self.latency_us.write_json(&mut w);
         w.key("workers").begin_array();
         for worker in &self.workers {
@@ -216,7 +288,18 @@ mod tests {
             heartbeats_missed: 1,
             marked_down: 1,
             marked_up: 0,
+            warm_entries_shipped: 12,
+            warm_bytes_shipped: 4096,
+            warm_entries_pulled: 13,
+            warm_bytes_pulled: 4200,
+            warm_push_rejected: 1,
+            rebalance_events: 2,
+            rebalance_keys_moved: 9,
+            elastic_spawns: 1,
+            elastic_retires: 1,
             latency_us: stats.latency_us.snapshot(),
+            ship_us: stats.ship_us.snapshot(),
+            pull_us: stats.pull_us.snapshot(),
             workers: vec![WorkerReport::of(&node)],
         };
         let json = report.to_json();
@@ -225,9 +308,15 @@ mod tests {
         assert!(json.contains("\"degraded_local\":1"), "{json}");
         assert!(json.contains("\"dp_cache\":{\"hits\":11"), "{json}");
         assert!(json.contains("\"marked_down\":1"), "{json}");
+        assert!(json.contains("\"warmsync\":{\"entries_shipped\":12"), "{json}");
+        assert!(json.contains("\"rebalance_events\":2"), "{json}");
+        assert!(json.contains("\"rebalance_keys_moved\":9"), "{json}");
+        assert!(json.contains("\"ship_us\""), "{json}");
+        assert!(json.contains("\"pull_us\""), "{json}");
         assert!(json.contains("\"id\":\"w0\""), "{json}");
         assert!(json.contains("\"state\":\"up\""), "{json}");
         assert!(json.contains("\"pressure_pct\":0"), "{json}");
+        assert!(json.contains("\"warm_seq\":0"), "{json}");
         assert!(json.contains("\"attempts\":5"), "{json}");
     }
 }

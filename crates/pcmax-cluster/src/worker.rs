@@ -20,6 +20,16 @@ pub struct WorkerState {
     /// (DP-cache bytes as a percentage of its budget, clamped to 100).
     /// 0 until the first heartbeat answers.
     pub pressure_pct: u64,
+    /// Queue depth the worker last reported over `health`.
+    pub queue_depth: u64,
+    /// Live warm-log entry count from the last heartbeat.
+    pub warm_entries: u64,
+    /// Warm-log high-water sequence number from the last heartbeat.
+    /// The warmsync engine compares it against [`WorkerNode`]'s
+    /// replication watermark to decide whether a pull is due, and
+    /// against the cached digest's seq to skip digest round-trips for
+    /// unchanged workers.
+    pub warm_seq: u64,
 }
 
 /// Per-worker counters, aggregated into the cluster report.
@@ -56,6 +66,14 @@ pub struct WorkerNode {
     /// the same worker serialise on this mutex. `None` until first use
     /// and after any transport failure.
     pub conn: Mutex<Option<Client>>,
+    /// Replication watermark: the worker's warm-log seq up to which the
+    /// coordinator has already pulled and shipped entries to replicas.
+    /// Entries with `seq > synced_seq` are the unshipped suffix.
+    pub synced_seq: Mutex<u64>,
+    /// Cached `warm-digest` reply as `(warm_seq_at_fetch, (hash, seq))`.
+    /// Valid while the worker's heartbeat-reported `warm_seq` matches
+    /// the cached one, so unchanged workers cost no digest round-trip.
+    pub digest_cache: Mutex<Option<(u64, Vec<(u64, u64)>)>>,
     /// Telemetry.
     pub counters: WorkerCounters,
 }
@@ -71,8 +89,13 @@ impl WorkerNode {
                 up: true,
                 missed_beats: 0,
                 pressure_pct: 0,
+                queue_depth: 0,
+                warm_entries: 0,
+                warm_seq: 0,
             }),
             conn: Mutex::new(None),
+            synced_seq: Mutex::new(0),
+            digest_cache: Mutex::new(None),
             counters: WorkerCounters::default(),
         }
     }
@@ -95,6 +118,31 @@ impl WorkerNode {
     /// Records the pressure a heartbeat reply carried.
     pub fn set_pressure(&self, pressure_pct: u64) {
         self.state.lock().expect("worker state poisoned").pressure_pct = pressure_pct;
+    }
+
+    /// Records everything a heartbeat `health` reply carried.
+    pub fn set_health(&self, reply: &pcmax_serve::HealthReply) {
+        let mut state = self.state.lock().expect("worker state poisoned");
+        state.pressure_pct = reply.pressure_pct;
+        state.queue_depth = reply.queue_depth;
+        state.warm_entries = reply.warm_entries;
+        state.warm_seq = reply.warm_seq;
+    }
+
+    /// Warm-log high-water seq from the last heartbeat.
+    pub fn warm_seq(&self) -> u64 {
+        self.state.lock().expect("worker state poisoned").warm_seq
+    }
+
+    /// The replication watermark (last seq pulled for shipping).
+    pub fn synced_seq(&self) -> u64 {
+        *self.synced_seq.lock().expect("synced_seq poisoned")
+    }
+
+    /// Advances the replication watermark (monotonic).
+    pub fn set_synced_seq(&self, seq: u64) {
+        let mut guard = self.synced_seq.lock().expect("synced_seq poisoned");
+        *guard = (*guard).max(seq);
     }
 
     /// Drops the pooled connection (after a transport failure).

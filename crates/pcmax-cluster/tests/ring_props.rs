@@ -4,7 +4,17 @@
 
 use pcmax_cluster::ring::{rank_ids, RouteKey};
 use pcmax_core::Instance;
+use pcmax_warmsync::moved_set;
 use proptest::prelude::*;
+
+/// The rendezvous primary of `hash` under the membership `ids`, as the
+/// warmsync planner consumes it.
+fn primary(ids: &[String]) -> impl Fn(u64) -> Option<String> + '_ {
+    move |hash| {
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        rank_ids(&refs, hash).first().map(|s| s.to_string())
+    }
+}
 
 /// A pool of distinct worker ids, 2..=8 of them.
 fn worker_pool() -> impl Strategy<Value = Vec<String>> {
@@ -84,5 +94,73 @@ proptest! {
         let a = RouteKey::of(&Instance::new(ts.clone(), 3), k);
         let b = RouteKey::of(&Instance::new(ts, 3), k + 1);
         prop_assert_ne!(a, b);
+    }
+
+    /// A join moves ≈ 1/(n+1) of the keys to the new worker — the
+    /// minimal-disruption property the warmsync rebalance relies on.
+    /// Bounds are loose (0.2×..3× the expectation, 512 keys) so the
+    /// statistical check never flakes while still catching a broken
+    /// ring (a modulo ring would move ~n/(n+1) of the keys on join).
+    #[test]
+    fn join_moves_about_one_nth_of_keys(ids in worker_pool(),
+                                        seed in 0u64..u64::MAX) {
+        let joiner = "worker-joined".to_string();
+        let mut grown = ids.clone();
+        grown.push(joiner.clone());
+        // Deterministic spread of key hashes derived from the seed.
+        let hashes: Vec<u64> = (0..512u64)
+            .map(|i| seed.wrapping_add(i).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let moved = moved_set(&hashes, primary(&ids), primary(&grown));
+        prop_assert!(moved.iter().all(|k| k.to == joiner),
+            "a join may only move keys TO the joiner");
+        let expected = hashes.len() as f64 / grown.len() as f64;
+        let got = moved.len() as f64;
+        prop_assert!(got >= 0.2 * expected && got <= 3.0 * expected,
+            "join moved {} keys, expected ≈{:.0} (n={} workers)",
+            moved.len(), expected, grown.len());
+    }
+
+    /// The warmsync planner's moved set is EXACTLY the rendezvous
+    /// ownership diff: brute-forcing the primary of every key before
+    /// and after a membership change reproduces `moved_set`
+    /// key-for-key, including the from/to attribution.
+    #[test]
+    fn moved_set_matches_brute_force_ownership_diff(
+        ids in worker_pool(),
+        victim in 0usize..8,
+        join in any::<bool>(),
+        keys in prop::collection::vec(0u64..u64::MAX, 64),
+    ) {
+        let mut after = ids.clone();
+        if join {
+            after.push("worker-joined".to_string());
+        } else {
+            let gone = victim % after.len();
+            after.remove(gone);
+        }
+        let mut hashes = keys.clone();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let planned = moved_set(&hashes, primary(&ids), primary(&after));
+
+        // Brute force: enumerate every key's primary under both
+        // memberships directly off the ring.
+        let mut expect = Vec::new();
+        for &hash in &hashes {
+            let before = primary(&ids)(hash);
+            let now = primary(&after)(hash);
+            if let Some(to) = now {
+                if before.as_deref() != Some(to.as_str()) {
+                    expect.push((hash, before, to));
+                }
+            }
+        }
+        prop_assert_eq!(planned.len(), expect.len());
+        for (key, (hash, from, to)) in planned.iter().zip(expect) {
+            prop_assert_eq!(key.hash, hash);
+            prop_assert_eq!(key.from.clone(), from);
+            prop_assert_eq!(key.to.clone(), to);
+        }
     }
 }

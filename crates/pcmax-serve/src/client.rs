@@ -189,6 +189,50 @@ impl Client {
         }
     }
 
+    /// Digest of the worker's warm log: high-water sequence number plus
+    /// a `(key_hash, seq)` pair per live entry. The coordinator's
+    /// rebalance planner diffs this against ownership to decide what to
+    /// pull.
+    pub fn warm_digest(&mut self) -> Result<pcmax_warmsync::WarmDigest, ClientError> {
+        let line = self.roundtrip("warm-digest")?;
+        match proto::parse_warm_digest_reply(&line) {
+            Ok(digest) => Ok(digest),
+            Err(msg) if line.starts_with("err") => Err(ClientError::Server(msg)),
+            Err(msg) => Err(ClientError::Transport(format!("protocol: {msg}"))),
+        }
+    }
+
+    /// Pulls the warm entries with `seq > since_seq` whose key hash falls
+    /// in `lo..=hi`, checksums re-verified on receipt.
+    pub fn warm_pull(
+        &mut self,
+        since_seq: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<pcmax_warmsync::ShipEntry>, ClientError> {
+        let line = self.roundtrip(&proto::format_warm_pull_request(since_seq, lo, hi))?;
+        match proto::parse_warm_pull_reply(&line) {
+            Ok(entries) => Ok(entries),
+            Err(msg) if line.starts_with("err") => Err(ClientError::Server(msg)),
+            Err(msg) => Err(ClientError::Transport(format!("protocol: {msg}"))),
+        }
+    }
+
+    /// Ships `entries` into the peer's warm log. Returns
+    /// `(accepted, rejected)` — rejects are per-entry (bad checksum or
+    /// undecodable payload), never a whole-push failure.
+    pub fn warm_push(
+        &mut self,
+        entries: &[pcmax_warmsync::ShipEntry],
+    ) -> Result<(u64, u64), ClientError> {
+        let line = self.roundtrip(&proto::format_warm_push_request(entries))?;
+        match proto::parse_warm_push_reply(&line) {
+            Ok(counts) => Ok(counts),
+            Err(msg) if line.starts_with("err") => Err(ClientError::Server(msg)),
+            Err(msg) => Err(ClientError::Transport(format!("protocol: {msg}"))),
+        }
+    }
+
     /// Raw `stats …` line from the server.
     pub fn stats_line(&mut self) -> Result<String, String> {
         let line = self.roundtrip("stats").map_err(|e| e.to_string())?;

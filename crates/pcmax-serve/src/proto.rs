@@ -11,6 +11,9 @@
 //! stats
 //! health
 //! ping
+//! warm-digest
+//! warm-pull <since_seq> <lo_hash> <hi_hash>
+//! warm-push <n> <entry>…
 //! ```
 //!
 //! Responses:
@@ -20,14 +23,30 @@
 //! err <message>
 //! pong
 //! stats {"accepted":…,"completed":…,"degraded":…,"rejected":…,"cache":{…},"histograms":{…}}
-//! health <uptime_us> <queue_depth> <cache_entries> <pressure_pct>
+//! health <uptime_us> <queue_depth> <cache_entries> <pressure_pct> [<warm_entries> <warm_seq>]
+//! warm-digest <max_seq> <n> <hash:seq>…
+//! warm-pull <n> <entry>…
+//! warm-push <accepted> <rejected>
 //! ```
 //!
 //! `health` is the heartbeat the cluster coordinator polls: cheap
-//! (four counter reads, no queueing) and answered even when the solve
+//! (six counter reads, no queueing) and answered even when the solve
 //! queue is saturated. `pressure_pct` is DP-cache residency against its
 //! byte budget; the coordinator deprioritises pressured workers in its
-//! failover order.
+//! failover order. `warm_entries`/`warm_seq` describe the worker's
+//! warm log so the coordinator can pick rehydration donors without a
+//! separate round trip; the parse is version-tolerant — old workers
+//! answer with four fields and the two warm fields default to zero.
+//!
+//! The `warm-*` verbs are the warmsync shipping protocol (see
+//! `pcmax-warmsync`): a digest inventories the warm log as
+//! `(fnv1a(key), seq)` pairs, a pull streams the checksummed entries
+//! above a seq watermark inside an inclusive key-hash range, and a push
+//! delivers entries to a peer, which re-verifies every checksum and
+//! answers with accepted/rejected counts. Entry tokens are
+//! `seq:hexkey:hexval:checksum` ([`ShipEntry::to_token`]). These verbs
+//! bypass the solve queue entirely — they touch only the warm log, so
+//! replication never competes with, or is counted as, request traffic.
 //!
 //! The `stats` payload is one JSON object (see
 //! [`ServiceReport::to_json`]); histograms carry non-zero data only
@@ -44,6 +63,8 @@
 use crate::service::{SolveRequest, SolveResponse};
 use crate::stats::{EngineUsed, HealthReply, ServiceReport};
 use pcmax_core::{Guarantee, Instance};
+use pcmax_warmsync::frame::format_digest_entry;
+use pcmax_warmsync::{parse_digest_entry, ShipEntry, WarmDigest};
 use std::time::Duration;
 
 /// A parsed request line.
@@ -57,6 +78,24 @@ pub enum Request {
     Health,
     /// Liveness check.
     Ping,
+    /// Inventory the warm log as `(key hash, seq)` pairs.
+    WarmDigest,
+    /// Stream warm entries above a seq watermark in a key-hash range.
+    WarmPull {
+        /// Only entries with seq strictly above this ship.
+        since_seq: u64,
+        /// Inclusive lower key-hash bound.
+        lo: u64,
+        /// Inclusive upper key-hash bound.
+        hi: u64,
+    },
+    /// Deliver warm entries. Tokens are kept undecoded so the service
+    /// can count per-entry checksum rejections instead of failing the
+    /// whole push.
+    WarmPush {
+        /// Raw `seq:hexkey:hexval:checksum` entry tokens.
+        tokens: Vec<String>,
+    },
 }
 
 /// Parses one request line.
@@ -110,6 +149,46 @@ fn parse_request_inner(line: &str) -> Result<Request, String> {
         Some("stats") => Ok(Request::Stats),
         Some("health") => Ok(Request::Health),
         Some("ping") => Ok(Request::Ping),
+        Some("warm-digest") => {
+            if words.next().is_some() {
+                return Err("trailing fields after warm-digest".into());
+            }
+            Ok(Request::WarmDigest)
+        }
+        Some("warm-pull") => {
+            let mut field = |name: &str| {
+                words
+                    .next()
+                    .ok_or(format!("missing field {name}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {name}: {e}"))
+            };
+            let since_seq = field("since_seq")?;
+            let lo = field("lo_hash")?;
+            let hi = field("hi_hash")?;
+            if words.next().is_some() {
+                return Err("trailing fields after warm-pull".into());
+            }
+            if lo > hi {
+                return Err(format!("empty warm-pull hash range {lo}..{hi}"));
+            }
+            Ok(Request::WarmPull { since_seq, lo, hi })
+        }
+        Some("warm-push") => {
+            let count: usize = words
+                .next()
+                .ok_or("missing entry count")?
+                .parse()
+                .map_err(|e| format!("bad entry count: {e}"))?;
+            let tokens: Vec<String> = words.map(str::to_string).collect();
+            if tokens.len() != count {
+                return Err(format!(
+                    "warm-push count mismatch: header says {count}, got {}",
+                    tokens.len()
+                ));
+            }
+            Ok(Request::WarmPush { tokens })
+        }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("empty request".into()),
     }
@@ -162,17 +241,26 @@ pub fn format_stats(report: &ServiceReport) -> String {
     format!("stats {}", report.to_json())
 }
 
-/// Formats the `health …` line.
+/// Formats the `health …` line (current six-field form).
 pub fn format_health(health: &HealthReply) -> String {
     format!(
-        "health {} {} {} {}",
-        health.uptime_us, health.queue_depth, health.cache_entries, health.pressure_pct
+        "health {} {} {} {} {} {}",
+        health.uptime_us,
+        health.queue_depth,
+        health.cache_entries,
+        health.pressure_pct,
+        health.warm_entries,
+        health.warm_seq
     )
 }
 
 /// Parses a `health …` line into `Ok(reply)`, or the server's `Err`
 /// text for `err` lines (an old server answers `health` with
 /// `err unknown command`).
+///
+/// Version-tolerant: workers predating warmsync answer with four
+/// fields; the warm fields then default to zero. Four or six fields
+/// are the only valid shapes.
 pub fn parse_health_response(line: &str) -> Result<HealthReply, String> {
     let mut words = line.split_whitespace();
     match words.next() {
@@ -184,12 +272,24 @@ pub fn parse_health_response(line: &str) -> Result<HealthReply, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("bad {name}: {e}"))
             };
-            let reply = HealthReply {
+            let mut reply = HealthReply {
                 uptime_us: field("uptime_us")?,
                 queue_depth: field("queue_depth")?,
                 cache_entries: field("cache_entries")?,
                 pressure_pct: field("pressure_pct")?,
+                warm_entries: 0,
+                warm_seq: 0,
             };
+            if let Some(word) = words.next() {
+                reply.warm_entries = word
+                    .parse()
+                    .map_err(|e| format!("bad warm_entries: {e}"))?;
+                reply.warm_seq = words
+                    .next()
+                    .ok_or("warm_entries without warm_seq")?
+                    .parse()
+                    .map_err(|e| format!("bad warm_seq: {e}"))?;
+            }
             if words.next().is_some() {
                 return Err("trailing fields after health reply".into());
             }
@@ -205,6 +305,143 @@ pub fn parse_health_response(line: &str) -> Result<HealthReply, String> {
         }
         Some(other) => Err(format!("unexpected health reply `{other}`")),
         None => Err("empty health reply".into()),
+    }
+}
+
+/// Formats the `warm-pull <since> <lo> <hi>` request line.
+pub fn format_warm_pull_request(since_seq: u64, lo: u64, hi: u64) -> String {
+    format!("warm-pull {since_seq} {lo} {hi}")
+}
+
+/// Formats the `warm-push <n> <entry>…` request line.
+pub fn format_warm_push_request(entries: &[ShipEntry]) -> String {
+    let mut line = format!("warm-push {}", entries.len());
+    for entry in entries {
+        line.push(' ');
+        line.push_str(&entry.to_token());
+    }
+    line
+}
+
+/// Formats the `warm-digest …` reply line.
+pub fn format_warm_digest_reply(digest: &WarmDigest) -> String {
+    let mut line = format!("warm-digest {} {}", digest.max_seq, digest.entries.len());
+    for &(hash, seq) in &digest.entries {
+        line.push(' ');
+        line.push_str(&format_digest_entry(hash, seq));
+    }
+    line
+}
+
+/// Parses a `warm-digest …` reply, or the server's `Err` text.
+pub fn parse_warm_digest_reply(line: &str) -> Result<WarmDigest, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("warm-digest") => {
+            let max_seq: u64 = words
+                .next()
+                .ok_or("missing max_seq")?
+                .parse()
+                .map_err(|e| format!("bad max_seq: {e}"))?;
+            let count: usize = words
+                .next()
+                .ok_or("missing entry count")?
+                .parse()
+                .map_err(|e| format!("bad entry count: {e}"))?;
+            let entries = words
+                .map(parse_digest_entry)
+                .collect::<Result<Vec<_>, _>>()?;
+            if entries.len() != count {
+                return Err(format!(
+                    "digest count mismatch: header says {count}, got {}",
+                    entries.len()
+                ));
+            }
+            Ok(WarmDigest { max_seq, entries })
+        }
+        other => Err(reply_error(line, other, "warm-digest")),
+    }
+}
+
+/// Formats the `warm-pull <n> <entry>…` reply line.
+pub fn format_warm_pull_reply(entries: &[ShipEntry]) -> String {
+    let mut line = format!("warm-pull {}", entries.len());
+    for entry in entries {
+        line.push(' ');
+        line.push_str(&entry.to_token());
+    }
+    line
+}
+
+/// Parses a `warm-pull …` reply, re-verifying every entry checksum, or
+/// the server's `Err` text.
+pub fn parse_warm_pull_reply(line: &str) -> Result<Vec<ShipEntry>, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("warm-pull") => {
+            let count: usize = words
+                .next()
+                .ok_or("missing entry count")?
+                .parse()
+                .map_err(|e| format!("bad entry count: {e}"))?;
+            let entries = words
+                .map(ShipEntry::from_token)
+                .collect::<Result<Vec<_>, _>>()?;
+            if entries.len() != count {
+                return Err(format!(
+                    "pull count mismatch: header says {count}, got {}",
+                    entries.len()
+                ));
+            }
+            Ok(entries)
+        }
+        other => Err(reply_error(line, other, "warm-pull")),
+    }
+}
+
+/// Formats the `warm-push <accepted> <rejected>` reply line.
+pub fn format_warm_push_reply(accepted: u64, rejected: u64) -> String {
+    format!("warm-push {accepted} {rejected}")
+}
+
+/// Parses a `warm-push …` reply into `(accepted, rejected)`, or the
+/// server's `Err` text.
+pub fn parse_warm_push_reply(line: &str) -> Result<(u64, u64), String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("warm-push") => {
+            let mut field = |name: &str| {
+                words
+                    .next()
+                    .ok_or(format!("missing field {name}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {name}: {e}"))
+            };
+            let accepted = field("accepted")?;
+            let rejected = field("rejected")?;
+            if words.next().is_some() {
+                return Err("trailing fields after warm-push reply".into());
+            }
+            Ok((accepted, rejected))
+        }
+        other => Err(reply_error(line, other, "warm-push")),
+    }
+}
+
+/// Shared error shaping for warm replies: `err` lines surface the
+/// server's message, anything else names the unexpected verb.
+fn reply_error(line: &str, first: Option<&str>, expected: &str) -> String {
+    match first {
+        Some("err") => {
+            let rest = line.trim_start()[3..].trim_start();
+            if rest.is_empty() {
+                "unspecified server error".to_string()
+            } else {
+                rest.to_string()
+            }
+        }
+        Some(other) => format!("unexpected {expected} reply `{other}`"),
+        None => format!("empty {expected} reply"),
     }
 }
 
@@ -567,10 +804,23 @@ mod tests {
             queue_depth: 3,
             cache_entries: 42,
             pressure_pct: 87,
+            warm_entries: 19,
+            warm_seq: 23,
         };
         let line = format_health(&reply);
-        assert_eq!(line, "health 1234567 3 42 87");
+        assert_eq!(line, "health 1234567 3 42 87 19 23");
         assert_eq!(parse_health_response(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn legacy_four_field_health_parses_with_zero_warm_fields() {
+        // Workers predating warmsync omit the warm fields; the parse is
+        // version-tolerant so a mixed-version cluster keeps beating.
+        let reply = parse_health_response("health 1234567 3 42 87").unwrap();
+        assert_eq!(reply.uptime_us, 1_234_567);
+        assert_eq!(reply.pressure_pct, 87);
+        assert_eq!(reply.warm_entries, 0);
+        assert_eq!(reply.warm_seq, 0);
     }
 
     #[test]
@@ -583,6 +833,8 @@ mod tests {
             "health 1 2 3",
             "health 1 2 3 x",
             "health 1 2 3 4 5",
+            "health 1 2 3 4 5 x",
+            "health 1 2 3 4 5 6 7",
             "pong",
         ] {
             assert!(
@@ -593,6 +845,81 @@ mod tests {
         // err lines surface the server's message, like solve replies.
         let err = parse_health_response("err unknown command `health`").unwrap_err();
         assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn warm_requests_parse() {
+        assert!(matches!(
+            parse_request("warm-digest").unwrap(),
+            Request::WarmDigest
+        ));
+        assert!(matches!(
+            parse_request("warm-pull 7 100 200").unwrap(),
+            Request::WarmPull {
+                since_seq: 7,
+                lo: 100,
+                hi: 200
+            }
+        ));
+        let entry = ShipEntry {
+            seq: 3,
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        };
+        let line = format_warm_push_request(std::slice::from_ref(&entry));
+        match parse_request(&line).unwrap() {
+            Request::WarmPush { tokens } => {
+                assert_eq!(tokens.len(), 1);
+                assert_eq!(ShipEntry::from_token(&tokens[0]).unwrap(), entry);
+            }
+            other => panic!("expected WarmPush, got {other:?}"),
+        }
+        for bad in [
+            "warm-digest extra",
+            "warm-pull 1 2",
+            "warm-pull 1 9 2",
+            "warm-pull 1 2 3 4",
+            "warm-push",
+            "warm-push 2 1:6b:76:0",
+            "warm-push x",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(err.starts_with("invalid request: "), "`{bad}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn warm_replies_round_trip() {
+        let digest = WarmDigest {
+            max_seq: 9,
+            entries: vec![(111, 4), (222, 9)],
+        };
+        let line = format_warm_digest_reply(&digest);
+        assert_eq!(parse_warm_digest_reply(&line).unwrap(), digest);
+        assert!(parse_warm_digest_reply("warm-digest 9 3 1:2").is_err());
+        assert!(parse_warm_digest_reply("pong").is_err());
+        assert!(parse_warm_digest_reply("err nope").unwrap_err().contains("nope"));
+
+        let entries = vec![
+            ShipEntry {
+                seq: 1,
+                key: b"a".to_vec(),
+                value: b"x".to_vec(),
+            },
+            ShipEntry {
+                seq: 2,
+                key: b"b".to_vec(),
+                value: Vec::new(),
+            },
+        ];
+        let line = format_warm_pull_reply(&entries);
+        assert_eq!(parse_warm_pull_reply(&line).unwrap(), entries);
+        assert!(parse_warm_pull_reply("warm-pull 2 1:61:78:0").is_err());
+
+        let line = format_warm_push_reply(5, 1);
+        assert_eq!(parse_warm_push_reply(&line).unwrap(), (5, 1));
+        assert!(parse_warm_push_reply("warm-push 5").is_err());
+        assert!(parse_warm_push_reply("warm-push 5 1 2").is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use pcmax_core::{Guarantee, Instance, Schedule};
 use pcmax_improve::{ImproveConfig, ImproveMode};
 use pcmax_ptas::DpEngine;
 use pcmax_store::StoreBudget;
+use pcmax_warmsync::{counters as wsc, ReplicaBudget, ShipEntry, WarmDigest};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -86,6 +87,11 @@ pub struct ServeConfig {
     /// is `min(improve_budget, deadline − now)` at the moment the solve
     /// finishes — a request with no deadline headroom skips improvement.
     pub improve_budget: Duration,
+    /// Byte budget for warm entries this worker stores *on behalf of
+    /// the ring* (warmsync replication). Oldest replicas are evicted
+    /// first once exceeded. Entries this worker computed itself are
+    /// never charged.
+    pub replica_budget: StoreBudget,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +113,7 @@ impl Default for ServeConfig {
             portfolio: PortfolioPolicy::Auto,
             improve: ImproveMode::Off,
             improve_budget: Duration::from_millis(2),
+            replica_budget: StoreBudget::bytes(16 << 20),
         }
     }
 }
@@ -303,6 +310,9 @@ pub struct Service {
     arms: Arc<PortfolioCounters>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
+    /// Byte accounting for warm entries held on behalf of the ring.
+    replica_budget: Mutex<ReplicaBudget>,
+    replica_evictions: AtomicU64,
 }
 
 impl Service {
@@ -361,6 +371,7 @@ impl Service {
                     .expect("spawn worker")
             })
             .collect();
+        let replica_budget = Mutex::new(ReplicaBudget::new(config.replica_budget.bytes));
         Arc::new(Self {
             config,
             queue,
@@ -371,6 +382,8 @@ impl Service {
             arms,
             workers: Mutex::new(handles),
             started: Instant::now(),
+            replica_budget,
+            replica_evictions: AtomicU64::new(0),
         })
     }
 
@@ -454,6 +467,12 @@ impl Service {
             rehydrated: self.warm.as_ref().map_or(0, |w| w.rehydrated()),
             disk_hits: self.warm.as_ref().map_or(0, |w| w.hits()),
             appends: self.warm.as_ref().map_or(0, |w| w.appends()),
+            warm_seq: self.warm.as_ref().map_or(0, |w| w.max_seq()),
+            compactions: self.warm.as_ref().map_or(0, |w| w.compactions()),
+            warmsync_applied: self.warm.as_ref().map_or(0, |w| w.entries_applied()),
+            cold_misses_avoided: self.warm.as_ref().map_or(0, |w| w.cold_misses_avoided()),
+            replica_bytes: self.replica_budget.lock().expect("replica lock").used(),
+            replica_evictions: self.replica_evictions.load(Ordering::Relaxed),
             fault_us: self
                 .warm
                 .as_ref()
@@ -507,7 +526,71 @@ impl Service {
             queue_depth: self.queue_depth() as u64,
             cache_entries: self.cache.len() as u64,
             pressure_pct: self.pressure_pct(),
+            warm_entries: self.warm.as_ref().map_or(0, |w| w.entries()),
+            warm_seq: self.warm.as_ref().map_or(0, |w| w.max_seq()),
         }
+    }
+
+    /// The warm log's `(key hash, seq)` inventory — the `warm-digest`
+    /// reply. Empty without a store directory.
+    pub fn warm_digest(&self) -> WarmDigest {
+        match self.warm.as_ref() {
+            None => WarmDigest::default(),
+            Some(w) => WarmDigest {
+                max_seq: w.max_seq(),
+                entries: w.digest(),
+            },
+        }
+    }
+
+    /// Warm entries with seq > `since_seq` and key hash in `lo..=hi` —
+    /// the `warm-pull` reply body. Empty without a store directory.
+    pub fn warm_pull(&self, since_seq: u64, lo: u64, hi: u64) -> Vec<ShipEntry> {
+        self.warm
+            .as_ref()
+            .map_or_else(Vec::new, |w| w.entries_since(since_seq, lo, hi))
+    }
+
+    /// Applies pushed warm entries: each token is decoded (checksum
+    /// re-verified), appended to the warm log, and charged to the
+    /// replica byte budget; the budget's oldest-first evictions are
+    /// carried out immediately. Returns `(accepted, rejected)`. A
+    /// worker without a store directory rejects everything — it has
+    /// nowhere durable to put replicas.
+    pub fn warm_apply(&self, tokens: &[String]) -> (u64, u64) {
+        let Some(warm) = self.warm.as_ref() else {
+            return (0, tokens.len() as u64);
+        };
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for token in tokens {
+            let entry = match ShipEntry::from_token(token) {
+                Ok(entry) => entry,
+                Err(_) => {
+                    rejected += 1;
+                    wsc::add(wsc::ENTRIES_REJECTED, 1);
+                    continue;
+                }
+            };
+            if !warm.apply(&entry) {
+                rejected += 1;
+                wsc::add(wsc::ENTRIES_REJECTED, 1);
+                continue;
+            }
+            accepted += 1;
+            let bytes = (entry.key.len() + entry.value.len()) as u64;
+            let evicted = self
+                .replica_budget
+                .lock()
+                .expect("replica lock")
+                .charge(&entry.key, bytes);
+            for key in evicted {
+                warm.evict_raw(&key);
+                self.replica_evictions.fetch_add(1, Ordering::Relaxed);
+                wsc::add(wsc::REPLICA_EVICTIONS, 1);
+            }
+        }
+        (accepted, rejected)
     }
 
     /// Closes the queue and joins the workers. Queued-but-unsolved

@@ -84,11 +84,14 @@ pub struct RequestStats {
 }
 
 /// Liveness snapshot answered by the protocol's `health` verb. The
-/// cluster coordinator's heartbeat consumes exactly these four fields:
-/// uptime proves the process restarted or not, queue depth is the
-/// load signal, cache residency is the affinity signal, and memory
-/// pressure lets the coordinator deprioritise workers whose caches are
-/// thrashing against their byte budget.
+/// cluster coordinator's heartbeat consumes these fields: uptime
+/// proves the process restarted or not, queue depth is the load
+/// signal, cache residency is the affinity signal, memory pressure
+/// lets the coordinator deprioritise workers whose caches are
+/// thrashing against their byte budget, and the warm fields describe
+/// the worker's warm log so warmsync can pick rehydration donors and
+/// skip digest round trips when nothing changed (old workers omit
+/// them; the parse defaults both to zero).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct HealthReply {
     /// Microseconds since the service started.
@@ -100,6 +103,12 @@ pub struct HealthReply {
     /// DP-cache residency as a percentage of its byte budget, clamped
     /// to 100.
     pub pressure_pct: u64,
+    /// Distinct canonical problems in the warm log (0 without a store
+    /// directory, and from pre-warmsync workers).
+    pub warm_entries: u64,
+    /// The warm log's highest assigned sequence number (0 without a
+    /// store directory, and from pre-warmsync workers).
+    pub warm_seq: u64,
 }
 
 /// Which DP representation cache-missing probes ran under, service-wide.
@@ -162,6 +171,21 @@ pub struct StoreReport {
     pub disk_hits: u64,
     /// Solutions appended to the warm log since open.
     pub appends: u64,
+    /// The warm log's highest assigned sequence number.
+    pub warm_seq: u64,
+    /// Warm-log generation rewrites (dead-byte compactions) since open.
+    pub compactions: u64,
+    /// Shipped entries applied to the warm log by `warm-push`/pull
+    /// traffic since open.
+    pub warmsync_applied: u64,
+    /// Warm faults served from a replicated/migrated entry — cold DP
+    /// recomputes that warmsync avoided.
+    pub cold_misses_avoided: u64,
+    /// Bytes currently charged to the replica byte budget (entries held
+    /// on behalf of ring predecessors).
+    pub replica_bytes: u64,
+    /// Replica entries evicted oldest-first by the byte budget.
+    pub replica_evictions: u64,
     /// Disk-read latency per warm hit, in µs.
     pub fault_us: HistogramSnapshot,
     /// Compute-path page faults taken by paged-engine probes (stalls the
@@ -425,6 +449,12 @@ impl ServiceReport {
             .field_u64("rehydrated", self.store.rehydrated)
             .field_u64("disk_hits", self.store.disk_hits)
             .field_u64("appends", self.store.appends)
+            .field_u64("warm_seq", self.store.warm_seq)
+            .field_u64("compactions", self.store.compactions)
+            .field_u64("warmsync_applied", self.store.warmsync_applied)
+            .field_u64("cold_misses_avoided", self.store.cold_misses_avoided)
+            .field_u64("replica_bytes", self.store.replica_bytes)
+            .field_u64("replica_evictions", self.store.replica_evictions)
             .field_f64("ram_hit_rate", self.cache.hit_rate())
             .field_f64(
                 "disk_hit_rate",
@@ -511,6 +541,12 @@ mod tests {
                 rehydrated: 2,
                 disk_hits: 1,
                 appends: 3,
+                warm_seq: 7,
+                compactions: 1,
+                warmsync_applied: 2,
+                cold_misses_avoided: 1,
+                replica_bytes: 256,
+                replica_evictions: 1,
                 fault_us: HistogramSnapshot::default(),
                 paged_faults: 4,
                 prefetch_issued: 6,
@@ -543,6 +579,12 @@ mod tests {
         assert!(json.contains("\"budget_bytes\":1024"), "{json}");
         assert!(json.contains("\"pressure_pct\":50"), "{json}");
         assert!(json.contains("\"rehydrated\":2"), "{json}");
+        assert!(json.contains("\"warm_seq\":7"), "{json}");
+        assert!(json.contains("\"compactions\":1"), "{json}");
+        assert!(json.contains("\"warmsync_applied\":2"), "{json}");
+        assert!(json.contains("\"cold_misses_avoided\":1"), "{json}");
+        assert!(json.contains("\"replica_bytes\":256"), "{json}");
+        assert!(json.contains("\"replica_evictions\":1"), "{json}");
         assert!(json.contains("\"ram_hit_rate\":0.75"), "{json}");
         assert!(json.contains("\"disk_hit_rate\":1"), "{json}");
         assert!(json.contains("\"paged_faults\":4"), "{json}");

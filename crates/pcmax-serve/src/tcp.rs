@@ -93,6 +93,17 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
                 Ok(response) => proto::format_response(&response),
                 Err(e) => proto::format_error(&e.to_string()),
             },
+            // Warm-state verbs are served inline on the connection thread:
+            // they never enter the solve queue, so replication traffic can
+            // not displace solve requests (and is invisible to `accepted`).
+            Ok(Request::WarmDigest) => proto::format_warm_digest_reply(&service.warm_digest()),
+            Ok(Request::WarmPull { since_seq, lo, hi }) => {
+                proto::format_warm_pull_reply(&service.warm_pull(since_seq, lo, hi))
+            }
+            Ok(Request::WarmPush { tokens }) => {
+                let (accepted, rejected) = service.warm_apply(&tokens);
+                proto::format_warm_push_reply(accepted, rejected)
+            }
             Err(e) => proto::format_error(&e),
         };
         if writeln!(writer, "{reply}").and_then(|_| writer.flush()).is_err() {

@@ -16,9 +16,12 @@
 use crate::solver::CachedDp;
 use pcmax_obs::{Histogram, HistogramSnapshot};
 use pcmax_ptas::DpKey;
-use pcmax_store::{StoreError, WarmLog};
+use pcmax_store::{StoreError, WarmEntry, WarmLog};
+use pcmax_warmsync::{counters, ShipEntry};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Persistent key→solution store shared by all service workers.
@@ -28,6 +31,12 @@ pub struct WarmTier {
     /// Disk-read latency per warm hit, µs (recorded while `pcmax_obs`
     /// recording is enabled).
     fault_us: Histogram,
+    /// Keys that arrived over the wire (replication or rebalance pull)
+    /// rather than being computed locally. A warm fault served from one
+    /// of these is a cold DP solve that warmsync avoided.
+    shipped_keys: Mutex<HashSet<Vec<u8>>>,
+    cold_misses_avoided: AtomicU64,
+    entries_applied: AtomicU64,
 }
 
 impl WarmTier {
@@ -37,6 +46,9 @@ impl WarmTier {
         Ok(Self {
             log: WarmLog::open(dir)?,
             fault_us: Histogram::new(),
+            shipped_keys: Mutex::new(HashSet::new()),
+            cold_misses_avoided: AtomicU64::new(0),
+            entries_applied: AtomicU64::new(0),
         })
     }
 
@@ -75,19 +87,103 @@ impl WarmTier {
     /// accelerator, never a correctness dependency.
     pub fn get(&self, key: &DpKey) -> Option<CachedDp> {
         let started = Instant::now();
-        let bytes = self.log.get(&encode_key(key)).ok().flatten()?;
+        let raw_key = encode_key(key);
+        let bytes = self.log.get(&raw_key).ok().flatten()?;
         let entry = decode_entry(&bytes)?;
         if pcmax_obs::enabled() {
             self.fault_us
                 .record(started.elapsed().as_micros() as u64);
         }
+        if self
+            .shipped_keys
+            .lock()
+            .expect("shipped lock")
+            .contains(&raw_key)
+        {
+            // This fault would have been a cold DP recompute if the
+            // entry hadn't been replicated/migrated to us.
+            self.cold_misses_avoided.fetch_add(1, Ordering::Relaxed);
+            counters::add(counters::COLD_MISSES_AVOIDED, 1);
+        }
         Some(entry)
     }
 
-    /// Persists `entry` under `key`. Disk errors are swallowed (see
-    /// [`Self::get`]); duplicates are no-ops (first write wins).
+    /// Persists `entry` under `key` (last write wins). Disk errors are
+    /// swallowed (see [`Self::get`]). A local solve for a shipped key
+    /// reclassifies it as locally computed.
     pub fn put(&self, key: &DpKey, entry: &CachedDp) {
-        let _ = self.log.append(&encode_key(key), &encode_entry(entry));
+        let raw_key = encode_key(key);
+        if self.log.append(&raw_key, &encode_entry(entry)).is_ok() {
+            self.shipped_keys
+                .lock()
+                .expect("shipped lock")
+                .remove(&raw_key);
+        }
+    }
+
+    /// Highest sequence number the underlying log has assigned.
+    pub fn max_seq(&self) -> u64 {
+        self.log.max_seq()
+    }
+
+    /// Generation rewrites the underlying log has performed.
+    pub fn compactions(&self) -> u64 {
+        self.log.compactions()
+    }
+
+    /// Warm faults served from an entry that arrived via warmsync.
+    pub fn cold_misses_avoided(&self) -> u64 {
+        self.cold_misses_avoided.load(Ordering::Relaxed)
+    }
+
+    /// Shipped entries applied to this tier since open.
+    pub fn entries_applied(&self) -> u64 {
+        self.entries_applied.load(Ordering::Relaxed)
+    }
+
+    /// `(fnv1a(key), seq)` for every live record — the `warm-digest`
+    /// inventory.
+    pub fn digest(&self) -> Vec<(u64, u64)> {
+        self.log.digest()
+    }
+
+    /// Live records with seq > `since` and key hash in `lo..=hi`, as
+    /// shippable entries in seq order — the `warm-pull` reply body.
+    pub fn entries_since(&self, since: u64, lo: u64, hi: u64) -> Vec<ShipEntry> {
+        self.log
+            .entries_since(since, lo, hi)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(key, value, seq): WarmEntry| ShipEntry { seq, key, value })
+            .collect()
+    }
+
+    /// Applies one shipped entry: decodable values are appended (last
+    /// write wins) and the key is marked wire-delivered. Returns whether
+    /// the entry was accepted. Checksum verification happened at parse
+    /// time; this guards against undecodable payloads reaching the log.
+    pub fn apply(&self, entry: &ShipEntry) -> bool {
+        if decode_entry(&entry.value).is_none() {
+            return false;
+        }
+        if self.log.append(&entry.key, &entry.value).is_err() {
+            return false;
+        }
+        self.shipped_keys
+            .lock()
+            .expect("shipped lock")
+            .insert(entry.key.clone());
+        self.entries_applied.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Drops the raw `key` from the tier (replica-budget eviction).
+    pub fn evict_raw(&self, key: &[u8]) {
+        self.log.remove(key);
+        self.shipped_keys
+            .lock()
+            .expect("shipped lock")
+            .remove(key);
     }
 }
 
@@ -219,6 +315,50 @@ mod tests {
         let mut bad_tag = good;
         bad_tag[4] = 7;
         assert!(decode_entry(&bad_tag).is_none());
+    }
+
+    #[test]
+    fn shipped_entries_apply_and_count_avoided_cold_misses() {
+        let dir = tmp_dir("ship");
+        let tier = WarmTier::open(&dir).unwrap();
+        let key = sample_key();
+        let entry = CachedDp {
+            opt: 4,
+            configs: None,
+        };
+        let ship = ShipEntry {
+            seq: 9,
+            key: encode_key(&key),
+            value: encode_entry(&entry),
+        };
+        assert!(tier.apply(&ship));
+        assert_eq!(tier.entries_applied(), 1);
+        assert_eq!(tier.digest().len(), 1);
+        assert_eq!(tier.digest()[0].0, ship.key_hash());
+        // A fault on the shipped key is a cold miss warmsync avoided…
+        assert_eq!(tier.get(&key).unwrap().opt, 4);
+        assert_eq!(tier.cold_misses_avoided(), 1);
+        // …until a local solve reclassifies the key.
+        tier.put(&key, &entry);
+        tier.get(&key).unwrap();
+        assert_eq!(tier.cold_misses_avoided(), 1);
+        // Undecodable payloads never reach the log.
+        let bad = ShipEntry {
+            seq: 10,
+            key: b"other".to_vec(),
+            value: b"garbage".to_vec(),
+        };
+        assert!(!tier.apply(&bad));
+        // entries_since ships back what apply wrote, byte-identical.
+        let out = tier.entries_since(0, 0, u64::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, ship.key);
+        assert_eq!(out[0].value, ship.value);
+        assert_eq!(out[0].checksum(), ship.checksum());
+        // Raw eviction drops the key.
+        tier.evict_raw(&ship.key);
+        assert!(tier.get(&key).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

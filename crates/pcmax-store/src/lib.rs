@@ -29,11 +29,16 @@
 //!   directory on drop, so aborted solves never orphan page files;
 //! * [`WarmLog`] — a tiny manifest + checksummed append log mapping
 //!   opaque keys to opaque values, used by `pcmax-serve` to persist its
-//!   DP-solution cache across restarts (the warm-start tier).
+//!   DP-solution cache across restarts (the warm-start tier). Records
+//!   carry monotonic sequence numbers so `pcmax-warmsync` can ship only
+//!   the suffix a peer is missing; re-appends are last-write-wins and
+//!   the log compacts itself (generation rewrite + atomic manifest
+//!   rename) when dead bytes outweigh live ones.
 //!
 //! Observability: every store bumps the `store.faults` / `store.demotions`
 //! / `store.prefetch_issued` / `store.prefetch_hits` /
-//! `store.writebehind_writes` / `store.rehydrated` counters on the
+//! `store.writebehind_writes` / `store.rehydrated` /
+//! `store.compactions` counters on the
 //! global [`pcmax_obs`] registry unconditionally, and records
 //! compute-path fault latency into `store.page_fault_us` (and
 //! off-path prefetch reads into `store.prefetch_us`) while recording is
@@ -53,7 +58,7 @@ pub use page::{
 pub use scratch::ScratchDir;
 pub use tier::{DiskTier, PageStore, RamTier};
 pub use tiered::{StoreStats, TieredStore, STAGED_PAGES_MAX};
-pub use warm::WarmLog;
+pub use warm::{WarmEntry, WarmLog};
 
 use std::fmt;
 use std::path::PathBuf;

@@ -1,0 +1,50 @@
+//! Canonical `warmsync.*` observability names.
+//!
+//! Counters follow the workspace convention: bumped unconditionally on
+//! the global [`pcmax_obs`] registry; histograms (`SHIP_US` /
+//! `PULL_US`) are recorded by the caller only while
+//! `pcmax_obs::enabled()` — same as every other subsystem.
+
+/// Entries pushed to a peer (replication, retire drain, or relay).
+pub const ENTRIES_SHIPPED: &str = "warmsync.entries_shipped";
+/// Entries received via `warm-pull` replies.
+pub const ENTRIES_PULLED: &str = "warmsync.entries_pulled";
+/// Payload bytes (key + value) pushed to peers.
+pub const BYTES_SHIPPED: &str = "warmsync.bytes_shipped";
+/// Payload bytes (key + value) received via pulls.
+pub const BYTES_PULLED: &str = "warmsync.bytes_pulled";
+/// Membership-change rebalances planned and executed.
+pub const REBALANCE_EVENTS: &str = "warmsync.rebalance_events";
+/// Warm faults served from a replicated/migrated entry that would have
+/// been a cold DP recompute without warmsync.
+pub const COLD_MISSES_AVOIDED: &str = "warmsync.cold_misses_avoided";
+/// Replica entries evicted by the byte budget (oldest first).
+pub const REPLICA_EVICTIONS: &str = "warmsync.replica_evictions";
+/// Entries a receiving worker rejected (checksum or decode failure).
+pub const ENTRIES_REJECTED: &str = "warmsync.entries_rejected";
+/// Histogram: wall time of one outbound ship (push round trip), µs.
+pub const SHIP_US: &str = "warmsync.ship_us";
+/// Histogram: wall time of one pull round trip, µs.
+pub const PULL_US: &str = "warmsync.pull_us";
+
+/// Bumps counter `name` by `n` on the global registry.
+pub fn add(name: &'static str, n: u64) {
+    pcmax_obs::registry::global().counter(name).add(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_on_the_global_registry() {
+        let before = pcmax_obs::registry::global()
+            .counter(ENTRIES_SHIPPED)
+            .get();
+        add(ENTRIES_SHIPPED, 3);
+        let after = pcmax_obs::registry::global()
+            .counter(ENTRIES_SHIPPED)
+            .get();
+        assert_eq!(after - before, 3);
+    }
+}

@@ -17,6 +17,54 @@ cargo test -q
   --out target/BENCH_cluster_smoke.json
 test -s target/BENCH_cluster_smoke.json
 
+# Churn gate: the same tiny cluster with per-worker warm stores, one
+# kill-and-join cycle, full replication (--replicas 3), fast heartbeats.
+# After the join the replacement worker is probed directly with every
+# distinct instance; with warmsync on its shipped warm state must answer
+# strictly more cheaply than the warmsync-off baseline, and with full
+# replication it must answer with zero recomputed probes.
+./target/release/pcmax bench-cluster \
+  --workers 3 --clients 2 --requests 8 --distinct 4 \
+  --jobs 16 --machines 3 --churn 1 --replicas 3 \
+  --heartbeat-ms 50 --max-missed 2 \
+  --store-dir target/warmsync-churn-on \
+  --out target/BENCH_cluster_churn_on.json
+./target/release/pcmax bench-cluster \
+  --workers 3 --clients 2 --requests 8 --distinct 4 \
+  --jobs 16 --machines 3 --churn 1 --warmsync off \
+  --heartbeat-ms 50 --max-missed 2 \
+  --store-dir target/warmsync-churn-off \
+  --out target/BENCH_cluster_churn_off.json
+rm -rf target/warmsync-churn-on target/warmsync-churn-off
+miss_on=$(grep -o '"cold_misses":[0-9]*' target/BENCH_cluster_churn_on.json | head -1 | cut -d: -f2)
+miss_off=$(grep -o '"cold_misses":[0-9]*' target/BENCH_cluster_churn_off.json | head -1 | cut -d: -f2)
+if [ "$miss_on" -ne 0 ]; then
+  echo "churn gate: joiner recomputed $miss_on probes despite full replication" >&2
+  exit 1
+fi
+if [ "$miss_on" -ge "$miss_off" ]; then
+  echo "churn gate: $miss_on cold misses with warmsync on vs $miss_off off" >&2
+  exit 1
+fi
+if ! grep -q '"rebalance_events":[1-9]' target/BENCH_cluster_churn_on.json; then
+  echo "churn gate: no rebalance recorded on the warmsync-on run" >&2
+  exit 1
+fi
+avoided=$(grep -o '"cold_misses_avoided":[0-9]*' target/BENCH_cluster_churn_on.json | head -1 | cut -d: -f2)
+if [ "$avoided" -eq 0 ]; then
+  echo "churn gate: joiner never answered a probe from shipped warm state" >&2
+  exit 1
+fi
+
+# Warmsync gauntlet: 64 seeds filtered to the warm-replication checks —
+# shipped entries byte-identical through the wire round-trip (checksum
+# re-verified), replica state byte-identical to the owner's, and the
+# rebalance planner's moved set equal to the brute-force rendezvous
+# ownership diff.
+./target/release/pcmax audit --seeds 64 --engine warmsync \
+  --out target/AUDIT_warmsync.json
+test -s target/AUDIT_warmsync.json
+
 # Store smoke: one paged DP solve (k = 6 rounding, a 3072-cell table)
 # through the tiered RAM/disk store under a 256-byte budget — far below
 # the table size, so pages must demote to disk and fault back —

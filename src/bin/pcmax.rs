@@ -97,9 +97,11 @@ USAGE:
                       [--mem-budget BYTES] [--store-dir DIR] [--overlap on|off]
   pcmax bench-cluster [--workers N] [--clients N] [--requests N] [--distinct N]
                       [--jobs N] [--machines N] [--epsilon F] [--deadline-ms N]
-                      [--kill-after N] [--out FILE]
+                      [--kill-after N] [--churn N] [--warmsync on|off]
+                      [--replicas N] [--out FILE]
   pcmax audit         [--seeds N] [--k N] [--max-cells N]
-                      [--engine sparse|portfolio|improve|paged] [--out FILE]
+                      [--engine sparse|portfolio|improve|paged|warmsync]
+                      [--out FILE]
 
 `naryN` probes N targets per search round (nary1 = bisection, nary4 =
 the paper's quarter split). `trace` solves with recording enabled and
@@ -113,7 +115,11 @@ starts N in-process workers behind a cache-affinity routing coordinator
 speaking the same protocol (`stats` answers with the aggregated cluster
 report). `bench-cluster` drives a cluster over loopback — optionally
 killing a worker after `--kill-after` requests to exercise failover —
-and writes BENCH_cluster.json. `audit` runs the adversarial
+and writes BENCH_cluster.json; `--churn N` then runs N kill-and-join
+cycles against the warm fleet and records the replacement worker's
+cold-start misses and rebalance latency in the same JSON (`--warmsync
+off` disables warm-state replication for an A/B baseline; `--replicas R`
+sets the replication factor, default 2). `audit` runs the adversarial
 differential-fuzz harness (u64-scale times, degenerate shapes) across
 `--seeds` seeds, cross-checking the three DP engines cell-for-cell, the
 searches, the serve solver, and the exact oracles; it prints a JSON
@@ -167,7 +173,11 @@ assignment; `--eval warp` mirrors fitness evaluation on the gpu-sim
 warp model (bit-for-bit identical answers, modeled kernel timings on
 the obs registry). `--engine improve` on `audit` restricts the sweep to
 the improver gauntlet (monotonicity, validity, a-posteriori guarantee,
-fixed-seed determinism, rayon/warp-model agreement).";
+fixed-seed determinism, rayon/warp-model agreement). `--engine warmsync`
+restricts it to the warm-replication gauntlet: shipped entries survive
+the wire round-trip byte-identically (checksum re-verified), a replica
+applying them holds the owner's exact bytes, and the rebalance planner's
+moved set equals the brute-force rendezvous ownership diff.";
 
 /// Fetches the value following a `--flag`.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -594,6 +604,12 @@ fn cluster_config_from_flags(args: &[String]) -> Result<ClusterConfig, String> {
             "--deadline-ms",
             defaults.default_deadline.as_millis() as u64,
         )?),
+        warmsync: match flag(args, "--warmsync").unwrap_or("on") {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("bad --warmsync `{other}` (on|off)")),
+        },
+        replication_factor: flag_parse(args, "--replicas", defaults.replication_factor)?,
         ..defaults
     })
 }
@@ -641,6 +657,8 @@ fn cmd_bench_cluster(args: &[String]) -> Result<(), String> {
     let epsilon: f64 = flag_parse(args, "--epsilon", 0.3)?;
     let deadline_ms: u64 = flag_parse(args, "--deadline-ms", 2000)?;
     let kill_after: usize = flag_parse(args, "--kill-after", 0)?;
+    let churn: usize = flag_parse(args, "--churn", 0)?;
+    let warmsync_on = flag(args, "--warmsync").unwrap_or("on") != "off";
     let out_path = flag(args, "--out").unwrap_or("BENCH_cluster.json");
     if nodes == 0 || clients == 0 || requests == 0 || distinct == 0 {
         return Err("--workers, --clients, --requests, and --distinct must be positive".into());
@@ -745,6 +763,114 @@ fn cmd_bench_cluster(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Churn phase: repeated kill-and-join cycles against the now-warm
+    // fleet, measuring how cold a replacement worker really is. Each
+    // cycle kills a live worker, spawns a replacement, lets warmsync
+    // rebalance (when enabled), then probes the JOINER directly with
+    // every distinct instance: `cache_misses` on those replies is
+    // exactly the DP work the replacement had to redo from scratch.
+    let mut churn_rebalance_us: Vec<u64> = Vec::new();
+    let mut churn_cold_misses = 0u64;
+    let mut churn_cold_requests = 0u64;
+    let mut churn_probes = 0u64;
+    let mut churn_cold_avoided = 0u64;
+    if churn > 0 {
+        let coordinator = cluster.coordinator();
+        for cycle in 0..churn {
+            if warmsync_on {
+                // Digests refresh off heartbeat health replies, so a
+                // worker's newest entries are invisible to the sync for
+                // up to one beat. The load is quiesced here: wait out
+                // two full rounds so every warm_seq is current, then
+                // catch replication up — the kill must land on a
+                // steady-state fleet, not mid-ship.
+                let before = coordinator.report();
+                let live = before.workers.iter().filter(|w| w.up).count() as u64;
+                let settled = before.heartbeats_ok + 2 * live.max(1);
+                let fresh_by = Instant::now() + Duration::from_secs(10);
+                while coordinator.report().heartbeats_ok < settled {
+                    if Instant::now() > fresh_by {
+                        return Err("churn: heartbeat stalled before the sync round".into());
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                coordinator.sync_warm();
+            }
+            let victim = coordinator
+                .report()
+                .workers
+                .iter()
+                .find(|w| w.up)
+                .map(|w| w.id.clone())
+                .ok_or("churn: no live worker left to kill")?;
+            let vidx = cluster
+                .index_of(&victim)
+                .ok_or("churn: victim unknown to the harness")?;
+            cluster.kill(vidx);
+            // The rebalance keys off the heartbeat's live-set diff, so
+            // wait until the coordinator has marked the victim down.
+            let down_by = Instant::now() + Duration::from_secs(10);
+            while coordinator
+                .report()
+                .workers
+                .iter()
+                .any(|w| w.id == victim && w.up)
+            {
+                if Instant::now() > down_by {
+                    return Err(format!("churn: {victim} never marked down"));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let join_start = Instant::now();
+            let joined = cluster
+                .spawn()
+                .map_err(|e| format!("churn: spawning replacement: {e}"))?;
+            if warmsync_on {
+                // One explicit round covers rebalance + repair; the
+                // elapsed time is the joiner's cost to become warm.
+                coordinator.sync_warm();
+            }
+            churn_rebalance_us.push(join_start.elapsed().as_micros() as u64);
+            let jidx = cluster
+                .index_of(&joined)
+                .ok_or("churn: joiner unknown to the harness")?;
+            let mut probe = Client::connect(cluster.addr(jidx))
+                .map_err(|e| format!("churn: connecting to {joined}: {e}"))?;
+            let mut cycle_misses = 0u64;
+            for seed in 0..distinct {
+                let inst = pcmax::gen::uniform(seed, jobs, machines, 1, 100);
+                let reply = probe.solve(
+                    &inst,
+                    Some(epsilon),
+                    Some(Duration::from_millis(deadline_ms)),
+                )?;
+                churn_probes += 1;
+                churn_cold_misses += reply.cache_misses;
+                cycle_misses += reply.cache_misses;
+                churn_cold_requests += u64::from(reply.cache_misses > 0);
+            }
+            // Probes the joiner answered from shipped warm state rather
+            // than a cold DP solve.
+            if let Some(service) = cluster.service(jidx) {
+                churn_cold_avoided +=
+                    service.warm().map_or(0, |w| w.cold_misses_avoided());
+            }
+            eprintln!(
+                "churn cycle {cycle}: killed {victim}, joined {joined} in {:.1?}, \
+                 {cycle_misses} cold probe misses over {distinct} requests",
+                Duration::from_micros(*churn_rebalance_us.last().unwrap())
+            );
+        }
+        println!(
+            "churn         {churn} cycles: {churn_cold_misses} cold misses / {churn_probes} \
+             joiner probes ({churn_cold_requests} requests recomputed), warmsync {}",
+            if warmsync_on { "on" } else { "off" }
+        );
+    }
+    // The churn phase changed membership and shipped state; report the
+    // final aggregate, not the pre-churn snapshot.
+    let report = cluster.coordinator().report();
+
     // Machine-readable result: client-side latency summary + the full
     // aggregated cluster report.
     let mut w = pcmax::obs::JsonWriter::new();
@@ -753,8 +879,31 @@ fn cmd_bench_cluster(args: &[String]) -> Result<(), String> {
         .field_u64("clients", clients as u64)
         .field_u64("requests", total as u64)
         .field_u64("degraded", degraded as u64)
-        .field_u64("kill_after", kill_after as u64)
-        .key("latency_us")
+        .field_u64("kill_after", kill_after as u64);
+    if churn > 0 {
+        let mean_rebalance = churn_rebalance_us.iter().sum::<u64>()
+            / churn_rebalance_us.len().max(1) as u64;
+        let max_rebalance = churn_rebalance_us.iter().copied().max().unwrap_or(0);
+        w.key("churn")
+            .begin_object()
+            .field_u64("cycles", churn as u64)
+            .field_u64("warmsync", u64::from(warmsync_on))
+            .field_u64("probes", churn_probes)
+            .field_u64("cold_misses", churn_cold_misses)
+            .field_u64("cold_requests", churn_cold_requests)
+            .field_u64("cold_misses_avoided", churn_cold_avoided)
+            .field_u64(
+                "cold_miss_rate_pct",
+                100 * churn_cold_requests / churn_probes.max(1),
+            )
+            .key("rebalance_us")
+            .begin_object()
+            .field_u64("mean", mean_rebalance)
+            .field_u64("max", max_rebalance)
+            .end_object()
+            .end_object();
+    }
+    w.key("latency_us")
         .begin_object()
         .field_u64("mean", mean.as_micros() as u64)
         .field_u64("p50", pct(0.5).as_micros() as u64)
@@ -1469,10 +1618,12 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
     let engine_filter = match flag(args, "--engine") {
         None => None,
-        Some(f @ ("sparse" | "portfolio" | "improve" | "paged")) => Some(f.to_string()),
+        Some(f @ ("sparse" | "portfolio" | "improve" | "paged" | "warmsync")) => {
+            Some(f.to_string())
+        }
         Some(other) => {
             return Err(format!(
-                "unknown audit engine filter `{other}` (sparse|portfolio|improve|paged)"
+                "unknown audit engine filter `{other}` (sparse|portfolio|improve|paged|warmsync)"
             ))
         }
     };

@@ -248,6 +248,113 @@ fn pressured_workers_are_demoted_in_routing_order() {
 }
 
 #[test]
+fn kill_and_join_replacement_serves_warm_keys_from_shipped_state() {
+    // The churn scenario warmsync exists for: warm a primary, replicate
+    // its warm log across the fleet, crash it, join a replacement, and
+    // verify the replacement's first solve of the previously-warm key
+    // recomputes nothing — every DP probe answers from shipped state.
+    let dir = std::env::temp_dir().join(format!("pcmax-warmsync-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve_config = ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    // R = fleet size: every warm entry is held by every live worker, so
+    // the post-churn server — whoever rendezvous picks — is fully warm.
+    let cluster_config = ClusterConfig {
+        replication_factor: 3,
+        ..fast_cluster_config()
+    };
+    let cluster =
+        LocalCluster::start(3, serve_config, cluster_config).expect("start cluster");
+    let coordinator = cluster.coordinator();
+
+    // Warm the primary: one solved request appends every DP probe
+    // result to its warm log.
+    let inst = uniform(23, 28, 4, 1, 60);
+    let first = coordinator.solve(request(&inst)).expect("warm solve");
+    let primary = first.worker.clone().expect("served remotely");
+    let primary_idx = cluster.index_of(&primary).expect("known worker");
+
+    // The heartbeat-riding sync rounds ship the log to the successors.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = coordinator.report();
+        if report.warm_entries_shipped > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "warmsync never shipped the warm log: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Crash the primary and wait for the heartbeat to mark it down.
+    cluster.kill(primary_idx);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coordinator.live_workers().len() != 2 {
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never marked the killed primary down"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Join a replacement; the membership diff triggers a rebalance and
+    // the repair pass tops it up to every key it now co-owns.
+    let joined = cluster.spawn().expect("join replacement");
+    let joined_idx = cluster.index_of(&joined).expect("known worker");
+    let survivor_idx = (0..3).find(|&i| i != primary_idx).expect("a survivor");
+    let survivor_entries = cluster
+        .service(survivor_idx)
+        .expect("survivor alive")
+        .warm()
+        .expect("store-backed worker")
+        .entries();
+    assert!(survivor_entries > 0, "replication left the survivors warm");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let joined_entries = cluster
+            .service(joined_idx)
+            .expect("joiner alive")
+            .warm()
+            .expect("store-backed worker")
+            .entries();
+        if joined_entries >= survivor_entries {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rebalance never topped the joiner up ({joined_entries}/{survivor_entries} entries)"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let report = coordinator.report();
+    assert!(report.rebalance_events > 0, "the churn must register as rebalances: {report:?}");
+
+    // The joiner's FIRST solve of the previously-warm key: every probe
+    // must answer from the shipped warm state, never a cold DP solve.
+    let mut direct = Client::connect(cluster.addr(joined_idx)).expect("connect to joiner");
+    let reply = direct
+        .solve(&inst, Some(0.3), Some(Duration::from_secs(10)))
+        .expect("solve on the joiner");
+    assert_eq!(reply.makespan, first.response.makespan, "same answer as the dead primary");
+    assert_eq!(
+        reply.cache_misses, 0,
+        "migrated warm keys must suppress every DP recompute"
+    );
+    let joined_service = cluster.service(joined_idx).expect("joiner alive");
+    assert!(
+        joined_service.warm().expect("store-backed").cold_misses_avoided() > 0,
+        "the avoided cold solves must be counted"
+    );
+
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cluster_front_end_speaks_the_serve_protocol() {
     let cluster = LocalCluster::start(2, ServeConfig::default(), fast_cluster_config())
         .expect("start cluster");
